@@ -1,0 +1,25 @@
+//! Graph 12: true multidimensional vs jagged matrices, value vs object
+//! element types, on the CLI implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config};
+use hpcnet_core::VmProfile;
+
+fn graph_12(c: &mut Criterion) {
+    let profiles = VmProfile::cli_lineup();
+    for entry in [
+        "matrix.multi.value",
+        "matrix.jagged.value",
+        "matrix.multi.object",
+        "matrix.jagged.object",
+    ] {
+        bench_profiles(c, "matrix", entry, 20, &profiles);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = graph_12
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Graphs 1–3: integer and floating-point arithmetic across the four
+//! micro-benchmark runtimes (IBM JVM, CLR 1.1, Mono 0.23, SSCLI 1.0).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config, micro_profiles};
+
+const N: i32 = 200_000;
+
+fn graphs_1_to_3(c: &mut Criterion) {
+    let profiles = micro_profiles();
+    for entry in [
+        "arith.add.int",
+        "arith.mult.int",
+        "arith.div.int",
+        "arith.add.long",
+        "arith.div.long",
+        "arith.add.double",
+        "arith.mult.double",
+        "arith.div.double",
+        "arith.add.float",
+    ] {
+        bench_profiles(c, "arith", entry, N, &profiles);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = graphs_1_to_3
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Graph 4: loop overheads (For, ReverseFor, While).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config, micro_profiles};
+
+fn graph_4(c: &mut Criterion) {
+    let profiles = micro_profiles();
+    for entry in ["loop.for", "loop.reversefor", "loop.while"] {
+        bench_profiles(c, "loop", entry, 500_000, &profiles);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = graph_4
+}
+criterion_main!(benches);

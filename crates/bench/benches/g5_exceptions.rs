@@ -1,0 +1,19 @@
+//! Graph 5: exception handling — the CLI's throw path is markedly more
+//! expensive than the JVM's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config, micro_profiles};
+
+fn graph_5(c: &mut Criterion) {
+    let profiles = micro_profiles();
+    for entry in ["exception.throw", "exception.new", "exception.method"] {
+        bench_profiles(c, "exception", entry, 5_000, &profiles);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = graph_5
+}
+criterion_main!(benches);

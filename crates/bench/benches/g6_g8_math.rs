@@ -1,0 +1,32 @@
+//! Graphs 6–8: the Math library routines (fast CLR table vs strict JVM
+//! software implementations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config, micro_profiles};
+
+fn graphs_6_to_8(c: &mut Criterion) {
+    let profiles = micro_profiles();
+    for entry in [
+        "math.abs.int",
+        "math.max.double",
+        "math.min.long",
+        "math.sin",
+        "math.cos",
+        "math.atan2",
+        "math.sqrt",
+        "math.exp",
+        "math.log",
+        "math.pow",
+        "math.rint",
+        "math.round.double",
+    ] {
+        bench_profiles(c, "math", entry, 50_000, &profiles);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = graphs_6_to_8
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Graphs 9–11: the SciMark kernels across the full platform lineup,
+//! with the native baseline playing the "MS - C++" series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_entry, config, entry, group};
+use hpcnet_core::{native::scimark, vm_for, VmProfile};
+
+fn scimark_managed(c: &mut Criterion) {
+    let g = group("scimark");
+    // Small-model sizes scaled for statistical benching.
+    let sizes = [
+        ("scimark.fft", 256),
+        ("scimark.sor", 48),
+        ("scimark.montecarlo", 20_000),
+        ("scimark.sparse", 256),
+        ("scimark.lu", 48),
+    ];
+    for p in VmProfile::scimark_lineup() {
+        let vm = vm_for(&g, p);
+        for (eid, n) in sizes {
+            let e = entry(&g, eid);
+            let name = format!("{eid}/{}", p.name.replace(' ', "_"));
+            bench_entry(c, &name, &vm, &e, n);
+        }
+    }
+}
+
+fn scimark_native(c: &mut Criterion) {
+    c.bench_function("scimark.fft/native", |b| {
+        b.iter(|| scimark::fft_run(std::hint::black_box(256)))
+    });
+    c.bench_function("scimark.sor/native", |b| {
+        b.iter(|| scimark::sor_run(std::hint::black_box(48), 10))
+    });
+    c.bench_function("scimark.montecarlo/native", |b| {
+        b.iter(|| scimark::montecarlo_run(std::hint::black_box(20_000)))
+    });
+    c.bench_function("scimark.sparse/native", |b| {
+        b.iter(|| scimark::sparse_run(std::hint::black_box(256), 5 * 256, 100))
+    });
+    c.bench_function("scimark.lu/native", |b| {
+        b.iter(|| scimark::lu_run(std::hint::black_box(48)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = scimark_managed, scimark_native
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 2: the threaded micro suite (barriers, fork/join, synchronized
+//! access) on the two leading engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config};
+use hpcnet_core::VmProfile;
+
+fn table_2(c: &mut Criterion) {
+    let profiles = [VmProfile::clr11(), VmProfile::jvm_ibm131()];
+    bench_profiles(c, "barrier", "barrier.simple", 500, &profiles);
+    bench_profiles(c, "barrier", "barrier.tournament", 500, &profiles);
+    bench_profiles(c, "forkjoin", "forkjoin", 10, &profiles);
+    bench_profiles(c, "sync", "sync.method", 5_000, &profiles);
+    bench_profiles(c, "sync", "sync.block", 5_000, &profiles);
+    bench_profiles(c, "lock", "lock.uncontended", 50_000, &profiles);
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table_2
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 4: the application kernels (Fibonacci … RayTracer) on the four
+//! runtimes the micro graphs compare.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_bench::{bench_profiles, config, micro_profiles};
+
+fn table_4(c: &mut Criterion) {
+    let profiles = micro_profiles();
+    let cases = [
+        ("apps.small", "app.fibonacci", 18),
+        ("apps.small", "app.sieve", 50_000),
+        ("apps.small", "app.hanoi", 13),
+        ("apps.small", "app.heapsort", 20_000),
+        ("app.crypt", "app.crypt", 8_192),
+        ("app.moldyn", "app.moldyn", 3),
+        ("app.euler", "app.euler", 16),
+        ("app.search", "app.search", 6),
+        ("app.raytracer", "app.raytracer", 12),
+    ];
+    for (gid, eid, n) in cases {
+        bench_profiles(c, gid, eid, n, &profiles);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table_4
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! # hpcnet-bench — Criterion benchmarks per paper artifact
+//!
+//! One bench target per table/figure of the paper's evaluation section
+//! (`benches/g*.rs`, `benches/t*.rs`). Each sweeps the relevant benchmark
+//! entries across the engine profiles the corresponding graph compares,
+//! plus the native baseline where the paper plots one. The `hpcnet-report`
+//! binary (crate `hpcnet-harness`) renders the same experiments as the
+//! paper's tables; these benches give Criterion-grade statistics per cell.
+
+use criterion::Criterion;
+use hpcnet_core::{registry, run_entry, vm_for, BenchGroup, Entry, Vm, VmProfile};
+use std::sync::Arc;
+
+/// Look up a benchmark group by id (panics on unknown id — bench setup).
+pub fn group(id: &str) -> BenchGroup {
+    registry()
+        .into_iter()
+        .find(|g| g.id == id)
+        .unwrap_or_else(|| panic!("no benchmark group {id}"))
+}
+
+/// Look up an entry inside a group.
+pub fn entry(g: &BenchGroup, id: &str) -> Entry {
+    g.entries
+        .iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("no entry {id}"))
+        .clone()
+}
+
+/// Bench one entry at size `n` on a prepared VM.
+pub fn bench_entry(c: &mut Criterion, bench_name: &str, vm: &Arc<Vm>, e: &Entry, n: i32) {
+    c.bench_function(bench_name, |b| {
+        b.iter(|| run_entry(vm, e, std::hint::black_box(n)).expect("benchmark entry"))
+    });
+}
+
+/// Sweep one entry across profiles under a group name.
+pub fn bench_profiles(
+    c: &mut Criterion,
+    group_id: &str,
+    entry_id: &str,
+    n: i32,
+    profiles: &[VmProfile],
+) {
+    let g = group(group_id);
+    let e = entry(&g, entry_id);
+    for p in profiles {
+        let vm = vm_for(&g, *p);
+        let name = format!("{entry_id}/{}", p.name.replace(' ', "_"));
+        bench_entry(c, &name, &vm, &e, n);
+        vm.join_all_threads();
+    }
+}
+
+/// Short profile list for the micro graphs (Graphs 1–8).
+pub fn micro_profiles() -> Vec<VmProfile> {
+    VmProfile::micro_lineup()
+}
+
+/// Criterion configured for VM-scale kernels: fewer samples, bounded time.
+pub fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}

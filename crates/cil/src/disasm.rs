@@ -1,0 +1,229 @@
+//! Textual disassembly of method bodies.
+//!
+//! Produces ILDASM-flavored listings (`IL_0004: ldloc.1`). The paper's
+//! Section 5 shows the CIL for the integer-division benchmark alongside the
+//! machine code each JIT produced; `examples/jit_compare.rs` reproduces that
+//! comparison using this disassembler for the CIL side and the `vm` crate's
+//! RIR printer for the "machine code" side.
+
+use crate::module::{MethodId, Module};
+use crate::op::Op;
+use std::fmt::Write;
+
+/// Disassemble one instruction.
+pub fn fmt_op(module: &Module, op: &Op) -> String {
+    match op {
+        Op::Nop => "nop".into(),
+        Op::LdcI4(v) => format!("ldc.i4 0x{v:x}"),
+        Op::LdcI8(v) => format!("ldc.i8 0x{v:x}"),
+        Op::LdcR4(v) => format!("ldc.r4 {v}"),
+        Op::LdcR8(v) => format!("ldc.r8 {v}"),
+        Op::LdNull => "ldnull".into(),
+        Op::LdStr(s) => format!("ldstr {:?}", module.string(*s)),
+        Op::LdLoc(i) => format!("ldloc.{i}"),
+        Op::StLoc(i) => format!("stloc.{i}"),
+        Op::LdArg(i) => format!("ldarg.{i}"),
+        Op::StArg(i) => format!("starg.{i}"),
+        Op::Dup => "dup".into(),
+        Op::Pop => "pop".into(),
+        Op::Bin(b) => b.mnemonic().into(),
+        Op::Un(u) => match u {
+            crate::op::UnOp::Neg => "neg".into(),
+            crate::op::UnOp::Not => "not".into(),
+        },
+        Op::Cmp(c) => format!("c{}", c.mnemonic()),
+        Op::Conv(t) => format!("conv.{}", t.suffix()),
+        Op::Br(t) => format!("br IL_{t:04x}"),
+        Op::BrTrue(t) => format!("brtrue IL_{t:04x}"),
+        Op::BrFalse(t) => format!("brfalse IL_{t:04x}"),
+        Op::BrCmp(c, t) => format!("b{} IL_{t:04x}", c.mnemonic()),
+        Op::Call(m) => format!("call {}", qualified(module, *m)),
+        Op::CallVirt(m) => format!("callvirt {}", qualified(module, *m)),
+        Op::CallIntrinsic(i) => format!("call [runtime]{}", i.name()),
+        Op::Ret => "ret".into(),
+        Op::NewObj(m) => format!("newobj {}", qualified(module, *m)),
+        Op::LdFld(f) => format!("ldfld {}", field_name(module, *f)),
+        Op::StFld(f) => format!("stfld {}", field_name(module, *f)),
+        Op::LdSFld(f) => format!("ldsfld {}", field_name(module, *f)),
+        Op::StSFld(f) => format!("stsfld {}", field_name(module, *f)),
+        Op::IsInst(c) => format!("isinst {}", module.class(*c).name),
+        Op::CastClass(c) => format!("castclass {}", module.class(*c).name),
+        Op::NewArr(k) => format!("newarr {}", k.suffix()),
+        Op::LdLen => "ldlen".into(),
+        Op::LdElem(k) => format!("ldelem.{}", k.suffix()),
+        Op::StElem(k) => format!("stelem.{}", k.suffix()),
+        Op::NewMultiArr { kind, rank } => format!("newmarr.{} rank={rank}", kind.suffix()),
+        Op::LdElemMulti { kind, rank } => format!("ldmelem.{} rank={rank}", kind.suffix()),
+        Op::StElemMulti { kind, rank } => format!("stmelem.{} rank={rank}", kind.suffix()),
+        Op::LdMultiLen { dim } => format!("ldmlen dim={dim}"),
+        Op::BoxVal(t) => format!("box {}", t.suffix()),
+        Op::UnboxVal(t) => format!("unbox.any {}", t.suffix()),
+        Op::Throw => "throw".into(),
+        Op::Leave(t) => format!("leave IL_{t:04x}"),
+        Op::EndFinally => "endfinally".into(),
+    }
+}
+
+fn qualified(module: &Module, m: MethodId) -> String {
+    let md = module.method(m);
+    format!("{}::{}", module.class(md.owner).name, md.name)
+}
+
+fn field_name(module: &Module, f: crate::module::FieldId) -> String {
+    let fd = module.field(f);
+    format!("{}::{}", module.class(fd.owner).name, fd.name)
+}
+
+/// Disassemble a whole method body, ILDASM style.
+pub fn disassemble(module: &Module, id: MethodId) -> String {
+    let m = module.method(id);
+    let mut out = String::new();
+    let kind = if m.is_static { "static " } else { "" };
+    let params = m
+        .params
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        out,
+        ".method {kind}{} {}::{}({params})",
+        m.ret,
+        module.class(m.owner).name,
+        m.name
+    );
+    if !m.body.locals.is_empty() {
+        let locals = m
+            .body
+            .locals
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("[{i}] {t}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  .locals ({locals})");
+    }
+    let _ = writeln!(out, "  .maxstack {}", m.body.max_stack);
+    for region in &m.body.eh {
+        let _ = writeln!(
+            out,
+            "  .try IL_{:04x}..IL_{:04x} handler IL_{:04x}..IL_{:04x} {:?}",
+            region.try_start, region.try_end, region.handler_start, region.handler_end, region.kind
+        );
+    }
+    for (pc, op) in m.body.code.iter().enumerate() {
+        let _ = writeln!(out, "  IL_{pc:04x}: {}", fmt_op(module, op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MethodKind, ModuleBuilder};
+    use crate::op::{BinOp, CmpOp};
+    use crate::types::CilType;
+
+    #[test]
+    fn disassembles_division_loop_like_the_paper() {
+        // The paper's Table 5 extract: i1 = i1 / i2 in a loop.
+        let mut mb = ModuleBuilder::new();
+        let c = mb.declare_class("Bench", None);
+        let mut f = mb.method(c, "Div", vec![], CilType::I4, MethodKind::Static);
+        let i1 = f.local(CilType::I4);
+        let i2 = f.local(CilType::I4);
+        let i = f.local(CilType::I4);
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.ldc_i4(i32::MAX);
+        f.st_loc(i1);
+        f.ldc_i4(3);
+        f.st_loc(i2);
+        f.ldc_i4(0);
+        f.st_loc(i);
+        f.place(head);
+        f.ld_loc(i);
+        f.ldc_i4(10000);
+        f.br_cmp(CmpOp::Ge, exit);
+        f.ld_loc(i1);
+        f.ld_loc(i2);
+        f.bin(BinOp::Div);
+        f.st_loc(i1);
+        f.ld_loc(i);
+        f.ldc_i4(1);
+        f.bin(BinOp::Add);
+        f.st_loc(i);
+        f.br(head);
+        f.place(exit);
+        f.ld_loc(i1);
+        f.ret();
+        let id = f.finish();
+        let m = mb.finish();
+        let text = disassemble(&m, id);
+        assert!(text.contains("ldc.i4 0x7fffffff"), "{text}");
+        assert!(text.contains("div"), "{text}");
+        assert!(text.contains("bge IL_"), "{text}");
+        assert!(text.contains(".locals ([0] int32"), "{text}");
+    }
+
+    #[test]
+    fn every_op_formats() {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.declare_class("C", None);
+        let fld = mb.add_field(c, "x", CilType::I4, false);
+        let sfld = mb.add_field(c, "g", CilType::I4, true);
+        let ctor = mb.method(c, ".ctor", vec![], CilType::Void, MethodKind::Ctor).finish();
+        let m = mb.finish();
+        use crate::op::{ElemKind, Intrinsic, UnOp};
+        use crate::types::NumTy;
+        let ops = vec![
+            Op::Nop,
+            Op::LdcI4(1),
+            Op::LdcI8(2),
+            Op::LdcR4(1.0),
+            Op::LdcR8(2.0),
+            Op::LdNull,
+            Op::LdLoc(0),
+            Op::StLoc(0),
+            Op::LdArg(0),
+            Op::StArg(0),
+            Op::Dup,
+            Op::Pop,
+            Op::Bin(BinOp::ShrUn),
+            Op::Un(UnOp::Not),
+            Op::Cmp(CmpOp::Le),
+            Op::Conv(NumTy::R8),
+            Op::Br(1),
+            Op::BrTrue(1),
+            Op::BrFalse(1),
+            Op::BrCmp(CmpOp::Lt, 1),
+            Op::Call(ctor),
+            Op::CallVirt(ctor),
+            Op::CallIntrinsic(Intrinsic::Sqrt),
+            Op::Ret,
+            Op::NewObj(ctor),
+            Op::LdFld(fld),
+            Op::StFld(fld),
+            Op::LdSFld(sfld),
+            Op::StSFld(sfld),
+            Op::IsInst(crate::module::ClassId(0)),
+            Op::CastClass(crate::module::ClassId(0)),
+            Op::NewArr(ElemKind::R8),
+            Op::LdLen,
+            Op::LdElem(ElemKind::I4),
+            Op::StElem(ElemKind::Ref),
+            Op::NewMultiArr { kind: ElemKind::R8, rank: 2 },
+            Op::LdElemMulti { kind: ElemKind::R8, rank: 2 },
+            Op::StElemMulti { kind: ElemKind::R8, rank: 3 },
+            Op::LdMultiLen { dim: 1 },
+            Op::BoxVal(NumTy::I4),
+            Op::UnboxVal(NumTy::R8),
+            Op::Throw,
+            Op::Leave(0),
+            Op::EndFinally,
+        ];
+        for op in ops {
+            assert!(!fmt_op(&m, &op).is_empty());
+        }
+    }
+}

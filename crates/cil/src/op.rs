@@ -1,0 +1,505 @@
+//! The instruction set.
+//!
+//! A compact, pre-resolved encoding of the ECMA-335 instruction subset the
+//! benchmarks exercise. Unlike the byte-serialized ECMA encoding, operands
+//! are resolved indices ([`crate::module::MethodId`] etc.) and branch targets
+//! are instruction indices — the form a loader would produce after metadata
+//! resolution, which is what both the interpreter and the optimizing tiers
+//! consume.
+
+use crate::module::{ClassId, FieldId, MethodId, StrId};
+use crate::types::NumTy;
+
+/// Binary arithmetic / bitwise operators (`add`, `sub`, … `shr.un`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division. Raises `DivideByZeroException` for integer kinds.
+    Div,
+    /// Signed remainder. Raises `DivideByZeroException` for integer kinds.
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    ShrUn,
+}
+
+impl BinOp {
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::ShrUn => "shr.un",
+        }
+    }
+
+    /// True for operators only defined on integer kinds.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr | BinOp::ShrUn
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement (integers only).
+    Not,
+}
+
+/// Comparison predicates (used by `ceq`/`cgt`/`clt` and fused branches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`a < b` fails ⇔ `a >= b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluate the predicate on a three-way ordering.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Array element kinds for `ldelem`/`stelem` (what ECMA encodes in the
+/// instruction suffix). `U1` widens to `int32` on load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    U1,
+    I4,
+    I8,
+    R4,
+    R8,
+    /// Object reference element (`ldelem.ref`) — jagged rows, object arrays.
+    Ref,
+}
+
+impl ElemKind {
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ElemKind::U1 => "u1",
+            ElemKind::I4 => "i4",
+            ElemKind::I8 => "i8",
+            ElemKind::R4 => "r4",
+            ElemKind::R8 => "r8",
+            ElemKind::Ref => "ref",
+        }
+    }
+
+    /// Stack kind produced by a load of this element kind (`None` = ref).
+    pub fn num_ty(self) -> Option<NumTy> {
+        match self {
+            ElemKind::U1 | ElemKind::I4 => Some(NumTy::I4),
+            ElemKind::I8 => Some(NumTy::I8),
+            ElemKind::R4 => Some(NumTy::R4),
+            ElemKind::R8 => Some(NumTy::R8),
+            ElemKind::Ref => None,
+        }
+    }
+}
+
+/// The runtime intrinsic surface (the paper keeps the support library —
+/// timers, math, monitors — identical across runtimes; so do we).
+///
+/// Math entries mirror the `java.lang.Math` / `System.Math` routines that
+/// Graphs 6–8 of the paper benchmark individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    // -- Math library, Graph 6 (abs/max/min across the four numeric kinds) --
+    AbsI4,
+    AbsI8,
+    AbsR4,
+    AbsR8,
+    MaxI4,
+    MaxI8,
+    MaxR4,
+    MaxR8,
+    MinI4,
+    MinI8,
+    MinR4,
+    MinR8,
+    // -- Math library, Graph 7 (trigonometry, float64) --
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Atan2,
+    // -- Math library, Graph 8 --
+    Floor,
+    Ceil,
+    Sqrt,
+    Exp,
+    Log,
+    Pow,
+    /// `Math.Rint` / `Math.rint` — round half to even, returns float64.
+    Rint,
+    /// `Math.random()` — global PRNG, returns float64 in [0,1).
+    Random,
+    RoundR4,
+    RoundR8,
+    // -- Console --
+    /// Write a string followed by a newline.
+    ConsoleWriteLineStr,
+    /// Write an `int32` followed by a newline.
+    ConsoleWriteLineI4,
+    /// Write a `float64` followed by a newline.
+    ConsoleWriteLineR8,
+    // -- Timers --
+    /// Milliseconds since an arbitrary epoch (`int64`), the JGF timer base.
+    CurrentTimeMillis,
+    /// Nanoseconds since an arbitrary epoch (`int64`).
+    NanoTime,
+    // -- Threads & synchronization (Table 2 / Table 3 benchmarks) --
+    /// `Sys.Start(obj)` — spawn a managed thread running `obj.Run()`;
+    /// returns an `int32` thread handle.
+    ThreadStart,
+    /// `Sys.Join(handle)` — join a spawned thread.
+    ThreadJoin,
+    /// Cooperative yield (used by spin barriers).
+    ThreadYield,
+    /// `Monitor.Enter(obj)` — recursive monitor acquire.
+    MonitorEnter,
+    /// `Monitor.Exit(obj)`.
+    MonitorExit,
+    // -- Strings (diagnostics in benchmark validation paths) --
+    /// Concatenate two strings, producing a new string.
+    StrConcat,
+    /// Convert `int32` to string.
+    StrFromI4,
+    /// Convert `int64` to string.
+    StrFromI8,
+    /// Convert `float64` to string.
+    StrFromR8,
+    /// String length in chars.
+    StrLen,
+    // -- Serialization (Table 1 `Serial` micro-benchmark) --
+    /// Serialize an object graph to an in-memory sink; returns byte count.
+    SerializeObj,
+    /// Deserialize the most recent sink contents; returns the object.
+    DeserializeObj,
+}
+
+impl Intrinsic {
+    /// Number of managed arguments the intrinsic pops.
+    pub fn arg_count(self) -> usize {
+        use Intrinsic::*;
+        match self {
+            Random | CurrentTimeMillis | NanoTime | ThreadYield | DeserializeObj => 0,
+            MaxI4 | MaxI8 | MaxR4 | MaxR8 | MinI4 | MinI8 | MinR4 | MinR8 | Atan2 | Pow
+            | StrConcat => 2,
+            _ => 1,
+        }
+    }
+
+    /// Canonical dotted name (used by the disassembler and the compiler's
+    /// builtin-resolution table).
+    pub fn name(self) -> &'static str {
+        use Intrinsic::*;
+        match self {
+            AbsI4 => "Math.AbsI4",
+            AbsI8 => "Math.AbsI8",
+            AbsR4 => "Math.AbsR4",
+            AbsR8 => "Math.AbsR8",
+            MaxI4 => "Math.MaxI4",
+            MaxI8 => "Math.MaxI8",
+            MaxR4 => "Math.MaxR4",
+            MaxR8 => "Math.MaxR8",
+            MinI4 => "Math.MinI4",
+            MinI8 => "Math.MinI8",
+            MinR4 => "Math.MinR4",
+            MinR8 => "Math.MinR8",
+            Sin => "Math.Sin",
+            Cos => "Math.Cos",
+            Tan => "Math.Tan",
+            Asin => "Math.Asin",
+            Acos => "Math.Acos",
+            Atan => "Math.Atan",
+            Atan2 => "Math.Atan2",
+            Floor => "Math.Floor",
+            Ceil => "Math.Ceil",
+            Sqrt => "Math.Sqrt",
+            Exp => "Math.Exp",
+            Log => "Math.Log",
+            Pow => "Math.Pow",
+            Rint => "Math.Rint",
+            Random => "Math.Random",
+            RoundR4 => "Math.RoundR4",
+            RoundR8 => "Math.RoundR8",
+            ConsoleWriteLineStr => "Console.WriteLineStr",
+            ConsoleWriteLineI4 => "Console.WriteLineI4",
+            ConsoleWriteLineR8 => "Console.WriteLineR8",
+            CurrentTimeMillis => "Sys.Millis",
+            NanoTime => "Sys.Nanos",
+            ThreadStart => "Sys.Start",
+            ThreadJoin => "Sys.Join",
+            ThreadYield => "Sys.Yield",
+            MonitorEnter => "Monitor.Enter",
+            MonitorExit => "Monitor.Exit",
+            StrConcat => "Str.Concat",
+            StrFromI4 => "Str.FromI4",
+            StrFromI8 => "Str.FromI8",
+            StrFromR8 => "Str.FromR8",
+            StrLen => "Str.Len",
+            SerializeObj => "Serial.Write",
+            DeserializeObj => "Serial.Read",
+        }
+    }
+}
+
+/// A resolved CIL instruction.
+///
+/// Branch targets are indices into the owning method's instruction vector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// No operation (kept so the Loop micro-benchmark can measure pure
+    /// dispatch overhead, and as a patch placeholder).
+    Nop,
+    // -- constants --
+    LdcI4(i32),
+    LdcI8(i64),
+    LdcR4(f32),
+    LdcR8(f64),
+    LdNull,
+    LdStr(StrId),
+    // -- locals / arguments --
+    LdLoc(u16),
+    StLoc(u16),
+    LdArg(u16),
+    StArg(u16),
+    // -- stack --
+    Dup,
+    Pop,
+    // -- arithmetic (operand kind is determined by verification; engines
+    //    trust the verifier, as a real JIT trusts the loader) --
+    Bin(BinOp),
+    Un(UnOp),
+    /// Compare the two top stack values with the predicate, push `int32`
+    /// 0/1 (covers `ceq`/`cgt`/`clt` and their synthesized combinations).
+    Cmp(CmpOp),
+    /// Numeric conversion of the top of stack (`conv.i4` etc.).
+    Conv(NumTy),
+    // -- control flow --
+    Br(u32),
+    BrTrue(u32),
+    BrFalse(u32),
+    /// Fused compare-and-branch (`beq`, `blt`, …).
+    BrCmp(CmpOp, u32),
+    // -- calls --
+    Call(MethodId),
+    /// Virtual dispatch through the receiver's vtable.
+    CallVirt(MethodId),
+    /// Call an intrinsic runtime routine.
+    CallIntrinsic(Intrinsic),
+    Ret,
+    // -- objects --
+    /// Allocate an instance and run the given constructor (`newobj`).
+    NewObj(MethodId),
+    LdFld(FieldId),
+    StFld(FieldId),
+    LdSFld(FieldId),
+    StSFld(FieldId),
+    /// Push 1 if the object reference is an instance of the class (or a
+    /// subclass), else 0 — a boolean-producing `isinst`.
+    IsInst(ClassId),
+    /// Cast check: leaves the reference, raises `InvalidCastException` if
+    /// the object is not an instance of the class.
+    CastClass(ClassId),
+    // -- arrays --
+    /// Allocate an SZ array; length on stack. The element kind carries
+    /// reference-ness for `Ref`.
+    NewArr(ElemKind),
+    /// Array length (`ldlen`), pushes `int32`.
+    LdLen,
+    LdElem(ElemKind),
+    StElem(ElemKind),
+    /// Allocate a true multidimensional array; `rank` lengths on stack.
+    NewMultiArr { kind: ElemKind, rank: u8 },
+    /// Load from a multidimensional array; `rank` indices on stack.
+    LdElemMulti { kind: ElemKind, rank: u8 },
+    /// Store to a multidimensional array; `rank` indices then value.
+    StElemMulti { kind: ElemKind, rank: u8 },
+    /// Load one dimension length of a multi array (`Array.GetLength(dim)`).
+    LdMultiLen { dim: u8 },
+    // -- boxing (Table 3 `Boxing` benchmark) --
+    /// Box the numeric top of stack into a heap object.
+    BoxVal(NumTy),
+    /// Unbox to the numeric kind; raises `InvalidCastException` on kind
+    /// mismatch and `NullReferenceException` on null.
+    UnboxVal(NumTy),
+    // -- exception handling --
+    /// Throw the object reference on top of the stack.
+    Throw,
+    /// Exit a protected region, running intervening `finally` handlers,
+    /// then branch.
+    Leave(u32),
+    /// Terminate a `finally` handler.
+    EndFinally,
+}
+
+impl Op {
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Op::Br(_)
+                | Op::BrTrue(_)
+                | Op::BrFalse(_)
+                | Op::BrCmp(..)
+                | Op::Ret
+                | Op::Throw
+                | Op::Leave(_)
+                | Op::EndFinally
+        )
+    }
+
+    /// The branch target, if any.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Op::Br(t) | Op::BrTrue(t) | Op::BrFalse(t) | Op::BrCmp(_, t) | Op::Leave(t) => {
+                Some(*t)
+            }
+            _ => None,
+        }
+    }
+
+    /// Rewrite the branch target (used by the builder's label patching).
+    pub fn set_branch_target(&mut self, new: u32) {
+        match self {
+            Op::Br(t) | Op::BrTrue(t) | Op::BrFalse(t) | Op::BrCmp(_, t) | Op::Leave(t) => {
+                *t = new
+            }
+            _ => panic!("set_branch_target on non-branch {self:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_eval_matrix() {
+        assert!(CmpOp::Eq.eval(Ordering::Equal));
+        assert!(!CmpOp::Eq.eval(Ordering::Less));
+        assert!(CmpOp::Ne.eval(Ordering::Greater));
+        assert!(CmpOp::Lt.eval(Ordering::Less));
+        assert!(CmpOp::Le.eval(Ordering::Equal));
+        assert!(CmpOp::Gt.eval(Ordering::Greater));
+        assert!(CmpOp::Ge.eval(Ordering::Equal));
+        assert!(!CmpOp::Ge.eval(Ordering::Less));
+    }
+
+    #[test]
+    fn cmp_negate_is_involution() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(op.eval(ord), !op.negate().eval(ord));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_swap_matches_reversed_ordering() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(op.eval(ord), op.swap().eval(ord.reverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_target_roundtrip() {
+        let mut op = Op::BrCmp(CmpOp::Lt, 7);
+        assert_eq!(op.branch_target(), Some(7));
+        op.set_branch_target(42);
+        assert_eq!(op.branch_target(), Some(42));
+        assert!(op.is_terminator());
+        assert_eq!(Op::Nop.branch_target(), None);
+        assert!(!Op::Dup.is_terminator());
+    }
+
+    #[test]
+    fn intrinsic_arity() {
+        assert_eq!(Intrinsic::Random.arg_count(), 0);
+        assert_eq!(Intrinsic::Sin.arg_count(), 1);
+        assert_eq!(Intrinsic::Atan2.arg_count(), 2);
+        assert_eq!(Intrinsic::MaxI4.arg_count(), 2);
+        assert_eq!(Intrinsic::MonitorEnter.arg_count(), 1);
+    }
+
+    #[test]
+    fn int_only_ops() {
+        assert!(BinOp::And.int_only());
+        assert!(BinOp::Shl.int_only());
+        assert!(!BinOp::Add.int_only());
+        assert!(!BinOp::Div.int_only());
+    }
+}

@@ -1,0 +1,58 @@
+//! The runtime exception-class prelude.
+//!
+//! Every module is expected to declare the `Exception` hierarchy that
+//! runtime faults (null dereference, bounds, division by zero, bad casts)
+//! are surfaced through. The MiniC# compiler injects these automatically;
+//! hand-built modules call [`declare_prelude`].
+
+use crate::builder::{MethodKind, ModuleBuilder};
+use crate::op::Op;
+use crate::types::CilType;
+
+/// Root managed exception class name.
+pub const EXCEPTION_CLASS: &str = "Exception";
+/// Raised on member access through a null reference.
+pub const NULL_REF_CLASS: &str = "NullReferenceException";
+/// Raised on array accesses outside bounds (and negative lengths).
+pub const INDEX_OOB_CLASS: &str = "IndexOutOfRangeException";
+/// Raised on integer division/remainder by zero.
+pub const DIV_ZERO_CLASS: &str = "DivideByZeroException";
+/// Raised on failed `castclass`/unbox.
+pub const INVALID_CAST_CLASS: &str = "InvalidCastException";
+
+/// Declare the prelude into a module under construction.
+pub fn declare_prelude(mb: &mut ModuleBuilder) {
+    let exc = mb.declare_class(EXCEPTION_CLASS, None);
+    let mut ctor = mb.method(exc, ".ctor", vec![], CilType::Void, MethodKind::Ctor);
+    ctor.emit(Op::Ret);
+    ctor.finish();
+    for name in [
+        NULL_REF_CLASS,
+        INDEX_OOB_CLASS,
+        DIV_ZERO_CLASS,
+        INVALID_CAST_CLASS,
+    ] {
+        let c = mb.declare_class(name, Some(EXCEPTION_CLASS));
+        let mut ctor = mb.method(c, ".ctor", vec![], CilType::Void, MethodKind::Ctor);
+        ctor.emit(Op::Ret);
+        ctor.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_declares_hierarchy() {
+        let mut mb = ModuleBuilder::new();
+        declare_prelude(&mut mb);
+        let m = mb.finish();
+        let exc = m.find_class(EXCEPTION_CLASS).unwrap();
+        for name in [NULL_REF_CLASS, INDEX_OOB_CLASS, DIV_ZERO_CLASS, INVALID_CAST_CLASS] {
+            let c = m.find_class(name).unwrap();
+            assert!(m.is_subclass_of(c, exc), "{name}");
+            assert!(m.find_method(&format!("{name}..ctor")).is_some());
+        }
+    }
+}

@@ -1,0 +1,978 @@
+//! Stack-effect verification.
+//!
+//! The CLI's design calls for representing "type behavior in a way that can
+//! be verified as type safe". This module implements that for our subset: an
+//! abstract interpretation over evaluation-stack types that rejects
+//! underflow, operand-kind mismatches, inconsistent merge states and
+//! signature violations — and, as a by-product, records the inferred stack
+//! state at every instruction. The execution engines *trust* verified code
+//! (exactly as a real JIT trusts the loader), and the optimizing tiers reuse
+//! the recorded types to drive stack-to-register translation.
+
+use crate::module::{EhKind, MethodId, Module};
+use crate::op::{BinOp, ElemKind, Intrinsic, Op, UnOp};
+use crate::types::{CilType, NumTy};
+use std::fmt;
+
+/// Abstract stack-cell type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerTy {
+    Num(NumTy),
+    /// A reference with its statically-known type.
+    Ref(CilType),
+    /// The null literal (assignable to any reference type).
+    Null,
+}
+
+impl VerTy {
+    fn of(ty: &CilType) -> VerTy {
+        match ty.num_ty() {
+            Some(n) => VerTy::Num(n),
+            None => VerTy::Ref(ty.clone()),
+        }
+    }
+
+    /// The numeric kind, if numeric.
+    pub fn num(&self) -> Option<NumTy> {
+        match self {
+            VerTy::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Is this a reference-kinded cell?
+    pub fn is_ref(&self) -> bool {
+        matches!(self, VerTy::Ref(_) | VerTy::Null)
+    }
+}
+
+impl fmt::Display for VerTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerTy::Num(n) => write!(f, "{n}"),
+            VerTy::Ref(t) => write!(f, "{t}"),
+            VerTy::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A verification failure, with the offending method and instruction.
+#[derive(Debug, Clone)]
+pub struct VerifyError {
+    pub method: MethodId,
+    pub pc: u32,
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify: {} @{}: {}", self.method, self.pc, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Result of verifying one method.
+#[derive(Debug, Clone)]
+pub struct VerifyInfo {
+    /// Inferred stack state at the *entry* of each instruction (`None` for
+    /// unreachable instructions).
+    pub stack_in: Vec<Option<Vec<VerTy>>>,
+    /// Maximum evaluation-stack depth.
+    pub max_stack: u32,
+}
+
+struct Verifier<'m> {
+    module: &'m Module,
+    method: MethodId,
+    pc: u32,
+}
+
+impl<'m> Verifier<'m> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, VerifyError> {
+        Err(VerifyError {
+            method: self.method,
+            pc: self.pc,
+            message: msg.into(),
+        })
+    }
+
+    /// May a value of type `from` be stored where `to` is expected?
+    fn assignable(&self, from: &VerTy, to: &CilType) -> bool {
+        match (from, to) {
+            (VerTy::Num(n), t) => t.num_ty() == Some(*n),
+            (VerTy::Null, t) => t.is_ref(),
+            (VerTy::Ref(_), CilType::Object) => true,
+            (VerTy::Ref(CilType::Class(sub)), CilType::Class(sup)) => {
+                self.module.is_subclass_of(*sub, *sup)
+            }
+            // CLI arrays are covariant over reference element types; this
+            // also covers `newarr.ref`'s type-erased `object[]` result
+            // flowing into jagged-array slots.
+            (VerTy::Ref(CilType::Array(a)), CilType::Array(b)) => {
+                a.as_ref() == b.as_ref()
+                    || (a.is_ref() && b.is_ref())
+                    // bool and int32 elements share the I4 storage kind
+                    || (matches!(**a, CilType::I4 | CilType::Bool)
+                        && matches!(**b, CilType::I4 | CilType::Bool))
+            }
+            (VerTy::Ref(a), b) => a == b,
+        }
+    }
+
+    fn merge(&self, a: &VerTy, b: &VerTy) -> Result<VerTy, VerifyError> {
+        match (a, b) {
+            (VerTy::Num(x), VerTy::Num(y)) if x == y => Ok(VerTy::Num(*x)),
+            (VerTy::Null, VerTy::Null) => Ok(VerTy::Null),
+            (VerTy::Null, r @ VerTy::Ref(_)) | (r @ VerTy::Ref(_), VerTy::Null) => Ok(r.clone()),
+            (VerTy::Ref(x), VerTy::Ref(y)) => {
+                if x == y {
+                    Ok(VerTy::Ref(x.clone()))
+                } else if let (CilType::Class(cx), CilType::Class(cy)) = (x, y) {
+                    // Walk up from cx until a common ancestor of cy.
+                    let mut cur = Some(*cx);
+                    while let Some(c) = cur {
+                        if self.module.is_subclass_of(*cy, c) {
+                            return Ok(VerTy::Ref(CilType::Class(c)));
+                        }
+                        cur = self.module.class(c).base;
+                    }
+                    Ok(VerTy::Ref(CilType::Object))
+                } else {
+                    Ok(VerTy::Ref(CilType::Object))
+                }
+            }
+            _ => self.err(format!("inconsistent merge: {a} vs {b}")),
+        }
+    }
+}
+
+/// Verify a single method, returning the per-instruction stack states.
+pub fn verify_method(module: &Module, id: MethodId) -> Result<VerifyInfo, VerifyError> {
+    let method = module.method(id);
+    let code = &method.body.code;
+    let mut v = Verifier {
+        module,
+        method: id,
+        pc: 0,
+    };
+
+    // Argument types (receiver first for instance methods).
+    let mut arg_tys: Vec<CilType> = Vec::with_capacity(method.arg_count());
+    if !method.is_static {
+        arg_tys.push(CilType::Class(method.owner));
+    }
+    arg_tys.extend(method.params.iter().cloned());
+
+    let n = code.len();
+    if n == 0 {
+        return if method.ret == CilType::Void {
+            Ok(VerifyInfo {
+                stack_in: Vec::new(),
+                max_stack: 0,
+            })
+        } else {
+            v.err("empty body for non-void method")
+        };
+    }
+
+    let mut stack_in: Vec<Option<Vec<VerTy>>> = vec![None; n];
+    let mut work: Vec<u32> = Vec::new();
+    let push_state =
+        |work: &mut Vec<u32>,
+         stack_in: &mut Vec<Option<Vec<VerTy>>>,
+         v: &Verifier,
+         pc: u32,
+         st: Vec<VerTy>|
+         -> Result<(), VerifyError> {
+            if pc as usize >= n {
+                return v.err(format!("branch target {pc} out of bounds"));
+            }
+            match &mut stack_in[pc as usize] {
+                slot @ None => {
+                    *slot = Some(st);
+                    work.push(pc);
+                }
+                Some(existing) => {
+                    if existing.len() != st.len() {
+                        return v.err(format!(
+                            "stack depth mismatch at {pc}: {} vs {}",
+                            existing.len(),
+                            st.len()
+                        ));
+                    }
+                    let mut changed = false;
+                    for (e, s) in existing.iter_mut().zip(st.iter()) {
+                        let m = v.merge(e, s)?;
+                        if m != *e {
+                            *e = m;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(pc);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    push_state(&mut work, &mut stack_in, &v, 0, Vec::new())?;
+    // Handler entries are reachable with a synthetic stack.
+    for region in &method.body.eh {
+        let st = match region.kind {
+            EhKind::Catch(c) => vec![VerTy::Ref(CilType::Class(c))],
+            EhKind::Finally => Vec::new(),
+        };
+        push_state(&mut work, &mut stack_in, &v, region.handler_start, st)?;
+    }
+
+    let mut max_stack = 0u32;
+    while let Some(pc) = work.pop() {
+        v.pc = pc;
+        let mut st = stack_in[pc as usize].clone().expect("queued with state");
+        max_stack = max_stack.max(st.len() as u32);
+        let op = &code[pc as usize];
+
+        macro_rules! pop {
+            () => {
+                match st.pop() {
+                    Some(t) => t,
+                    None => return v.err("stack underflow"),
+                }
+            };
+        }
+        macro_rules! pop_num {
+            () => {{
+                let t = pop!();
+                match t.num() {
+                    Some(nt) => nt,
+                    None => return v.err(format!("expected numeric, got {t}")),
+                }
+            }};
+        }
+        macro_rules! pop_i4 {
+            () => {{
+                let t = pop_num!();
+                if t != NumTy::I4 {
+                    return v.err(format!("expected int32, got {t}"));
+                }
+            }};
+        }
+        macro_rules! pop_ref {
+            () => {{
+                let t = pop!();
+                if !t.is_ref() {
+                    return v.err(format!("expected reference, got {t}"));
+                }
+                t
+            }};
+        }
+
+        let mut fallthrough = true;
+        let mut branches: Vec<u32> = Vec::new();
+
+        match op {
+            Op::Nop => {}
+            Op::LdcI4(_) => st.push(VerTy::Num(NumTy::I4)),
+            Op::LdcI8(_) => st.push(VerTy::Num(NumTy::I8)),
+            Op::LdcR4(_) => st.push(VerTy::Num(NumTy::R4)),
+            Op::LdcR8(_) => st.push(VerTy::Num(NumTy::R8)),
+            Op::LdNull => st.push(VerTy::Null),
+            Op::LdStr(_) => st.push(VerTy::Ref(CilType::Str)),
+            Op::LdLoc(i) => {
+                let ty = method
+                    .body
+                    .locals
+                    .get(*i as usize)
+                    .ok_or(())
+                    .or_else(|_| v.err(format!("local {i} out of range")))?;
+                st.push(VerTy::of(ty));
+            }
+            Op::StLoc(i) => {
+                let ty = method
+                    .body
+                    .locals
+                    .get(*i as usize)
+                    .cloned()
+                    .ok_or(())
+                    .or_else(|_| v.err(format!("local {i} out of range")))?;
+                let t = pop!();
+                if !v.assignable(&t, &ty) {
+                    return v.err(format!("cannot store {t} into local of type {ty}"));
+                }
+            }
+            Op::LdArg(i) => {
+                let ty = arg_tys
+                    .get(*i as usize)
+                    .ok_or(())
+                    .or_else(|_| v.err(format!("arg {i} out of range")))?;
+                st.push(VerTy::of(ty));
+            }
+            Op::StArg(i) => {
+                let ty = arg_tys
+                    .get(*i as usize)
+                    .cloned()
+                    .ok_or(())
+                    .or_else(|_| v.err(format!("arg {i} out of range")))?;
+                let t = pop!();
+                if !v.assignable(&t, &ty) {
+                    return v.err(format!("cannot store {t} into arg of type {ty}"));
+                }
+            }
+            Op::Dup => {
+                let t = pop!();
+                st.push(t.clone());
+                st.push(t);
+            }
+            Op::Pop => {
+                pop!();
+            }
+            Op::Bin(b) => {
+                let rhs = pop_num!();
+                let lhs = pop_num!();
+                // Shifts take an int32 count with any integer lhs.
+                if matches!(b, BinOp::Shl | BinOp::Shr | BinOp::ShrUn) {
+                    if rhs != NumTy::I4 || !lhs.is_int() {
+                        return v.err(format!("shift on {lhs}/{rhs}"));
+                    }
+                    st.push(VerTy::Num(lhs));
+                } else {
+                    if lhs != rhs {
+                        return v.err(format!("binary op on mixed kinds {lhs}/{rhs}"));
+                    }
+                    if b.int_only() && !lhs.is_int() {
+                        return v.err(format!("{} on float kind {lhs}", b.mnemonic()));
+                    }
+                    st.push(VerTy::Num(lhs));
+                }
+            }
+            Op::Un(u) => {
+                let t = pop_num!();
+                if *u == UnOp::Not && !t.is_int() {
+                    return v.err("not on float kind");
+                }
+                st.push(VerTy::Num(t));
+            }
+            Op::Cmp(_) => {
+                let a = pop!();
+                let b = pop!();
+                match (&a, &b) {
+                    (VerTy::Num(x), VerTy::Num(y)) if x == y => {}
+                    (x, y) if x.is_ref() && y.is_ref() => {}
+                    _ => return v.err(format!("compare on {b} vs {a}")),
+                }
+                st.push(VerTy::Num(NumTy::I4));
+            }
+            Op::Conv(to) => {
+                pop_num!();
+                st.push(VerTy::Num(*to));
+            }
+            Op::Br(t) => {
+                fallthrough = false;
+                branches.push(*t);
+            }
+            Op::BrTrue(t) | Op::BrFalse(t) => {
+                let c = pop!();
+                if c.num() != Some(NumTy::I4) && !c.is_ref() {
+                    return v.err(format!("branch condition must be int32 or ref, got {c}"));
+                }
+                branches.push(*t);
+            }
+            Op::BrCmp(_, t) => {
+                let a = pop!();
+                let b = pop!();
+                match (&a, &b) {
+                    (VerTy::Num(x), VerTy::Num(y)) if x == y => {}
+                    (x, y) if x.is_ref() && y.is_ref() => {}
+                    _ => return v.err(format!("fused compare on {b} vs {a}")),
+                }
+                branches.push(*t);
+            }
+            Op::Call(mid) | Op::CallVirt(mid) => {
+                let callee = module.method(*mid);
+                if matches!(op, Op::CallVirt(_)) && callee.is_static {
+                    return v.err("callvirt on static method");
+                }
+                for p in callee.params.iter().rev() {
+                    let t = pop!();
+                    if !v.assignable(&t, p) {
+                        return v.err(format!("argument {t} not assignable to {p}"));
+                    }
+                }
+                if !callee.is_static {
+                    let recv = pop_ref!();
+                    let owner = CilType::Class(callee.owner);
+                    if !v.assignable(&recv, &owner) && !matches!(recv, VerTy::Ref(CilType::Object)) {
+                        return v.err(format!("receiver {recv} not a {owner}"));
+                    }
+                }
+                if callee.ret != CilType::Void {
+                    st.push(VerTy::of(&callee.ret));
+                }
+            }
+            Op::CallIntrinsic(i) => {
+                verify_intrinsic(&v, *i, &mut st)?;
+            }
+            Op::Ret => {
+                fallthrough = false;
+                if method.ret == CilType::Void {
+                    if !st.is_empty() {
+                        return v.err("stack not empty at ret from void method");
+                    }
+                } else {
+                    let t = pop!();
+                    if !v.assignable(&t, &method.ret) {
+                        return v.err(format!("return {t} not assignable to {}", method.ret));
+                    }
+                    if !st.is_empty() {
+                        return v.err("stack not empty after ret value");
+                    }
+                }
+            }
+            Op::NewObj(ctor) => {
+                let c = module.method(*ctor);
+                if !c.is_ctor {
+                    return v.err("newobj on non-constructor");
+                }
+                for p in c.params.iter().rev() {
+                    let t = pop!();
+                    if !v.assignable(&t, p) {
+                        return v.err(format!("ctor argument {t} not assignable to {p}"));
+                    }
+                }
+                st.push(VerTy::Ref(CilType::Class(c.owner)));
+            }
+            Op::LdFld(f) => {
+                let fd = module.field(*f);
+                if fd.is_static {
+                    return v.err("ldfld on static field");
+                }
+                pop_ref!();
+                st.push(VerTy::of(&fd.ty));
+            }
+            Op::StFld(f) => {
+                let fd = module.field(*f);
+                if fd.is_static {
+                    return v.err("stfld on static field");
+                }
+                let val = pop!();
+                pop_ref!();
+                if !v.assignable(&val, &fd.ty) {
+                    return v.err(format!("cannot store {val} into field {}", fd.name));
+                }
+            }
+            Op::LdSFld(f) => {
+                let fd = module.field(*f);
+                if !fd.is_static {
+                    return v.err("ldsfld on instance field");
+                }
+                st.push(VerTy::of(&fd.ty));
+            }
+            Op::StSFld(f) => {
+                let fd = module.field(*f);
+                if !fd.is_static {
+                    return v.err("stsfld on instance field");
+                }
+                let val = pop!();
+                if !v.assignable(&val, &fd.ty) {
+                    return v.err(format!("cannot store {val} into static {}", fd.name));
+                }
+            }
+            Op::IsInst(_) => {
+                pop_ref!();
+                st.push(VerTy::Num(NumTy::I4));
+            }
+            Op::CastClass(c) => {
+                pop_ref!();
+                st.push(VerTy::Ref(CilType::Class(*c)));
+            }
+            Op::NewArr(k) => {
+                pop_i4!();
+                st.push(VerTy::Ref(array_ty_of(*k)));
+            }
+            Op::LdLen => {
+                let t = pop_ref!();
+                if !matches!(
+                    t,
+                    VerTy::Ref(CilType::Array(_)) | VerTy::Ref(CilType::Object) | VerTy::Null
+                ) {
+                    return v.err(format!("ldlen on non-array {t}"));
+                }
+                st.push(VerTy::Num(NumTy::I4));
+            }
+            Op::LdElem(k) => {
+                pop_i4!();
+                let arr = pop_ref!();
+                check_array(&v, &arr, *k)?;
+                st.push(elem_result(&arr, *k));
+            }
+            Op::StElem(k) => {
+                let val = pop!();
+                pop_i4!();
+                let arr = pop_ref!();
+                check_array(&v, &arr, *k)?;
+                match k.num_ty() {
+                    Some(nt) => {
+                        if val.num() != Some(nt) {
+                            return v.err(format!("stelem.{} of {val}", k.suffix()));
+                        }
+                    }
+                    None => {
+                        if !val.is_ref() {
+                            return v.err(format!("stelem.ref of {val}"));
+                        }
+                    }
+                }
+            }
+            Op::NewMultiArr { kind, rank } => {
+                for _ in 0..*rank {
+                    pop_i4!();
+                }
+                st.push(VerTy::Ref(CilType::MultiArray {
+                    elem: Box::new(elem_cil_ty(*kind)),
+                    rank: *rank,
+                }));
+            }
+            Op::LdElemMulti { kind, rank } => {
+                for _ in 0..*rank {
+                    pop_i4!();
+                }
+                let arr = pop_ref!();
+                check_multi(&v, &arr, *kind, *rank)?;
+                st.push(elem_result(&arr, *kind));
+            }
+            Op::StElemMulti { kind, rank } => {
+                let val = pop!();
+                for _ in 0..*rank {
+                    pop_i4!();
+                }
+                let arr = pop_ref!();
+                check_multi(&v, &arr, *kind, *rank)?;
+                match kind.num_ty() {
+                    Some(nt) => {
+                        if val.num() != Some(nt) {
+                            return v.err(format!("multi store of {val}"));
+                        }
+                    }
+                    None => {
+                        if !val.is_ref() {
+                            return v.err(format!("multi ref store of {val}"));
+                        }
+                    }
+                }
+            }
+            Op::LdMultiLen { .. } => {
+                let arr = pop_ref!();
+                if !matches!(
+                    arr,
+                    VerTy::Ref(CilType::MultiArray { .. }) | VerTy::Ref(CilType::Object)
+                ) {
+                    return v.err(format!("GetLength on non-multi {arr}"));
+                }
+                st.push(VerTy::Num(NumTy::I4));
+            }
+            Op::BoxVal(nt) => {
+                let t = pop_num!();
+                if t != *nt {
+                    return v.err(format!("box.{nt} of {t}"));
+                }
+                st.push(VerTy::Ref(CilType::Object));
+            }
+            Op::UnboxVal(nt) => {
+                pop_ref!();
+                st.push(VerTy::Num(*nt));
+            }
+            Op::Throw => {
+                fallthrough = false;
+                pop_ref!();
+            }
+            Op::Leave(t) => {
+                // Leave empties the evaluation stack.
+                fallthrough = false;
+                st.clear();
+                branches.push(*t);
+            }
+            Op::EndFinally => {
+                fallthrough = false;
+            }
+        }
+
+        for b in branches {
+            push_state(&mut work, &mut stack_in, &v, b, st.clone())?;
+        }
+        if fallthrough {
+            if pc as usize + 1 >= n {
+                return v.err("control falls off the end of the method");
+            }
+            push_state(&mut work, &mut stack_in, &v, pc + 1, st)?;
+        }
+    }
+
+    Ok(VerifyInfo {
+        stack_in,
+        max_stack,
+    })
+}
+
+fn array_ty_of(k: ElemKind) -> CilType {
+    CilType::array_of(elem_cil_ty(k))
+}
+
+fn elem_cil_ty(k: ElemKind) -> CilType {
+    match k {
+        ElemKind::U1 => CilType::U1,
+        ElemKind::I4 => CilType::I4,
+        ElemKind::I8 => CilType::I8,
+        ElemKind::R4 => CilType::R4,
+        ElemKind::R8 => CilType::R8,
+        ElemKind::Ref => CilType::Object,
+    }
+}
+
+/// What a load of element kind `k` from array-typed `arr` pushes.
+fn elem_result(arr: &VerTy, k: ElemKind) -> VerTy {
+    match k.num_ty() {
+        Some(nt) => VerTy::Num(nt),
+        None => match arr {
+            VerTy::Ref(CilType::Array(e)) if e.is_ref() => VerTy::Ref((**e).clone()),
+            _ => VerTy::Ref(CilType::Object),
+        },
+    }
+}
+
+fn check_array(v: &Verifier, arr: &VerTy, k: ElemKind) -> Result<(), VerifyError> {
+    match arr {
+        VerTy::Null | VerTy::Ref(CilType::Object) => Ok(()),
+        VerTy::Ref(CilType::Array(e)) => {
+            // The access kind must match the element type exactly; `bool`
+            // elements travel as int32.
+            let ok = match k {
+                ElemKind::U1 => **e == CilType::U1,
+                ElemKind::I4 => matches!(**e, CilType::I4 | CilType::Bool),
+                ElemKind::I8 => **e == CilType::I8,
+                ElemKind::R4 => **e == CilType::R4,
+                ElemKind::R8 => **e == CilType::R8,
+                ElemKind::Ref => e.is_ref(),
+            };
+            if ok {
+                Ok(())
+            } else {
+                v.err(format!("element access .{} on {arr}", k.suffix()))
+            }
+        }
+        t => v.err(format!("element access on non-array {t}")),
+    }
+}
+
+fn check_multi(v: &Verifier, arr: &VerTy, k: ElemKind, rank: u8) -> Result<(), VerifyError> {
+    match arr {
+        VerTy::Null | VerTy::Ref(CilType::Object) => Ok(()),
+        VerTy::Ref(CilType::MultiArray { elem, rank: r }) => {
+            if *r != rank {
+                return v.err(format!("rank mismatch: {r} vs {rank}"));
+            }
+            let ok = match k.num_ty() {
+                Some(nt) => elem.num_ty() == Some(nt),
+                None => elem.is_ref(),
+            };
+            if ok {
+                Ok(())
+            } else {
+                v.err(format!("multi element access .{} on {arr}", k.suffix()))
+            }
+        }
+        t => v.err(format!("multi element access on non-multi {t}")),
+    }
+}
+
+fn verify_intrinsic(
+    v: &Verifier,
+    i: Intrinsic,
+    st: &mut Vec<VerTy>,
+) -> Result<(), VerifyError> {
+    use Intrinsic::*;
+    // (argument kinds, result kind)
+    let num = |n: NumTy| VerTy::Num(n);
+    let (args, ret): (Vec<VerTy>, Option<VerTy>) = match i {
+        AbsI4 => (vec![num(NumTy::I4)], Some(num(NumTy::I4))),
+        AbsI8 => (vec![num(NumTy::I8)], Some(num(NumTy::I8))),
+        AbsR4 => (vec![num(NumTy::R4)], Some(num(NumTy::R4))),
+        AbsR8 => (vec![num(NumTy::R8)], Some(num(NumTy::R8))),
+        MaxI4 | MinI4 => (vec![num(NumTy::I4); 2], Some(num(NumTy::I4))),
+        MaxI8 | MinI8 => (vec![num(NumTy::I8); 2], Some(num(NumTy::I8))),
+        MaxR4 | MinR4 => (vec![num(NumTy::R4); 2], Some(num(NumTy::R4))),
+        MaxR8 | MinR8 => (vec![num(NumTy::R8); 2], Some(num(NumTy::R8))),
+        Sin | Cos | Tan | Asin | Acos | Atan | Floor | Ceil | Sqrt | Exp | Log | Rint => {
+            (vec![num(NumTy::R8)], Some(num(NumTy::R8)))
+        }
+        Atan2 | Pow => (vec![num(NumTy::R8); 2], Some(num(NumTy::R8))),
+        Random => (vec![], Some(num(NumTy::R8))),
+        RoundR4 => (vec![num(NumTy::R4)], Some(num(NumTy::I4))),
+        RoundR8 => (vec![num(NumTy::R8)], Some(num(NumTy::I8))),
+        ConsoleWriteLineStr => (vec![VerTy::Ref(CilType::Str)], None),
+        ConsoleWriteLineI4 => (vec![num(NumTy::I4)], None),
+        ConsoleWriteLineR8 => (vec![num(NumTy::R8)], None),
+        CurrentTimeMillis | NanoTime => (vec![], Some(num(NumTy::I8))),
+        ThreadStart => (vec![VerTy::Ref(CilType::Object)], Some(num(NumTy::I4))),
+        ThreadJoin => (vec![num(NumTy::I4)], None),
+        ThreadYield => (vec![], None),
+        MonitorEnter | MonitorExit => (vec![VerTy::Ref(CilType::Object)], None),
+        StrConcat => (
+            vec![VerTy::Ref(CilType::Str); 2],
+            Some(VerTy::Ref(CilType::Str)),
+        ),
+        StrFromI4 => (vec![num(NumTy::I4)], Some(VerTy::Ref(CilType::Str))),
+        StrFromI8 => (vec![num(NumTy::I8)], Some(VerTy::Ref(CilType::Str))),
+        StrFromR8 => (vec![num(NumTy::R8)], Some(VerTy::Ref(CilType::Str))),
+        StrLen => (vec![VerTy::Ref(CilType::Str)], Some(num(NumTy::I4))),
+        SerializeObj => (vec![VerTy::Ref(CilType::Object)], Some(num(NumTy::I4))),
+        DeserializeObj => (vec![], Some(VerTy::Ref(CilType::Object))),
+    };
+    for expect in args.iter().rev() {
+        let got = match st.pop() {
+            Some(t) => t,
+            None => return v.err(format!("underflow calling {}", i.name())),
+        };
+        let ok = match expect {
+            VerTy::Num(n) => got.num() == Some(*n),
+            VerTy::Ref(_) => got.is_ref(),
+            VerTy::Null => got.is_ref(),
+        };
+        if !ok {
+            return v.err(format!("intrinsic {} expected {expect}, got {got}", i.name()));
+        }
+    }
+    if let Some(r) = ret {
+        st.push(r);
+    }
+    Ok(())
+}
+
+/// Verify every method in the module, patching `max_stack` into each body.
+pub fn verify_module(module: &mut Module) -> Result<(), VerifyError> {
+    let ids: Vec<MethodId> = (0..module.methods.len() as u32).map(MethodId).collect();
+    for id in ids {
+        let info = verify_method(module, id)?;
+        module.methods[id.idx()].body.max_stack = info.max_stack;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MethodKind, ModuleBuilder};
+    use crate::op::CmpOp;
+
+    fn one_method(build: impl FnOnce(&mut crate::builder::MethodBuilder)) -> (Module, MethodId) {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.declare_class("P", None);
+        let mut f = mb.method(c, "F", vec![CilType::I4], CilType::I4, MethodKind::Static);
+        build(&mut f);
+        let id = f.finish();
+        (mb.finish(), id)
+    }
+
+    #[test]
+    fn accepts_simple_loop() {
+        let (m, id) = one_method(|f| {
+            let s = f.local(CilType::I4);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.ldc_i4(0);
+            f.st_loc(s);
+            f.place(head);
+            f.ld_loc(s);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(s);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(s);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(s);
+            f.ret();
+        });
+        let info = verify_method(&m, id).unwrap();
+        assert_eq!(info.max_stack, 2);
+        // Entry of the loop head has an empty stack.
+        assert_eq!(info.stack_in[2].as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn rejects_underflow() {
+        let (m, id) = one_method(|f| {
+            f.bin(BinOp::Add);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mixed_kinds() {
+        let (m, id) = one_method(|f| {
+            f.ldc_i4(1);
+            f.ldc_r8(2.0);
+            f.bin(BinOp::Add);
+            f.conv(NumTy::I4);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("mixed kinds"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_return_kind() {
+        let (m, id) = one_method(|f| {
+            f.ldc_r8(1.0);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("not assignable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_depth_mismatch_at_merge() {
+        let (m, id) = one_method(|f| {
+            let l = f.new_label();
+            f.ld_arg(0);
+            f.br_true(l);
+            f.ldc_i4(1); // fallthrough path pushes an extra value
+            f.place(l);
+            f.ldc_i4(0);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(
+            e.message.contains("depth mismatch") || e.message.contains("stack not empty"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn rejects_falling_off_end() {
+        let (m, id) = one_method(|f| {
+            f.ldc_i4(1);
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("falls off"), "{e}");
+    }
+
+    #[test]
+    fn rejects_float_bitwise() {
+        let (m, id) = one_method(|f| {
+            f.ldc_r8(1.0);
+            f.ldc_r8(2.0);
+            f.bin(BinOp::And);
+            f.conv(NumTy::I4);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("float kind"), "{e}");
+    }
+
+    #[test]
+    fn merges_null_with_ref() {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.declare_class("P", None);
+        let mut f = mb.method(c, "F", vec![CilType::I4], CilType::Object, MethodKind::Static);
+        let use_null = f.new_label();
+        let join = f.new_label();
+        let obj = f.local(CilType::Object);
+        f.ld_arg(0);
+        f.br_true(use_null);
+        f.ld_loc(obj);
+        f.br(join);
+        f.place(use_null);
+        f.emit(Op::LdNull);
+        f.place(join);
+        f.ret();
+        let id = f.finish();
+        let m = mb.finish();
+        verify_method(&m, id).unwrap();
+    }
+
+    #[test]
+    fn intrinsic_types_checked() {
+        let (m, id) = one_method(|f| {
+            f.ldc_i4(1);
+            f.intrinsic(Intrinsic::Sin); // wants float64
+            f.conv(NumTy::I4);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("expected"), "{e}");
+    }
+
+    #[test]
+    fn array_roundtrip_verifies() {
+        let (m, id) = one_method(|f| {
+            let a = f.local(CilType::array_of(CilType::R8));
+            f.ldc_i4(10);
+            f.emit(Op::NewArr(ElemKind::R8));
+            f.st_loc(a);
+            f.ld_loc(a);
+            f.ldc_i4(3);
+            f.ldc_r8(1.5);
+            f.emit(Op::StElem(ElemKind::R8));
+            f.ld_loc(a);
+            f.emit(Op::LdLen);
+            f.ret();
+        });
+        verify_method(&m, id).unwrap();
+    }
+
+    #[test]
+    fn catch_handler_gets_exception_on_stack() {
+        let mut mb = ModuleBuilder::new();
+        let exc = mb.declare_class("Exception", None);
+        let c = mb.declare_class("P", None);
+        let ctor = mb
+            .method(exc, ".ctor", vec![], CilType::Void, MethodKind::Ctor)
+            .finish();
+        // give ctor a trivial body: just ret (receiver ignored)
+        // (bodies are written via builder; rebuild with body)
+        let mut f = mb.method(c, "F", vec![CilType::I4], CilType::I4, MethodKind::Static);
+        let (ts, te, hs, he) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+        let done = f.new_label();
+        let r = f.local(CilType::I4);
+        f.place(ts);
+        f.emit(Op::NewObj(ctor));
+        f.emit(Op::Throw);
+        f.place(te);
+        f.place(hs);
+        f.emit(Op::Pop); // discard exception object
+        f.ldc_i4(7);
+        f.st_loc(r);
+        f.leave(done);
+        f.place(he);
+        f.place(done);
+        f.ld_loc(r);
+        f.ret();
+        f.eh_catch(ts, te, hs, he, exc);
+        let id = f.finish();
+        // ctor body: ret
+        {
+            let m = &mut mb;
+            m.methods_mut_for_test(ctor).body.code = vec![Op::Ret];
+        }
+        let m = mb.finish();
+        let info = verify_method(&m, id).unwrap();
+        // handler entry (index 2) has the exception ref on the stack
+        assert_eq!(
+            info.stack_in[2].as_deref(),
+            Some(&[VerTy::Ref(CilType::Class(exc))][..])
+        );
+    }
+}
+
+#[cfg(test)]
+impl crate::builder::ModuleBuilder {
+    /// Test-only escape hatch to patch a method body directly.
+    pub fn methods_mut_for_test(&mut self, id: MethodId) -> &mut crate::module::MethodDef {
+        self.method_def_mut(id)
+    }
+}

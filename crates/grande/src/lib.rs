@@ -1,0 +1,21 @@
+//! # hpcnet-grande — the benchmark suites
+//!
+//! The MiniC# ports of the benchmarks the paper runs (Tables 1–4): the
+//! Java Grande v2.0 serial section 1 micro-benchmarks, the multithreaded
+//! Java Grande v1.0 section 1, the CLI-specific micro-benchmarks the
+//! paper adds (Table 3), the SciMark kernels, and the section 2–3 / DHPC
+//! application kernels. Each `.cs` source under `src/sources/` compiles
+//! through `hpcnet-minics` into the CIL every engine profile executes.
+//!
+//! [`native`] carries structurally identical native-Rust implementations:
+//! the "C" baseline of Graphs 9–11 and the validation oracles.
+//! [`registry`] maps every entry to its source, entry point, operation
+//! accounting and validator.
+
+pub mod native;
+pub mod registry;
+
+pub use registry::{
+    compile_group, find_entry, registry, run_entry, vm_for, BenchGroup, Entry, Suite, Unit,
+    Validator,
+};

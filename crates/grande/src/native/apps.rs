@@ -1,0 +1,809 @@
+//! Native-Rust ports of the Java Grande section-2/3 and DHPC kernels
+//! (Table 4 of the paper): baselines and validation oracles for the
+//! MiniC# versions. Every algorithm here is written to be *structurally
+//! identical* to its MiniC# twin so checksums match exactly (integer
+//! kernels) or to rounding (floating-point kernels).
+
+use hpcnet_runtime::JRandom;
+
+use super::scimark::SEED;
+
+// ------------------------------------------------------------ Fibonacci --
+
+pub fn fib(n: i32) -> i32 {
+    if n < 2 {
+        n
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+/// Number of calls made by the naive recursion (the paper's "cost of many
+/// recursive method calls").
+pub fn fib_calls(n: i32) -> f64 {
+    // calls(n) = 2*fib(n+1) - 1
+    let mut a = 0u64;
+    let mut b = 1u64;
+    for _ in 0..n + 1 {
+        let t = a + b;
+        a = b;
+        b = t;
+    }
+    2.0 * a as f64 - 1.0
+}
+
+// ---------------------------------------------------------------- Sieve --
+
+/// Count of primes `< n` by the sieve of Eratosthenes.
+pub fn sieve(n: usize) -> i32 {
+    if n < 3 {
+        return if n > 2 { 1 } else { 0 };
+    }
+    let mut flags = vec![true; n];
+    let mut count = 0;
+    for i in 2..n {
+        if flags[i] {
+            count += 1;
+            let mut k = i + i;
+            while k < n {
+                flags[k] = false;
+                k += i;
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------- Hanoi --
+
+pub fn hanoi_moves(disks: u32) -> i64 {
+    fn mv(n: u32, moves: &mut i64) {
+        if n == 0 {
+            return;
+        }
+        mv(n - 1, moves);
+        *moves += 1;
+        mv(n - 1, moves);
+    }
+    let mut moves = 0;
+    mv(disks, &mut moves);
+    moves
+}
+
+// ------------------------------------------------------------- HeapSort --
+
+/// Heapsort the LCG stream; checksum mixes three probes of the sorted
+/// array so any misordering shifts the result.
+pub fn heapsort_run(n: usize) -> f64 {
+    let mut rng = JRandom::new(SEED);
+    let mut a: Vec<i32> = (0..n).map(|_| rng.next_int()).collect();
+    heapsort(&mut a);
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    a[0] as f64 + 2.0 * a[n / 2] as f64 + 3.0 * a[n - 1] as f64
+}
+
+pub fn heapsort(a: &mut [i32]) {
+    let n = a.len();
+    if n < 2 {
+        return;
+    }
+    // build heap
+    let mut start = n / 2;
+    while start > 0 {
+        start -= 1;
+        sift_down(a, start, n);
+    }
+    let mut end = n;
+    while end > 1 {
+        end -= 1;
+        a.swap(0, end);
+        sift_down(a, 0, end);
+    }
+}
+
+fn sift_down(a: &mut [i32], mut root: usize, end: usize) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && a[child] < a[child + 1] {
+            child += 1;
+        }
+        if a[root] < a[child] {
+            a.swap(root, child);
+            root = child;
+        } else {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Crypt --
+
+const IDEA_MOD: u32 = 0x10001;
+const M16: u32 = 0xFFFF;
+
+fn idea_mul(a: u32, b: u32) -> u32 {
+    if a == 0 {
+        (IDEA_MOD - b) & M16
+    } else if b == 0 {
+        (IDEA_MOD - a) & M16
+    } else {
+        let p = a * b;
+        let lo = p & M16;
+        let hi = p >> 16;
+        (lo.wrapping_sub(hi).wrapping_add(if lo < hi { 1 } else { 0 })) & M16
+    }
+}
+
+fn idea_inv(a: u32) -> u32 {
+    // Fermat inverse mod the prime 65537 (0 represents 65536 ≡ −1, its
+    // own inverse, which this exponentiation also produces as 0).
+    if a <= 1 {
+        return a;
+    }
+    let mut result = 1u64;
+    let mut base = a as u64;
+    let mut e = (IDEA_MOD - 2) as u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result * base % IDEA_MOD as u64;
+        }
+        base = base * base % IDEA_MOD as u64;
+        e >>= 1;
+    }
+    (result as u32) & M16
+}
+
+/// Expand a 128-bit user key (8×16-bit) into 52 encryption subkeys.
+pub fn idea_encryption_key(user: &[u32; 8]) -> [u32; 52] {
+    let mut z = [0u32; 52];
+    z[..8].copy_from_slice(user);
+    for i in 8..52 {
+        // 25-bit left rotation of the 128-bit key, expressed in 16-bit
+        // lanes (the Java Grande formulation).
+        z[i] = match i & 7 {
+            0..=5 => ((z[i - 7] & 127) << 9 | z[i - 6] >> 7) & M16,
+            6 => ((z[i - 7] & 127) << 9 | z[i - 14] >> 7) & M16,
+            _ => ((z[i - 15] & 127) << 9 | z[i - 14] >> 7) & M16,
+        };
+    }
+    z
+}
+
+/// Derive the 52 decryption subkeys (standard IDEA arrangement:
+/// decryption round r draws on encryption round 9−r, with the additive
+/// keys swapped in rounds 2..8 and the output transform inverting the
+/// first round's keys).
+pub fn idea_decryption_key(z: &[u32; 52]) -> [u32; 52] {
+    let neg = |v: u32| (0x10000 - v) & M16;
+    let mut dk = [0u32; 52];
+    for r in 1..=8usize {
+        let base = 54 - 6 * r; // transform keys source (r=1 → output tfm)
+        let dst = 6 * (r - 1);
+        dk[dst] = idea_inv(z[base]);
+        if r == 1 {
+            dk[dst + 1] = neg(z[base + 1]);
+            dk[dst + 2] = neg(z[base + 2]);
+        } else {
+            dk[dst + 1] = neg(z[base + 2]);
+            dk[dst + 2] = neg(z[base + 1]);
+        }
+        dk[dst + 3] = idea_inv(z[base + 3]);
+        dk[dst + 4] = z[52 - 6 * r];
+        dk[dst + 5] = z[53 - 6 * r];
+    }
+    dk[48] = idea_inv(z[0]);
+    dk[49] = neg(z[1]);
+    dk[50] = neg(z[2]);
+    dk[51] = idea_inv(z[3]);
+    dk
+}
+
+/// Run IDEA over `data` (length divisible by 8) with subkeys `k`.
+pub fn idea_cipher(data: &[u8], out: &mut [u8], k: &[u32; 52]) {
+    for (block, oblock) in data.chunks_exact(8).zip(out.chunks_exact_mut(8)) {
+        let mut x1 = block[0] as u32 | (block[1] as u32) << 8;
+        let mut x2 = block[2] as u32 | (block[3] as u32) << 8;
+        let mut x3 = block[4] as u32 | (block[5] as u32) << 8;
+        let mut x4 = block[6] as u32 | (block[7] as u32) << 8;
+        let mut ki = 0;
+        for _ in 0..8 {
+            x1 = idea_mul(x1, k[ki]);
+            x2 = (x2 + k[ki + 1]) & M16;
+            x3 = (x3 + k[ki + 2]) & M16;
+            x4 = idea_mul(x4, k[ki + 3]);
+            let t0 = idea_mul(k[ki + 4], x1 ^ x3);
+            let t1 = idea_mul(k[ki + 5], (t0 + (x2 ^ x4)) & M16);
+            let t2 = (t0 + t1) & M16;
+            x1 ^= t1;
+            x4 ^= t2;
+            let tmp = x2 ^ t2;
+            x2 = x3 ^ t1;
+            x3 = tmp;
+            ki += 6;
+        }
+        let y1 = idea_mul(x1, k[48]);
+        let y2 = (x3 + k[49]) & M16;
+        let y3 = (x2 + k[50]) & M16;
+        let y4 = idea_mul(x4, k[51]);
+        oblock[0] = y1 as u8;
+        oblock[1] = (y1 >> 8) as u8;
+        oblock[2] = y2 as u8;
+        oblock[3] = (y2 >> 8) as u8;
+        oblock[4] = y3 as u8;
+        oblock[5] = (y3 >> 8) as u8;
+        oblock[6] = y4 as u8;
+        oblock[7] = (y4 >> 8) as u8;
+    }
+}
+
+/// The Crypt benchmark: encrypt then decrypt `n` bytes; checksum is 0 for
+/// a perfect roundtrip plus a digest of the ciphertext (so both stages
+/// are validated).
+pub fn crypt_run(n: usize) -> f64 {
+    let n = n - n % 8;
+    let mut rng = JRandom::new(SEED);
+    let user: [u32; 8] = std::array::from_fn(|_| (rng.next_int() & 0xFFFF) as u32);
+    let z = idea_encryption_key(&user);
+    let dk = idea_decryption_key(&z);
+    let plain: Vec<u8> = (0..n).map(|_| rng.next_int() as u8).collect();
+    let mut cipher = vec![0u8; n];
+    let mut back = vec![0u8; n];
+    idea_cipher(&plain, &mut cipher, &z);
+    idea_cipher(&cipher, &mut back, &dk);
+    let mut mismatch = 0u64;
+    for (a, b) in plain.iter().zip(back.iter()) {
+        if a != b {
+            mismatch += 1;
+        }
+    }
+    let digest: u64 = cipher
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u64).wrapping_mul(i as u64 % 251 + 1))
+        .sum::<u64>()
+        % 1_000_003;
+    mismatch as f64 * 1e9 + digest as f64
+}
+
+// --------------------------------------------------------------- MolDyn --
+
+/// Simplified Lennard-Jones N-body: particles on a cubic lattice with
+/// LCG velocities, velocity-Verlet steps with periodic boundaries.
+/// Returns total energy (kinetic + potential) after the run. The
+/// computationally intense part — the O(N²) pairwise force loop — is
+/// exactly the paper's description of the benchmark.
+pub fn moldyn_run(nside: usize, steps: usize) -> f64 {
+    let n = nside * nside * nside;
+    let box_len = nside as f64;
+    let dt = 0.002;
+    let mut rng = JRandom::new(SEED);
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut vx = vec![0.0f64; n];
+    let mut vy = vec![0.0f64; n];
+    let mut vz = vec![0.0f64; n];
+    let mut idx = 0;
+    for i in 0..nside {
+        for j in 0..nside {
+            for k in 0..nside {
+                x[idx] = i as f64 + 0.5;
+                y[idx] = j as f64 + 0.5;
+                z[idx] = k as f64 + 0.5;
+                vx[idx] = rng.next_double() - 0.5;
+                vy[idx] = rng.next_double() - 0.5;
+                vz[idx] = rng.next_double() - 0.5;
+                idx += 1;
+            }
+        }
+    }
+    let mut fx = vec![0.0f64; n];
+    let mut fy = vec![0.0f64; n];
+    let mut fz = vec![0.0f64; n];
+    let forces = |x: &[f64],
+                  y: &[f64],
+                  z: &[f64],
+                  fx: &mut [f64],
+                  fy: &mut [f64],
+                  fz: &mut [f64]|
+     -> f64 {
+        let mut epot = 0.0;
+        for v in fx.iter_mut() {
+            *v = 0.0;
+        }
+        for v in fy.iter_mut() {
+            *v = 0.0;
+        }
+        for v in fz.iter_mut() {
+            *v = 0.0;
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut dx = x[i] - x[j];
+                let mut dy = y[i] - y[j];
+                let mut dz = z[i] - z[j];
+                // minimum image
+                if dx > box_len * 0.5 {
+                    dx -= box_len;
+                } else if dx < -box_len * 0.5 {
+                    dx += box_len;
+                }
+                if dy > box_len * 0.5 {
+                    dy -= box_len;
+                } else if dy < -box_len * 0.5 {
+                    dy += box_len;
+                }
+                if dz > box_len * 0.5 {
+                    dz -= box_len;
+                } else if dz < -box_len * 0.5 {
+                    dz += box_len;
+                }
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < 6.25 && r2 > 0.0 {
+                    let inv2 = 1.0 / r2;
+                    let inv6 = inv2 * inv2 * inv2;
+                    epot += 4.0 * inv6 * (inv6 - 1.0);
+                    let force = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+                    fx[i] += force * dx;
+                    fy[i] += force * dy;
+                    fz[i] += force * dz;
+                    fx[j] -= force * dx;
+                    fy[j] -= force * dy;
+                    fz[j] -= force * dz;
+                }
+            }
+        }
+        epot
+    };
+    let mut epot = forces(&x, &y, &z, &mut fx, &mut fy, &mut fz);
+    for _ in 0..steps {
+        for i in 0..n {
+            vx[i] += 0.5 * dt * fx[i];
+            vy[i] += 0.5 * dt * fy[i];
+            vz[i] += 0.5 * dt * fz[i];
+            x[i] += dt * vx[i];
+            y[i] += dt * vy[i];
+            z[i] += dt * vz[i];
+            // wrap
+            if x[i] < 0.0 {
+                x[i] += box_len;
+            } else if x[i] >= box_len {
+                x[i] -= box_len;
+            }
+            if y[i] < 0.0 {
+                y[i] += box_len;
+            } else if y[i] >= box_len {
+                y[i] -= box_len;
+            }
+            if z[i] < 0.0 {
+                z[i] += box_len;
+            } else if z[i] >= box_len {
+                z[i] -= box_len;
+            }
+        }
+        epot = forces(&x, &y, &z, &mut fx, &mut fy, &mut fz);
+        for i in 0..n {
+            vx[i] += 0.5 * dt * fx[i];
+            vy[i] += 0.5 * dt * fy[i];
+            vz[i] += 0.5 * dt * fz[i];
+        }
+    }
+    let mut ekin = 0.0;
+    for i in 0..n {
+        ekin += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+    }
+    ekin + epot
+}
+
+/// Pairwise interactions per force evaluation.
+pub fn moldyn_interactions(nside: u64, steps: u64) -> f64 {
+    let n = (nside * nside * nside) as f64;
+    n * (n - 1.0) / 2.0 * (steps + 1) as f64
+}
+
+// ---------------------------------------------------------------- Euler --
+
+/// Compact 2D Euler solver: Lax–Friedrichs on a `4n × n` channel with a
+/// bump on the lower wall (blocked cells). A substitution for the full
+/// Java Grande Euler code — same structured-mesh sweep pattern and
+/// per-cell flux arithmetic; see DESIGN.md. Returns total mass + energy.
+pub fn euler_run(n: usize, steps: usize) -> f64 {
+    let nx = 4 * n;
+    let ny = n;
+    let gamma = 1.4;
+    let dt_dx = 0.2;
+    // State: [rho, rho*u, rho*v, E] per cell.
+    let mut u = vec![[0.0f64; 4]; nx * ny];
+    let at = |i: usize, j: usize| i * ny + j;
+    // Uniform rightward flow.
+    for i in 0..nx {
+        for j in 0..ny {
+            u[at(i, j)] = [1.0, 0.5, 0.0, 2.5];
+        }
+    }
+    // Bump: blocked cells on the lower wall in the middle quarter.
+    let bump = |i: usize, j: usize| -> bool {
+        let center = nx / 2;
+        let half = n / 4 + 1;
+        i >= center - half && i <= center + half && {
+            let h = half - (i as i64 - center as i64).unsigned_abs() as usize;
+            j < h / 2 + 1
+        }
+    };
+    let flux = |s: &[f64; 4]| -> ([f64; 4], [f64; 4]) {
+        let rho = s[0].max(1e-8);
+        let uvel = s[1] / rho;
+        let vvel = s[2] / rho;
+        let p = (gamma - 1.0) * (s[3] - 0.5 * rho * (uvel * uvel + vvel * vvel));
+        let p = p.max(1e-8);
+        (
+            [
+                s[1],
+                s[1] * uvel + p,
+                s[1] * vvel,
+                (s[3] + p) * uvel,
+            ],
+            [
+                s[2],
+                s[2] * uvel,
+                s[2] * vvel + p,
+                (s[3] + p) * vvel,
+            ],
+        )
+    };
+    let mut next = u.clone();
+    for _ in 0..steps {
+        for i in 1..nx - 1 {
+            for j in 1..ny - 1 {
+                if bump(i, j) {
+                    continue;
+                }
+                let gather = |ii: usize, jj: usize| -> [f64; 4] {
+                    if bump(ii, jj) {
+                        // reflective wall: mirror normal momentum
+                        let mut s = u[at(i, j)];
+                        s[2] = -s[2];
+                        s
+                    } else {
+                        u[at(ii, jj)]
+                    }
+                };
+                let left = gather(i - 1, j);
+                let right = gather(i + 1, j);
+                let down = gather(i, j - 1);
+                let up = gather(i, j + 1);
+                let (fl, _) = flux(&left);
+                let (fr, _) = flux(&right);
+                let (_, gd) = flux(&down);
+                let (_, gu) = flux(&up);
+                let mut out = [0.0f64; 4];
+                for c in 0..4 {
+                    out[c] = 0.25 * (left[c] + right[c] + down[c] + up[c])
+                        - 0.5 * dt_dx * (fr[c] - fl[c])
+                        - 0.5 * dt_dx * (gu[c] - gd[c]);
+                }
+                next[at(i, j)] = out;
+            }
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    let mut sum = 0.0;
+    for s in &u {
+        sum += s[0] + s[3];
+    }
+    sum
+}
+
+pub fn euler_cell_updates(n: u64, steps: u64) -> f64 {
+    (4 * n - 2) as f64 * (n - 2) as f64 * steps as f64
+}
+
+// --------------------------------------------------------------- Search --
+
+/// Alpha–beta connect-4 search on a 6×7 board (bitboards in two `i64`s).
+/// Pure game-tree search to a fixed depth; returns nodes visited — a
+/// deterministic integer every engine must reproduce exactly.
+pub struct Connect4 {
+    bb: [i64; 2],
+    height: [i32; 7],
+    nodes: i64,
+}
+
+const COL_ORDER: [usize; 7] = [3, 2, 4, 1, 5, 0, 6];
+
+impl Connect4 {
+    pub fn new() -> Connect4 {
+        Connect4 {
+            bb: [0, 0],
+            height: [0; 7],
+            nodes: 0,
+        }
+    }
+
+    fn bit(col: usize, row: i32) -> i64 {
+        1i64 << (col as i32 * 7 + row)
+    }
+
+    fn wins(b: i64) -> bool {
+        // vertical, horizontal, two diagonals on a 7-bit-strided board
+        for shift in [1, 7, 6, 8] {
+            let m = b & (b >> shift);
+            if m & (m >> (2 * shift)) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn search(&mut self, depth: i32, mut alpha: i32, beta: i32, player: usize) -> i32 {
+        self.nodes += 1;
+        if depth == 0 {
+            return 0;
+        }
+        for &col in COL_ORDER.iter() {
+            if self.height[col] >= 6 {
+                continue;
+            }
+            let bit = Self::bit(col, self.height[col]);
+            self.bb[player] |= bit;
+            self.height[col] += 1;
+            let score = if Self::wins(self.bb[player]) {
+                depth // faster wins score higher
+            } else {
+                -self.search(depth - 1, -beta, -alpha, 1 - player)
+            };
+            self.height[col] -= 1;
+            self.bb[player] &= !bit;
+            if score >= beta {
+                return beta;
+            }
+            if score > alpha {
+                alpha = score;
+            }
+        }
+        alpha
+    }
+}
+
+impl Default for Connect4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Run the search to `depth` plies; returns `nodes * 1000 + score-offset`.
+pub fn search_run(depth: i32) -> f64 {
+    let mut game = Connect4::new();
+    let score = game.search(depth, -1_000, 1_000, 0);
+    game.nodes as f64 * 1000.0 + (score + 500) as f64
+}
+
+// ------------------------------------------------------------ RayTracer --
+
+#[derive(Clone, Copy)]
+pub struct Sphere {
+    pub cx: f64,
+    pub cy: f64,
+    pub cz: f64,
+    pub r: f64,
+    pub shade: f64,
+}
+
+/// The 64-sphere scene (4×4×4 grid), matching the MiniC# version.
+pub fn ray_scene() -> Vec<Sphere> {
+    let mut rng = JRandom::new(SEED);
+    let mut spheres = Vec::with_capacity(64);
+    for i in 0..4 {
+        for j in 0..4 {
+            for k in 0..4 {
+                spheres.push(Sphere {
+                    cx: i as f64 * 2.0 - 3.0,
+                    cy: j as f64 * 2.0 - 3.0,
+                    cz: k as f64 * 2.0 - 10.0,
+                    r: 0.4 + 0.3 * rng.next_double(),
+                    shade: 0.2 + 0.8 * rng.next_double(),
+                });
+            }
+        }
+    }
+    spheres
+}
+
+fn ray_sphere(ox: f64, oy: f64, oz: f64, dx: f64, dy: f64, dz: f64, s: &Sphere) -> f64 {
+    let lx = s.cx - ox;
+    let ly = s.cy - oy;
+    let lz = s.cz - oz;
+    let tca = lx * dx + ly * dy + lz * dz;
+    if tca < 0.0 {
+        return -1.0;
+    }
+    let d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    let r2 = s.r * s.r;
+    if d2 > r2 {
+        return -1.0;
+    }
+    tca - (r2 - d2).sqrt()
+}
+
+/// Render an `n × n` image of the scene (Lambert + hard shadows + one
+/// reflection bounce); returns the pixel-luminance sum.
+pub fn raytracer_run(n: usize) -> f64 {
+    let spheres = ray_scene();
+    let (lx, ly, lz) = (0.577, 0.577, 0.577); // normalized light direction
+    let trace = |ox: f64, oy: f64, oz: f64, dx: f64, dy: f64, dz: f64, depth: u32| -> f64 {
+        // (recursion via explicit small stack to keep closures simple)
+        fn go(
+            spheres: &[Sphere],
+            lx: f64,
+            ly: f64,
+            lz: f64,
+            ox: f64,
+            oy: f64,
+            oz: f64,
+            dx: f64,
+            dy: f64,
+            dz: f64,
+            depth: u32,
+        ) -> f64 {
+            let mut best = f64::MAX;
+            let mut hit: i64 = -1;
+            for (si, s) in spheres.iter().enumerate() {
+                let t = ray_sphere(ox, oy, oz, dx, dy, dz, s);
+                if t > 1e-6 && t < best {
+                    best = t;
+                    hit = si as i64;
+                }
+            }
+            if hit < 0 {
+                return 0.1; // background
+            }
+            let s = &spheres[hit as usize];
+            let px = ox + dx * best;
+            let py = oy + dy * best;
+            let pz = oz + dz * best;
+            let mut nx = (px - s.cx) / s.r;
+            let mut ny = (py - s.cy) / s.r;
+            let mut nz = (pz - s.cz) / s.r;
+            let nl = (nx * nx + ny * ny + nz * nz).sqrt();
+            nx /= nl;
+            ny /= nl;
+            nz /= nl;
+            let mut diff = nx * lx + ny * ly + nz * lz;
+            if diff < 0.0 {
+                diff = 0.0;
+            }
+            // shadow ray
+            if diff > 0.0 {
+                for s2 in spheres.iter() {
+                    let t = ray_sphere(px, py, pz, lx, ly, lz, s2);
+                    if t > 1e-6 {
+                        diff = 0.0;
+                        break;
+                    }
+                }
+            }
+            let mut color = s.shade * (0.1 + 0.9 * diff);
+            if depth > 0 {
+                let dot = dx * nx + dy * ny + dz * nz;
+                let rx = dx - 2.0 * dot * nx;
+                let ry = dy - 2.0 * dot * ny;
+                let rz = dz - 2.0 * dot * nz;
+                color += 0.3 * go(spheres, lx, ly, lz, px, py, pz, rx, ry, rz, depth - 1);
+            }
+            color
+        }
+        go(&spheres, lx, ly, lz, ox, oy, oz, dx, dy, dz, depth)
+    };
+    let mut sum = 0.0;
+    for yi in 0..n {
+        for xi in 0..n {
+            let dx = (xi as f64 / n as f64 - 0.5) * 1.6;
+            let dy = (yi as f64 / n as f64 - 0.5) * 1.6;
+            let dz = -1.0f64;
+            let len = (dx * dx + dy * dy + dz * dz).sqrt();
+            sum += trace(0.0, 0.0, 0.0, dx / len, dy / len, dz / len, 1);
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_values() {
+        assert_eq!(fib(10), 55);
+        assert_eq!(fib(20), 6765);
+        assert_eq!(fib_calls(5) as i64, 2 * 8 - 1);
+    }
+
+    #[test]
+    fn sieve_counts() {
+        assert_eq!(sieve(10), 4); // 2 3 5 7
+        assert_eq!(sieve(100), 25);
+        assert_eq!(sieve(1000), 168);
+    }
+
+    #[test]
+    fn hanoi_counts() {
+        assert_eq!(hanoi_moves(3), 7);
+        assert_eq!(hanoi_moves(10), 1023);
+        assert_eq!(hanoi_moves(20), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn heapsort_sorts() {
+        let mut a = vec![5, 3, 9, 1, 1, -4, 100, 0];
+        heapsort(&mut a);
+        assert_eq!(a, vec![-4, 0, 1, 1, 3, 5, 9, 100]);
+        let c = heapsort_run(1000);
+        assert!(c.is_finite());
+        assert_eq!(c, heapsort_run(1000), "deterministic");
+    }
+
+    #[test]
+    fn idea_roundtrip_and_digest() {
+        let r = crypt_run(4096);
+        assert!(r < 1e9, "roundtrip must be exact; got {r}");
+        assert_eq!(r, crypt_run(4096));
+    }
+
+    #[test]
+    fn idea_mul_inv_laws() {
+        for a in [1u32, 2, 3, 7, 0xFFFE, 0xFFFF, 12345] {
+            let inv = idea_inv(a);
+            assert_eq!(idea_mul(a, inv), 1, "a={a} inv={inv}");
+        }
+        // 0 represents 65536 ≡ −1 which is its own inverse.
+        assert_eq!(idea_mul(0, 0), 1);
+    }
+
+    #[test]
+    fn moldyn_energy_roughly_conserved() {
+        let e0 = moldyn_run(3, 0);
+        let e5 = moldyn_run(3, 5);
+        assert!(e0.is_finite() && e5.is_finite());
+        // Verlet with small dt keeps total energy in the same ballpark.
+        assert!((e0 - e5).abs() < 0.2 * e0.abs().max(1.0), "{e0} vs {e5}");
+    }
+
+    #[test]
+    fn euler_runs_and_conserves_mass_order() {
+        let s = euler_run(16, 5);
+        assert!(s.is_finite() && s > 0.0);
+        assert_eq!(s, euler_run(16, 5));
+    }
+
+    #[test]
+    fn search_deterministic_and_grows() {
+        let d4 = search_run(4);
+        let d6 = search_run(6);
+        assert_eq!(d4, search_run(4));
+        assert!(d6 > d4);
+    }
+
+    #[test]
+    fn connect4_win_detection() {
+        // four in a column
+        let b = 0b1111i64;
+        assert!(Connect4::wins(b));
+        // four in a row (stride 7)
+        let b = 1i64 | 1 << 7 | 1 << 14 | 1 << 21;
+        assert!(Connect4::wins(b));
+        // three only
+        assert!(!Connect4::wins(0b111));
+    }
+
+    #[test]
+    fn raytracer_deterministic() {
+        let a = raytracer_run(16);
+        assert!(a > 0.0);
+        assert_eq!(a, raytracer_run(16));
+        // More pixels, more light.
+        assert!(raytracer_run(32) > a);
+    }
+}

@@ -1,0 +1,9 @@
+//! Native-Rust reference implementations.
+//!
+//! The "C" baseline of Graphs 9–11 and the validation oracles for every
+//! managed kernel. Algorithms are structurally identical to the MiniC#
+//! twins (shared Java-spec LCG streams), so integer kernels match exactly
+//! and floating-point kernels match to rounding.
+
+pub mod apps;
+pub mod scimark;

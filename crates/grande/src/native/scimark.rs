@@ -1,0 +1,427 @@
+//! Native-Rust SciMark 2.0 kernels.
+//!
+//! These play the "MS - C++" role in Graphs 9–11 of the paper: the
+//! compiled-native baseline every managed result is normalized against.
+//! They are also the validation oracles — each MiniC# kernel must produce
+//! the same checksum (the generators are the shared Java-spec LCG, so the
+//! streams are bit-identical).
+
+use hpcnet_runtime::JRandom;
+
+/// Seed used by every kernel (both native and managed sides).
+pub const SEED: i64 = 101010;
+
+// ---------------------------------------------------------------- FFT --
+
+/// In-place complex FFT over interleaved `[re, im, re, im, …]`.
+pub fn fft_transform(data: &mut [f64]) {
+    fft_transform_internal(data, -1.0);
+}
+
+/// Inverse transform including the 1/n scaling.
+pub fn fft_inverse(data: &mut [f64]) {
+    fft_transform_internal(data, 1.0);
+    let n = data.len() / 2;
+    let norm = 1.0 / n as f64;
+    for v in data.iter_mut() {
+        *v *= norm;
+    }
+}
+
+fn fft_log2(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    n.trailing_zeros()
+}
+
+fn fft_transform_internal(data: &mut [f64], direction: f64) {
+    let n = data.len() / 2;
+    if n <= 1 {
+        return;
+    }
+    let logn = fft_log2(n);
+    fft_bitreverse(data);
+    // Danielson–Lanczos butterflies.
+    let mut dual = 1usize;
+    for _ in 0..logn {
+        let w_real_init = (std::f64::consts::PI / (2.0 * dual as f64)).cos();
+        let theta = 2.0 * direction * std::f64::consts::PI / (2.0 * dual as f64);
+        let s = theta.sin();
+        let t = (theta / 2.0).sin();
+        let s2 = 2.0 * t * t;
+        let _ = w_real_init;
+        // a = 0 pass
+        let mut b = 0;
+        while b < n {
+            let i = 2 * b;
+            let j = 2 * (b + dual);
+            let wd_real = data[j];
+            let wd_imag = data[j + 1];
+            data[j] = data[i] - wd_real;
+            data[j + 1] = data[i + 1] - wd_imag;
+            data[i] += wd_real;
+            data[i + 1] += wd_imag;
+            b += 2 * dual;
+        }
+        // remaining passes
+        let mut w_real = 1.0f64;
+        let mut w_imag = 0.0f64;
+        for a in 1..dual {
+            // trig recurrence
+            let tmp_real = w_real - s * w_imag - s2 * w_real;
+            let tmp_imag = w_imag + s * w_real - s2 * w_imag;
+            w_real = tmp_real;
+            w_imag = tmp_imag;
+            let mut b = 0;
+            while b < n {
+                let i = 2 * (b + a);
+                let j = 2 * (b + a + dual);
+                let z1_real = data[j];
+                let z1_imag = data[j + 1];
+                let wd_real = w_real * z1_real - w_imag * z1_imag;
+                let wd_imag = w_real * z1_imag + w_imag * z1_real;
+                data[j] = data[i] - wd_real;
+                data[j + 1] = data[i + 1] - wd_imag;
+                data[i] += wd_real;
+                data[i + 1] += wd_imag;
+                b += 2 * dual;
+            }
+        }
+        dual *= 2;
+    }
+}
+
+fn fft_bitreverse(data: &mut [f64]) {
+    let n = data.len() / 2;
+    let nm1 = n - 1;
+    let mut j = 0usize;
+    for i in 0..nm1 {
+        let ii = i << 1;
+        let jj = j << 1;
+        let k = n >> 1;
+        if i < j {
+            data.swap(ii, jj);
+            data.swap(ii + 1, jj + 1);
+        }
+        let mut k = k;
+        let mut j2 = j;
+        while k <= j2 {
+            j2 -= k;
+            k >>= 1;
+        }
+        j = j2 + k;
+    }
+}
+
+/// SciMark's flop count for one forward-or-inverse transform.
+pub fn fft_flops(n: u64) -> f64 {
+    let logn = (n as f64).log2();
+    (5.0 * n as f64 - 2.0) * logn + 2.0 * (n as f64 + 1.0)
+}
+
+/// The benchmark: four roundtrip transforms on LCG data (setup amortized,
+/// SciMark style); returns the RMS roundtrip error (validation: ~1e-13).
+pub fn fft_run(n: usize) -> f64 {
+    let mut rng = JRandom::new(SEED);
+    let mut data: Vec<f64> = (0..2 * n).map(|_| rng.next_double() - 0.5).collect();
+    let orig = data.clone();
+    for _ in 0..4 {
+        fft_transform(&mut data);
+        fft_inverse(&mut data);
+    }
+    let mut sum = 0.0;
+    for (a, b) in data.iter().zip(orig.iter()) {
+        let d = a - b;
+        sum += d * d;
+    }
+    (sum / n as f64).sqrt()
+}
+
+// ---------------------------------------------------------------- SOR --
+
+/// Jacobi successive over-relaxation on an `n × n` grid, `iters` sweeps.
+/// Returns `g[1][1]` + the grid average as a checksum.
+pub fn sor_run(n: usize, iters: usize) -> f64 {
+    let mut rng = JRandom::new(SEED);
+    let mut g: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.next_double()).collect())
+        .collect();
+    sor_execute(1.25, &mut g, iters);
+    let mut sum = 0.0;
+    for row in &g {
+        for v in row {
+            sum += v;
+        }
+    }
+    g[1][1] + sum / (n * n) as f64
+}
+
+/// The SciMark SOR kernel proper.
+pub fn sor_execute(omega: f64, g: &mut [Vec<f64>], iters: usize) {
+    let m = g.len();
+    let n = g[0].len();
+    let omega_over_four = omega * 0.25;
+    let one_minus_omega = 1.0 - omega;
+    for _ in 0..iters {
+        for i in 1..m - 1 {
+            // split borrows: rows i-1, i, i+1
+            let (before, rest) = g.split_at_mut(i);
+            let (gi, after) = rest.split_at_mut(1);
+            let gim1 = &before[i - 1];
+            let gi = &mut gi[0];
+            let gip1 = &after[0];
+            for j in 1..n - 1 {
+                gi[j] = omega_over_four * (gim1[j] + gip1[j] + gi[j - 1] + gi[j + 1])
+                    + one_minus_omega * gi[j];
+            }
+        }
+    }
+}
+
+pub fn sor_flops(n: u64, iters: u64) -> f64 {
+    (n - 2) as f64 * (n - 2) as f64 * 6.0 * iters as f64
+}
+
+// -------------------------------------------------------- Monte Carlo --
+
+/// π by quarter-circle integration; "mainly a test of the access to
+/// synchronized methods" per the paper — the managed version calls a
+/// synchronized generator, and so does this one (a mutex-guarded RNG) so
+/// the baseline pays the same structural cost.
+pub fn montecarlo_run(samples: usize) -> f64 {
+    let rng = parking_lot::Mutex::new(JRandom::new(SEED));
+    let mut under_curve = 0usize;
+    for _ in 0..samples {
+        let (x, y) = {
+            let mut r = rng.lock();
+            (r.next_double(), r.next_double())
+        };
+        if x * x + y * y <= 1.0 {
+            under_curve += 1;
+        }
+    }
+    under_curve as f64 / samples as f64 * 4.0
+}
+
+pub fn montecarlo_flops(samples: u64) -> f64 {
+    samples as f64 * 4.0
+}
+
+// ------------------------------------------------------------- Sparse --
+
+/// CRS sparse matrix with the SciMark sparsity structure.
+pub struct SparseSystem {
+    pub val: Vec<f64>,
+    pub col: Vec<usize>,
+    pub row: Vec<usize>,
+    pub x: Vec<f64>,
+}
+
+/// Build the SciMark pattern: `nz` nonzeros spread over `n` rows.
+pub fn sparse_build(n: usize, nz: usize) -> SparseSystem {
+    let mut rng = JRandom::new(SEED);
+    let nr = nz / n; // nonzeros per row
+    let anz = nr * n;
+    let val: Vec<f64> = (0..anz).map(|_| rng.next_double()).collect();
+    let x: Vec<f64> = (0..n).map(|_| rng.next_double()).collect();
+    let mut col = vec![0usize; anz];
+    let mut row = vec![0usize; n + 1];
+    for r in 0..n {
+        let rowr = r * nr;
+        row[r] = rowr;
+        let step = (r / nr).max(1);
+        for i in 0..nr {
+            col[rowr + i] = i * step;
+        }
+    }
+    row[n] = anz;
+    SparseSystem { val, col, row, x }
+}
+
+/// y = A·x, `iters` times; checksum = Σy.
+pub fn sparse_run(n: usize, nz: usize, iters: usize) -> f64 {
+    let sys = sparse_build(n, nz);
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iters {
+        for r in 0..n {
+            let mut sum = 0.0;
+            for i in sys.row[r]..sys.row[r + 1] {
+                sum += sys.x[sys.col[i]] * sys.val[i];
+            }
+            y[r] = sum;
+        }
+    }
+    y.iter().sum()
+}
+
+pub fn sparse_flops(n: u64, nz: u64, iters: u64) -> f64 {
+    let nr = nz / n;
+    (nr * n) as f64 * 2.0 * iters as f64
+}
+
+// ----------------------------------------------------------------- LU --
+
+/// In-place LU factorization with partial pivoting (right-looking,
+/// rank-1 updates). Returns the pivot sign times the diagonal product
+/// magnitude proxy used as the cross-engine checksum.
+pub fn lu_factor(a: &mut [Vec<f64>], pivot: &mut [usize]) {
+    let n = a.len();
+    for j in 0..n {
+        // find pivot
+        let mut jp = j;
+        let mut t = a[j][j].abs();
+        for i in j + 1..n {
+            let ab = a[i][j].abs();
+            if ab > t {
+                jp = i;
+                t = ab;
+            }
+        }
+        pivot[j] = jp;
+        if jp != j {
+            a.swap(j, jp);
+        }
+        if a[j][j] == 0.0 {
+            continue;
+        }
+        if j < n - 1 {
+            let recp = 1.0 / a[j][j];
+            for i in j + 1..n {
+                a[i][j] *= recp;
+            }
+        }
+        if j < n - 1 {
+            for i in j + 1..n {
+                let (top, bottom) = a.split_at_mut(i);
+                let aj = &top[j];
+                let ai = &mut bottom[0];
+                let aij = ai[j];
+                for k in j + 1..n {
+                    ai[k] -= aij * aj[k];
+                }
+            }
+        }
+    }
+}
+
+/// The benchmark: factor an LCG-filled matrix; checksum = Σ|diag(U)|^(1/n)
+/// surrogate — we use the sum of |a[i][i]| which is stable across engines.
+pub fn lu_run(n: usize) -> f64 {
+    let mut rng = JRandom::new(SEED);
+    let mut a: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.next_double()).collect())
+        .collect();
+    let mut pivot = vec![0usize; n];
+    lu_factor(&mut a, &mut pivot);
+    let mut sum = 0.0;
+    for (i, row) in a.iter().enumerate() {
+        sum += row[i].abs();
+    }
+    sum
+}
+
+pub fn lu_flops(n: u64) -> f64 {
+    2.0 * (n as f64).powi(3) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_is_tiny() {
+        for n in [4usize, 64, 1024] {
+            let rms = fft_run(n);
+            assert!(rms < 1e-12, "n={n}: rms {rms}");
+        }
+    }
+
+    #[test]
+    fn fft_on_known_signal() {
+        // FFT of a constant signal concentrates in bin 0.
+        let mut data = vec![0.0; 16];
+        for i in (0..16).step_by(2) {
+            data[i] = 1.0;
+        }
+        fft_transform(&mut data);
+        assert!((data[0] - 8.0).abs() < 1e-12);
+        for v in &data[2..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sor_converges_toward_smoothness() {
+        let before = sor_run(20, 0);
+        let after = sor_run(20, 50);
+        // Smoothing pulls the sampled interior point toward the mean.
+        assert_ne!(before, after);
+        assert!(after.is_finite());
+    }
+
+    #[test]
+    fn montecarlo_approximates_pi() {
+        let pi = montecarlo_run(200_000);
+        assert!((pi - std::f64::consts::PI).abs() < 0.02, "{pi}");
+    }
+
+    #[test]
+    fn sparse_deterministic() {
+        let a = sparse_run(100, 500, 3);
+        let b = sparse_run(100, 500, 3);
+        assert_eq!(a, b);
+        assert!(a.is_finite() && a != 0.0);
+    }
+
+    #[test]
+    fn lu_factors_correctly() {
+        // Verify P·A = L·U on a small system.
+        let n = 8;
+        let mut rng = JRandom::new(SEED);
+        let orig: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.next_double()).collect())
+            .collect();
+        let mut a = orig.clone();
+        let mut pivot = vec![0usize; n];
+        lu_factor(&mut a, &mut pivot);
+        // Rebuild L·U.
+        let mut lu = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { a[i][k] };
+                    let u = a[k][j];
+                    if k < i {
+                        s += l * u;
+                    } else if k == i {
+                        s += u;
+                    }
+                }
+                lu[i][j] = s;
+            }
+        }
+        // Apply the pivots to a copy of the original.
+        let mut pa = orig;
+        for (j, &p) in pivot.iter().enumerate() {
+            pa.swap(j, p);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (lu[i][j] - pa[i][j]).abs() < 1e-10,
+                    "PA != LU at {i},{j}: {} vs {}",
+                    lu[i][j],
+                    pa[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flop_counts_positive_and_monotone() {
+        assert!(fft_flops(1024) > fft_flops(512));
+        assert!(lu_flops(100) > 0.0);
+        assert!(sor_flops(100, 10) > sor_flops(100, 5));
+        assert!(sparse_flops(1000, 5000, 2) == 2.0 * sparse_flops(1000, 5000, 1));
+    }
+}

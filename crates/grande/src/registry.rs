@@ -1,0 +1,486 @@
+//! The benchmark registry: every suite entry from the paper's Tables 1–4,
+//! with its MiniC# source, entry point, operation accounting (for the
+//! ops/sec and MFlops axes of Graphs 1–12) and validation against the
+//! native oracles.
+
+use crate::native::{apps, scimark};
+use hpcnet_minics::compile;
+use hpcnet_runtime::Value;
+use hpcnet_vm::{Vm, VmError, VmProfile};
+use std::sync::Arc;
+
+/// Which paper suite an entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// Java Grande v2.0 section 1 (Table 1).
+    MicroJG1,
+    /// Multithreaded Java Grande v1.0 section 1 (Table 2).
+    MicroJGMT,
+    /// CLI-specific micro-benchmarks (Table 3).
+    MicroCli,
+    /// SciMark kernels (Graphs 9–11).
+    SciMark,
+    /// Java Grande sections 2–3 / DHPC section 2a applications (Table 4).
+    Apps,
+}
+
+/// How results are displayed on the paper's axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    OpsPerSec,
+    CallsPerSec,
+    MFlops,
+    /// Barrier crossings, thread fork/joins, lock acquisitions …
+    EventsPerSec,
+}
+
+/// Outcome check for one run.
+pub type Validator = fn(n: i32, result: f64) -> Result<(), String>;
+
+/// One measurable entry (a single bar/series point in a paper graph).
+#[derive(Clone)]
+pub struct Entry {
+    /// Stable id, e.g. `"arith.add.int"`.
+    pub id: &'static str,
+    /// `"Class.Method"` in the compiled module.
+    pub entry: &'static str,
+    /// Work units per `Run(n)` call (ops for micro, flops for kernels).
+    pub ops: fn(i32) -> f64,
+    pub unit: Unit,
+    /// Problem size / iteration count for the paper's small model.
+    pub small_n: i32,
+    /// …and large model.
+    pub large_n: i32,
+    pub validate: Validator,
+    /// Spawns managed threads (excluded from single-thread sweeps).
+    pub threaded: bool,
+}
+
+/// A compilation unit with its entries.
+pub struct BenchGroup {
+    pub id: &'static str,
+    pub suite: Suite,
+    pub source: &'static str,
+    pub entries: Vec<Entry>,
+}
+
+fn close(a: f64, b: f64, tol: f64) -> Result<(), String> {
+    let scale = b.abs().max(1.0);
+    if (a - b).abs() <= tol * scale {
+        Ok(())
+    } else {
+        Err(format!("expected {b}, got {a} (tol {tol})"))
+    }
+}
+
+fn v_any(_n: i32, r: f64) -> Result<(), String> {
+    if r.is_finite() {
+        Ok(())
+    } else {
+        Err(format!("non-finite result {r}"))
+    }
+}
+
+fn v_eq_n(n: i32, r: f64) -> Result<(), String> {
+    close(r, n as f64, 0.0)
+}
+
+fn v_eq_4n(n: i32, r: f64) -> Result<(), String> {
+    close(r, 4.0 * n as f64, 0.0)
+}
+
+// ---- kernel validators (native oracles) ----
+
+fn v_fft(_n: i32, r: f64) -> Result<(), String> {
+    if r.abs() < 1e-10 {
+        Ok(())
+    } else {
+        Err(format!("FFT roundtrip RMS too large: {r}"))
+    }
+}
+
+fn v_sor(n: i32, r: f64) -> Result<(), String> {
+    close(r, scimark::sor_run(n as usize, 10), 1e-10)
+}
+
+fn v_montecarlo(n: i32, r: f64) -> Result<(), String> {
+    close(r, scimark::montecarlo_run(n as usize), 1e-12)
+}
+
+fn v_sparse(n: i32, r: f64) -> Result<(), String> {
+    close(r, scimark::sparse_run(n as usize, 5 * n as usize, 100), 1e-10)
+}
+
+fn v_lu(n: i32, r: f64) -> Result<(), String> {
+    close(r, scimark::lu_run(n as usize), 1e-10)
+}
+
+fn v_fib(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::fib(n) as f64, 0.0)
+}
+
+fn v_sieve(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::sieve(n as usize) as f64, 0.0)
+}
+
+fn v_hanoi(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::hanoi_moves(n as u32) as f64, 0.0)
+}
+
+fn v_heapsort(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::heapsort_run(n as usize), 0.0)
+}
+
+fn v_crypt(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::crypt_run(n as usize), 0.0)
+}
+
+fn v_moldyn(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::moldyn_run(n as usize, 4), 1e-8)
+}
+
+fn v_euler(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::euler_run(n as usize, 5), 1e-10)
+}
+
+fn v_search(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::search_run(n), 0.0)
+}
+
+fn v_raytracer(n: i32, r: f64) -> Result<(), String> {
+    close(r, apps::raytracer_run(n as usize), 1e-9)
+}
+
+// ---- op metadata ----
+
+fn ops_4n(n: i32) -> f64 {
+    4.0 * n as f64
+}
+
+fn ops_2n(n: i32) -> f64 {
+    2.0 * n as f64
+}
+
+fn ops_n(n: i32) -> f64 {
+    n as f64
+}
+
+macro_rules! entries {
+    ($($id:literal, $entry:literal, $ops:expr, $unit:expr, $small:expr, $large:expr, $v:expr, $thr:expr;)*) => {
+        vec![$(Entry {
+            id: $id,
+            entry: $entry,
+            ops: $ops,
+            unit: $unit,
+            small_n: $small,
+            large_n: $large,
+            validate: $v,
+            threaded: $thr,
+        }),*]
+    };
+}
+
+/// The full registry: everything Tables 1–4 list.
+pub fn registry() -> Vec<BenchGroup> {
+    use Unit::*;
+    vec![
+        BenchGroup {
+            id: "arith",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/arith.cs"),
+            entries: entries![
+                "arith.add.int", "Arith.AddInt", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.mult.int", "Arith.MultInt", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.div.int", "Arith.DivInt", ops_n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.add.long", "Arith.AddLong", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.mult.long", "Arith.MultLong", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.div.long", "Arith.DivLong", ops_n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.add.float", "Arith.AddFloat", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.mult.float", "Arith.MultFloat", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.div.float", "Arith.DivFloat", ops_n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.add.double", "Arith.AddDouble", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.mult.double", "Arith.MultDouble", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "arith.div.double", "Arith.DivDouble", ops_n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "assign",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/assign.cs"),
+            entries: entries![
+                "assign.local", "Assign.Local", ops_4n, OpsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "assign.static", "Assign.Static", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "assign.instance", "Assign.Instance", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "assign.array", "Assign.ArrayElem", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "cast",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/cast.cs"),
+            entries: entries![
+                "cast.int.float", "Cast.IntFloat", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "cast.int.double", "Cast.IntDouble", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "cast.long.float", "Cast.LongFloat", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "cast.long.double", "Cast.LongDouble", ops_4n, OpsPerSec, 1_000_000, 10_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "create",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/create.cs"),
+            entries: entries![
+                "create.objects", "Create.Objects", ops_2n, OpsPerSec, 200_000, 2_000_000, v_any, false;
+                "create.arrays", "Create.Arrays", ops_2n, OpsPerSec, 100_000, 1_000_000, v_any, false;
+                "create.double.arrays", "Create.DoubleArrays", ops_2n, OpsPerSec, 100_000, 1_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "exception",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/exception.cs"),
+            entries: entries![
+                "exception.new", "ExceptionBench.New", ops_n, OpsPerSec, 200_000, 1_000_000, v_eq_n, false;
+                "exception.throw", "ExceptionBench.Throw", ops_n, OpsPerSec, 50_000, 200_000, v_eq_n, false;
+                "exception.method", "ExceptionBench.Method", ops_n, OpsPerSec, 50_000, 200_000, v_eq_n, false;
+            ],
+        },
+        BenchGroup {
+            id: "loop",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/loops.cs"),
+            entries: entries![
+                "loop.for", "Loops.For", ops_n, OpsPerSec, 5_000_000, 50_000_000, v_eq_n, false;
+                "loop.reversefor", "Loops.ReverseFor", ops_n, OpsPerSec, 5_000_000, 50_000_000, v_eq_n, false;
+                "loop.while", "Loops.WhileLoop", ops_n, OpsPerSec, 5_000_000, 50_000_000, v_eq_n, false;
+            ],
+        },
+        BenchGroup {
+            id: "math",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/mathbench.cs"),
+            entries: entries![
+                "math.abs.int", "MathBench.AbsInt", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.abs.long", "MathBench.AbsLong", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.abs.float", "MathBench.AbsFloat", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.abs.double", "MathBench.AbsDouble", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.max.int", "MathBench.MaxInt", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.max.long", "MathBench.MaxLong", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.max.float", "MathBench.MaxFloat", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.max.double", "MathBench.MaxDouble", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.min.int", "MathBench.MinInt", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.min.long", "MathBench.MinLong", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.min.float", "MathBench.MinFloat", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.min.double", "MathBench.MinDouble", ops_2n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.sin", "MathBench.SinDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.cos", "MathBench.CosDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.tan", "MathBench.TanDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.asin", "MathBench.AsinDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.acos", "MathBench.AcosDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.atan", "MathBench.AtanDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.atan2", "MathBench.Atan2Double", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.floor", "MathBench.FloorDouble", ops_n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.ceil", "MathBench.CeilDouble", ops_n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.sqrt", "MathBench.SqrtDouble", ops_n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.exp", "MathBench.ExpDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.log", "MathBench.LogDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.pow", "MathBench.PowDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.rint", "MathBench.RintDouble", ops_n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.random", "MathBench.RandomDouble", ops_n, CallsPerSec, 500_000, 5_000_000, v_any, false;
+                "math.round.float", "MathBench.RoundFloat", ops_n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+                "math.round.double", "MathBench.RoundDouble", ops_n, CallsPerSec, 1_000_000, 10_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "method",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/method.cs"),
+            entries: entries![
+                "method.static", "MethodBench.StaticCall", ops_2n, CallsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "method.instance", "MethodBench.InstanceCall", ops_2n, CallsPerSec, 2_000_000, 20_000_000, v_any, false;
+                "method.virtual", "MethodBench.VirtualCall", ops_2n, CallsPerSec, 2_000_000, 20_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "serial",
+            suite: Suite::MicroJG1,
+            source: include_str!("sources/micro/serialbench.cs"),
+            entries: entries![
+                "serial.write", "SerialBench.Write", ops_n, OpsPerSec, 2_000, 20_000, v_any, false;
+                "serial.readwrite", "SerialBench.ReadWrite", ops_n, OpsPerSec, 1_000, 10_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "barrier",
+            suite: Suite::MicroJGMT,
+            source: include_str!("sources/thread/barrier.cs"),
+            entries: entries![
+                "barrier.simple", "BarrierBench.Simple", ops_4n, EventsPerSec, 2_000, 20_000, v_eq_4n, true;
+                "barrier.tournament", "BarrierBench.Tournament", ops_4n, EventsPerSec, 2_000, 20_000, v_eq_4n, true;
+            ],
+        },
+        BenchGroup {
+            id: "forkjoin",
+            suite: Suite::MicroJGMT,
+            source: include_str!("sources/thread/forkjoin.cs"),
+            entries: entries![
+                "forkjoin", "ForkJoin.Run", ops_4n, EventsPerSec, 50, 500, v_eq_4n, true;
+            ],
+        },
+        BenchGroup {
+            id: "sync",
+            suite: Suite::MicroJGMT,
+            source: include_str!("sources/thread/syncbench.cs"),
+            entries: entries![
+                "sync.method", "SyncBench.Method", ops_4n, EventsPerSec, 20_000, 200_000, v_eq_4n, true;
+                "sync.block", "SyncBench.Block", ops_4n, EventsPerSec, 20_000, 200_000, v_eq_4n, true;
+            ],
+        },
+        BenchGroup {
+            id: "matrix",
+            suite: Suite::MicroCli,
+            source: include_str!("sources/cli/matrix.cs"),
+            entries: entries![
+                "matrix.multi.value", "MatrixBench.MultiValue", |n| 2500.0 * n as f64, OpsPerSec, 200, 2_000, v_any, false;
+                "matrix.jagged.value", "MatrixBench.JaggedValue", |n| 2500.0 * n as f64, OpsPerSec, 200, 2_000, v_any, false;
+                "matrix.multi.object", "MatrixBench.MultiObject", |n| 2500.0 * n as f64, OpsPerSec, 200, 2_000, v_any, false;
+                "matrix.jagged.object", "MatrixBench.JaggedObject", |n| 2500.0 * n as f64, OpsPerSec, 200, 2_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "boxing",
+            suite: Suite::MicroCli,
+            source: include_str!("sources/cli/boxing.cs"),
+            entries: entries![
+                "boxing.explicit", "BoxingBench.Explicit", ops_2n, OpsPerSec, 500_000, 5_000_000, v_any, false;
+                "boxing.implicit", "BoxingBench.Implicit", ops_2n, OpsPerSec, 500_000, 5_000_000, v_any, false;
+                "boxing.double", "BoxingBench.DoubleBox", ops_2n, OpsPerSec, 500_000, 5_000_000, v_any, false;
+            ],
+        },
+        BenchGroup {
+            id: "threadbench",
+            suite: Suite::MicroCli,
+            source: include_str!("sources/cli/threadbench.cs"),
+            entries: entries![
+                "thread.startjoin", "ThreadBench.StartJoin", ops_n, EventsPerSec, 200, 2_000, v_eq_n, true;
+            ],
+        },
+        BenchGroup {
+            id: "lock",
+            suite: Suite::MicroCli,
+            source: include_str!("sources/cli/lockbench.cs"),
+            entries: entries![
+                "lock.uncontended", "LockBench.Uncontended", ops_n, EventsPerSec, 500_000, 5_000_000, v_eq_n, false;
+                "lock.contended", "LockBench.Contended", ops_4n, EventsPerSec, 50_000, 500_000, v_eq_4n, true;
+            ],
+        },
+        BenchGroup {
+            id: "scimark",
+            suite: Suite::SciMark,
+            source: include_str!("sources/kernels/scimark.cs"),
+            entries: entries![
+                "scimark.fft", "FFT.Run", |n| 4.0 * 2.0 * scimark::fft_flops(n as u64), MFlops, 1_024, 16_384, v_fft, false;
+                "scimark.sor", "SOR.Run", |n| scimark::sor_flops(n as u64, 10), MFlops, 100, 500, v_sor, false;
+                "scimark.montecarlo", "MonteCarlo.Run", |n| scimark::montecarlo_flops(n as u64), MFlops, 100_000, 1_000_000, v_montecarlo, false;
+                "scimark.sparse", "Sparse.Run", |n| scimark::sparse_flops(n as u64, 5 * n as u64, 100), MFlops, 1_000, 10_000, v_sparse, false;
+                "scimark.lu", "LU.Run", |n| scimark::lu_flops(n as u64), MFlops, 100, 250, v_lu, false;
+            ],
+        },
+        BenchGroup {
+            id: "apps.small",
+            suite: Suite::Apps,
+            source: include_str!("sources/kernels/smallapps.cs"),
+            entries: entries![
+                "app.fibonacci", "Fib.Run", |n| apps::fib_calls(n), CallsPerSec, 22, 28, v_fib, false;
+                "app.sieve", "Sieve.Run", ops_n, OpsPerSec, 200_000, 2_000_000, v_sieve, false;
+                "app.hanoi", "Hanoi.Run", |n| (1u64 << n) as f64, CallsPerSec, 16, 22, v_hanoi, false;
+                "app.heapsort", "HeapSort.Run", |n| n as f64 * (n as f64).log2(), OpsPerSec, 50_000, 500_000, v_heapsort, false;
+            ],
+        },
+        BenchGroup {
+            id: "app.crypt",
+            suite: Suite::Apps,
+            source: include_str!("sources/kernels/crypt.cs"),
+            entries: entries![
+                "app.crypt", "Idea.Run", |n| 2.0 * n as f64, OpsPerSec, 16_384, 262_144, v_crypt, false;
+            ],
+        },
+        BenchGroup {
+            id: "app.moldyn",
+            suite: Suite::Apps,
+            source: include_str!("sources/kernels/moldyn.cs"),
+            entries: entries![
+                "app.moldyn", "MolDyn.Run", |n| apps::moldyn_interactions(n as u64, 4), OpsPerSec, 4, 6, v_moldyn, false;
+            ],
+        },
+        BenchGroup {
+            id: "app.euler",
+            suite: Suite::Apps,
+            source: include_str!("sources/kernels/euler.cs"),
+            entries: entries![
+                "app.euler", "Euler.Run", |n| apps::euler_cell_updates(n as u64, 5), OpsPerSec, 24, 48, v_euler, false;
+            ],
+        },
+        BenchGroup {
+            id: "app.search",
+            suite: Suite::Apps,
+            source: include_str!("sources/kernels/search.cs"),
+            entries: entries![
+                "app.search", "Search.Run", |n| apps::search_run(n) / 1000.0, OpsPerSec, 7, 9, v_search, false;
+            ],
+        },
+        BenchGroup {
+            id: "app.raytracer",
+            suite: Suite::Apps,
+            source: include_str!("sources/kernels/raytracer.cs"),
+            entries: entries![
+                "app.raytracer", "RayTracer.Run", |n| (n as f64) * (n as f64) * 64.0, OpsPerSec, 24, 64, v_raytracer, false;
+            ],
+        },
+    ]
+}
+
+/// Compile a group's source (panics on compile errors — the sources are
+/// part of this crate and tested).
+pub fn compile_group(group: &BenchGroup) -> hpcnet_cil::Module {
+    compile(group.source)
+        .unwrap_or_else(|e| panic!("benchmark source {} failed to compile: {e}", group.id))
+}
+
+/// Build a VM for a group under a profile (static initializers run).
+pub fn vm_for(group: &BenchGroup, profile: VmProfile) -> Arc<Vm> {
+    let module = compile_group(group);
+    let vm = Vm::new(module, profile)
+        .unwrap_or_else(|e| panic!("benchmark module {} failed verification: {e}", group.id));
+    if vm.module.find_method(hpcnet_minics::STARTUP_INIT).is_some() {
+        vm.invoke_by_name(hpcnet_minics::STARTUP_INIT, vec![])
+            .expect("static initializers");
+    }
+    vm
+}
+
+/// Run one entry once at size `n`; returns the checksum.
+pub fn run_entry(vm: &Arc<Vm>, entry: &Entry, n: i32) -> Result<f64, VmError> {
+    let r = vm.invoke_by_name(entry.entry, vec![Value::I4(n)])?;
+    Ok(match r {
+        Some(Value::R8(v)) => v,
+        Some(other) => {
+            return Err(VmError::Internal(format!(
+                "entry {} returned {other:?}",
+                entry.id
+            )))
+        }
+        None => return Err(VmError::Internal(format!("entry {} returned void", entry.id))),
+    })
+}
+
+/// Find an entry by id.
+pub fn find_entry(id: &str) -> Option<(BenchGroup, Entry)> {
+    for g in registry() {
+        if let Some(e) = g.entries.iter().find(|e| e.id == id) {
+            let e = e.clone();
+            return Some((g, e));
+        }
+    }
+    None
+}

@@ -1,0 +1,28 @@
+// Table 3: Boxing — explicit and implicit boxing/unboxing of value types.
+class BoxingBench {
+    static double Explicit(int iters) {
+        int total = 0;
+        for (int i = 0; i < iters; i++) {
+            object o = (object) i;
+            total += (int) o;
+        }
+        return total % 1000000;
+    }
+    static double Implicit(int iters) {
+        int total = 0;
+        object[] slots = new object[4];
+        for (int i = 0; i < iters; i++) {
+            slots[i & 3] = i;          // implicit box on store
+            total += (int) slots[i & 3];
+        }
+        return total % 1000000;
+    }
+    static double DoubleBox(int iters) {
+        double total = 0.0;
+        for (int i = 0; i < iters; i++) {
+            object o = 1.5;
+            total += (double) o;
+        }
+        return total;
+    }
+}

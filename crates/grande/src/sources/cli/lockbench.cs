@@ -1,0 +1,30 @@
+// Table 3: Lock — locking primitives under different contention
+// scenarios.
+class LWorker {
+    static object mutex;
+    int iters;
+    LWorker(int n) { iters = n; }
+    virtual void Run() {
+        for (int i = 0; i < iters; i++) {
+            lock (mutex) { }
+        }
+    }
+}
+class LockBench {
+    static double Uncontended(int iters) {
+        object m = new LWorker(0);
+        int v = 0;
+        for (int i = 0; i < iters; i++) {
+            lock (m) { v++; }
+        }
+        return v;
+    }
+    static double Contended(int iters) {
+        LWorker.mutex = new LWorker(0);
+        int nthreads = 4;
+        int[] handles = new int[nthreads];
+        for (int t = 0; t < nthreads; t++) handles[t] = Sys.Start(new LWorker(iters));
+        for (int t = 0; t < nthreads; t++) Sys.Join(handles[t]);
+        return iters * nthreads;
+    }
+}

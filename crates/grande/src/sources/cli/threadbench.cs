@@ -1,0 +1,13 @@
+// Table 3: Thread — startup cost of additional threads.
+class TWorker {
+    virtual void Run() { }
+}
+class ThreadBench {
+    static double StartJoin(int iters) {
+        for (int i = 0; i < iters; i++) {
+            int h = Sys.Start(new TWorker());
+            Sys.Join(h);
+        }
+        return iters;
+    }
+}

@@ -1,0 +1,129 @@
+// Table 4: Crypt — IDEA encryption and decryption over N bytes
+// (integer- and byte-array-intensive). Mirrors native/apps.rs.
+class Rnd3 {
+    long seed;
+    Rnd3(long s) { seed = (s ^ 25214903917L) & 281474976710655L; }
+    int Next(int bits) {
+        seed = (seed * 25214903917L + 11L) & 281474976710655L;
+        return (int)(seed >> (48 - bits));
+    }
+    int NextInt() { return Next(32); }
+}
+
+class Idea {
+    static int Mul(int a, int b) {
+        if (a == 0) return (65537 - b) & 65535;
+        if (b == 0) return (65537 - a) & 65535;
+        long p = (long) a * b;
+        int lo = (int)(p & 65535L);
+        int hi = (int)((p >> 16) & 65535L);
+        int r = lo - hi;
+        if (lo < hi) r++;
+        return r & 65535;
+    }
+    static int Inv(int a) {
+        if (a <= 1) return a;
+        long result = 1L;
+        long basev = a;
+        long e = 65535L;
+        while (e > 0L) {
+            if ((e & 1L) == 1L) result = result * basev % 65537L;
+            basev = basev * basev % 65537L;
+            e = e >> 1;
+        }
+        return (int)(result & 65535L);
+    }
+    static int[] EncryptionKey(int[] user) {
+        int[] z = new int[52];
+        for (int i = 0; i < 8; i++) z[i] = user[i];
+        for (int i = 8; i < 52; i++) {
+            int m = i & 7;
+            if (m < 6) z[i] = ((z[i - 7] & 127) << 9 | z[i - 6] >> 7) & 65535;
+            else if (m == 6) z[i] = ((z[i - 7] & 127) << 9 | z[i - 14] >> 7) & 65535;
+            else z[i] = ((z[i - 15] & 127) << 9 | z[i - 14] >> 7) & 65535;
+        }
+        return z;
+    }
+    static int[] DecryptionKey(int[] z) {
+        int[] dk = new int[52];
+        for (int r = 1; r <= 8; r++) {
+            int basev = 54 - 6 * r;
+            int dst = 6 * (r - 1);
+            dk[dst] = Inv(z[basev]);
+            if (r == 1) {
+                dk[dst + 1] = (65536 - z[basev + 1]) & 65535;
+                dk[dst + 2] = (65536 - z[basev + 2]) & 65535;
+            } else {
+                dk[dst + 1] = (65536 - z[basev + 2]) & 65535;
+                dk[dst + 2] = (65536 - z[basev + 1]) & 65535;
+            }
+            dk[dst + 3] = Inv(z[basev + 3]);
+            dk[dst + 4] = z[52 - 6 * r];
+            dk[dst + 5] = z[53 - 6 * r];
+        }
+        dk[48] = Inv(z[0]);
+        dk[49] = (65536 - z[1]) & 65535;
+        dk[50] = (65536 - z[2]) & 65535;
+        dk[51] = Inv(z[3]);
+        return dk;
+    }
+    static void Cipher(int[] data, int[] outp, int[] k) {
+        int n = data.Length;
+        for (int b = 0; b < n; b += 8) {
+            int x1 = data[b] | data[b + 1] << 8;
+            int x2 = data[b + 2] | data[b + 3] << 8;
+            int x3 = data[b + 4] | data[b + 5] << 8;
+            int x4 = data[b + 6] | data[b + 7] << 8;
+            int ki = 0;
+            for (int round = 0; round < 8; round++) {
+                x1 = Mul(x1, k[ki]);
+                x2 = (x2 + k[ki + 1]) & 65535;
+                x3 = (x3 + k[ki + 2]) & 65535;
+                x4 = Mul(x4, k[ki + 3]);
+                int t0 = Mul(k[ki + 4], x1 ^ x3);
+                int t1 = Mul(k[ki + 5], (t0 + (x2 ^ x4)) & 65535);
+                int t2 = (t0 + t1) & 65535;
+                x1 = x1 ^ t1;
+                x4 = x4 ^ t2;
+                int tmp = x2 ^ t2;
+                x2 = x3 ^ t1;
+                x3 = tmp;
+                ki += 6;
+            }
+            int y1 = Mul(x1, k[48]);
+            int y2 = (x3 + k[49]) & 65535;
+            int y3 = (x2 + k[50]) & 65535;
+            int y4 = Mul(x4, k[51]);
+            outp[b] = y1 & 255;
+            outp[b + 1] = (y1 >> 8) & 255;
+            outp[b + 2] = y2 & 255;
+            outp[b + 3] = (y2 >> 8) & 255;
+            outp[b + 4] = y3 & 255;
+            outp[b + 5] = (y3 >> 8) & 255;
+            outp[b + 6] = y4 & 255;
+            outp[b + 7] = (y4 >> 8) & 255;
+        }
+    }
+    static double Run(int size) {
+        int n = size - size % 8;
+        Rnd3 r = new Rnd3(101010L);
+        int[] user = new int[8];
+        for (int i = 0; i < 8; i++) user[i] = r.NextInt() & 65535;
+        int[] z = EncryptionKey(user);
+        int[] dk = DecryptionKey(z);
+        int[] plain = new int[n];
+        for (int i = 0; i < n; i++) plain[i] = r.NextInt() & 255;
+        int[] cipher = new int[n];
+        int[] back = new int[n];
+        Cipher(plain, cipher, z);
+        Cipher(cipher, back, dk);
+        long mismatch = 0L;
+        for (int i = 0; i < n; i++) { if (plain[i] != back[i]) mismatch = mismatch + 1L; }
+        long digest = 0L;
+        for (int i = 0; i < n; i++) {
+            digest += (long) cipher[i] * (i % 251 + 1);
+        }
+        digest = digest % 1000003L;
+        return mismatch * 1.0E9 + digest;
+    }
+}

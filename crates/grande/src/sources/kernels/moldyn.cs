@@ -1,0 +1,104 @@
+// Table 4: MolDyn — Lennard-Jones N-body in a cubic volume with periodic
+// boundaries; the hot part is the pairwise force loop, exactly as the
+// paper describes. Mirrors native/apps.rs moldyn_run.
+class Rnd4 {
+    long seed;
+    Rnd4(long s) { seed = (s ^ 25214903917L) & 281474976710655L; }
+    int Next(int bits) {
+        seed = (seed * 25214903917L + 11L) & 281474976710655L;
+        return (int)(seed >> (48 - bits));
+    }
+    double NextDouble() {
+        long hi = (long) Next(26) << 27;
+        long lo = Next(27);
+        return (hi + lo) * 1.1102230246251565E-16;
+    }
+}
+
+class MolDyn {
+    static int n;
+    static double boxLen;
+    static double[] x; static double[] y; static double[] z;
+    static double[] vx; static double[] vy; static double[] vz;
+    static double[] fx; static double[] fy; static double[] fz;
+
+    static double Forces() {
+        double epot = 0.0;
+        for (int i = 0; i < n; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+        double half = boxLen * 0.5;
+        for (int i = 0; i < n; i++) {
+            for (int j = i + 1; j < n; j++) {
+                double dx = x[i] - x[j];
+                double dy = y[i] - y[j];
+                double dz = z[i] - z[j];
+                if (dx > half) dx -= boxLen; else if (dx < -half) dx += boxLen;
+                if (dy > half) dy -= boxLen; else if (dy < -half) dy += boxLen;
+                if (dz > half) dz -= boxLen; else if (dz < -half) dz += boxLen;
+                double r2 = dx * dx + dy * dy + dz * dz;
+                if (r2 < 6.25 && r2 > 0.0) {
+                    double inv2 = 1.0 / r2;
+                    double inv6 = inv2 * inv2 * inv2;
+                    epot += 4.0 * inv6 * (inv6 - 1.0);
+                    double force = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+                    fx[i] += force * dx;
+                    fy[i] += force * dy;
+                    fz[i] += force * dz;
+                    fx[j] -= force * dx;
+                    fy[j] -= force * dy;
+                    fz[j] -= force * dz;
+                }
+            }
+        }
+        return epot;
+    }
+
+    static double Run(int nside) {
+        int steps = 4;
+        n = nside * nside * nside;
+        boxLen = nside;
+        double dt = 0.002;
+        Rnd4 r = new Rnd4(101010L);
+        x = new double[n]; y = new double[n]; z = new double[n];
+        vx = new double[n]; vy = new double[n]; vz = new double[n];
+        fx = new double[n]; fy = new double[n]; fz = new double[n];
+        int idx = 0;
+        for (int i = 0; i < nside; i++) {
+            for (int j = 0; j < nside; j++) {
+                for (int k = 0; k < nside; k++) {
+                    x[idx] = i + 0.5;
+                    y[idx] = j + 0.5;
+                    z[idx] = k + 0.5;
+                    vx[idx] = r.NextDouble() - 0.5;
+                    vy[idx] = r.NextDouble() - 0.5;
+                    vz[idx] = r.NextDouble() - 0.5;
+                    idx++;
+                }
+            }
+        }
+        double epot = Forces();
+        for (int s = 0; s < steps; s++) {
+            for (int i = 0; i < n; i++) {
+                vx[i] += 0.5 * dt * fx[i];
+                vy[i] += 0.5 * dt * fy[i];
+                vz[i] += 0.5 * dt * fz[i];
+                x[i] += dt * vx[i];
+                y[i] += dt * vy[i];
+                z[i] += dt * vz[i];
+                if (x[i] < 0.0) x[i] += boxLen; else if (x[i] >= boxLen) x[i] -= boxLen;
+                if (y[i] < 0.0) y[i] += boxLen; else if (y[i] >= boxLen) y[i] -= boxLen;
+                if (z[i] < 0.0) z[i] += boxLen; else if (z[i] >= boxLen) z[i] -= boxLen;
+            }
+            epot = Forces();
+            for (int i = 0; i < n; i++) {
+                vx[i] += 0.5 * dt * fx[i];
+                vy[i] += 0.5 * dt * fy[i];
+                vz[i] += 0.5 * dt * fz[i];
+            }
+        }
+        double ekin = 0.0;
+        for (int i = 0; i < n; i++) {
+            ekin += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+        }
+        return ekin + epot;
+    }
+}

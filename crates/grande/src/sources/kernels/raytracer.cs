@@ -1,0 +1,112 @@
+// Table 4 (DHPC section 2a): RayTracer — 64-sphere scene rendered at NxN
+// with Lambert shading, hard shadows and one reflection bounce. Object-
+// oriented on purpose (Sphere instances, per-object methods): this is
+// the kernel that leans on the object model. Mirrors native/apps.rs.
+class Rnd5 {
+    long seed;
+    Rnd5(long s) { seed = (s ^ 25214903917L) & 281474976710655L; }
+    int Next(int bits) {
+        seed = (seed * 25214903917L + 11L) & 281474976710655L;
+        return (int)(seed >> (48 - bits));
+    }
+    double NextDouble() {
+        long hi = (long) Next(26) << 27;
+        long lo = Next(27);
+        return (hi + lo) * 1.1102230246251565E-16;
+    }
+}
+
+class Sphere {
+    double cx; double cy; double cz; double r; double shade;
+    Sphere(double x, double y, double z, double rad, double sh) {
+        cx = x; cy = y; cz = z; r = rad; shade = sh;
+    }
+    // Ray-sphere intersection distance, or -1.
+    double Intersect(double ox, double oy, double oz, double dx, double dy, double dz) {
+        double lx = cx - ox;
+        double ly = cy - oy;
+        double lz = cz - oz;
+        double tca = lx * dx + ly * dy + lz * dz;
+        if (tca < 0.0) return -1.0;
+        double d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+        double r2 = r * r;
+        if (d2 > r2) return -1.0;
+        return tca - Math.Sqrt(r2 - d2);
+    }
+}
+
+class RayTracer {
+    static Sphere[] spheres;
+    static double lx; static double ly; static double lz;
+
+    static void BuildScene() {
+        Rnd5 rng = new Rnd5(101010L);
+        spheres = new Sphere[64];
+        int idx = 0;
+        for (int i = 0; i < 4; i++) {
+            for (int j = 0; j < 4; j++) {
+                for (int k = 0; k < 4; k++) {
+                    spheres[idx] = new Sphere(
+                        i * 2.0 - 3.0,
+                        j * 2.0 - 3.0,
+                        k * 2.0 - 10.0,
+                        0.4 + 0.3 * rng.NextDouble(),
+                        0.2 + 0.8 * rng.NextDouble());
+                    idx++;
+                }
+            }
+        }
+        lx = 0.577; ly = 0.577; lz = 0.577;
+    }
+
+    static double Trace(double ox, double oy, double oz, double dx, double dy, double dz, int depth) {
+        double best = 1.0E300;
+        int hit = -1;
+        for (int si = 0; si < spheres.Length; si++) {
+            double t = spheres[si].Intersect(ox, oy, oz, dx, dy, dz);
+            if (t > 1.0E-6 && t < best) { best = t; hit = si; }
+        }
+        if (hit < 0) return 0.1;
+        Sphere s = spheres[hit];
+        double px = ox + dx * best;
+        double py = oy + dy * best;
+        double pz = oz + dz * best;
+        double nx = (px - s.cx) / s.r;
+        double ny = (py - s.cy) / s.r;
+        double nz = (pz - s.cz) / s.r;
+        double nl = Math.Sqrt(nx * nx + ny * ny + nz * nz);
+        nx /= nl; ny /= nl; nz /= nl;
+        double diff = nx * lx + ny * ly + nz * lz;
+        if (diff < 0.0) diff = 0.0;
+        if (diff > 0.0) {
+            for (int si = 0; si < spheres.Length; si++) {
+                double t = spheres[si].Intersect(px, py, pz, lx, ly, lz);
+                if (t > 1.0E-6) { diff = 0.0; break; }
+            }
+        }
+        double color = s.shade * (0.1 + 0.9 * diff);
+        if (depth > 0) {
+            double dot = dx * nx + dy * ny + dz * nz;
+            double rx = dx - 2.0 * dot * nx;
+            double ry = dy - 2.0 * dot * ny;
+            double rz = dz - 2.0 * dot * nz;
+            color += 0.3 * Trace(px, py, pz, rx, ry, rz, depth - 1);
+        }
+        return color;
+    }
+
+    static double Run(int n) {
+        BuildScene();
+        double sum = 0.0;
+        for (int yi = 0; yi < n; yi++) {
+            for (int xi = 0; xi < n; xi++) {
+                double dx = (((double) xi) / n - 0.5) * 1.6;
+                double dy = (((double) yi) / n - 0.5) * 1.6;
+                double dz = -1.0;
+                double len = Math.Sqrt(dx * dx + dy * dy + dz * dz);
+                sum += Trace(0.0, 0.0, 0.0, dx / len, dy / len, dz / len, 1);
+            }
+        }
+        return sum;
+    }
+}

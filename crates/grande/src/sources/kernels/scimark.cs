@@ -1,0 +1,273 @@
+// SciMark 2.0 kernels ported to MiniC# — FFT, SOR, Monte Carlo,
+// Sparse matrix multiply, LU. Ported per the paper's methodology: support
+// code (the LCG random generator) is kept identical to the Java version.
+// Each kernel exposes `static double Run(int n)` returning a checksum the
+// host validates against the native oracle.
+
+class Rnd {
+    long seed;
+    Rnd(long s) { seed = (s ^ 25214903917L) & 281474976710655L; }
+    int Next(int bits) {
+        seed = (seed * 25214903917L + 11L) & 281474976710655L;
+        return (int)(seed >> (48 - bits));
+    }
+    double NextDouble() {
+        long hi = (long) Next(26) << 27;
+        long lo = Next(27);
+        return (hi + lo) * 1.1102230246251565E-16;
+    }
+    int NextInt() { return Next(32); }
+}
+
+class FFT {
+    static int Log2(int n) {
+        int log = 0;
+        int k = 1;
+        while (k < n) { k = k * 2; log = log + 1; }
+        return log;
+    }
+
+    static void Bitreverse(double[] data) {
+        int n = data.Length / 2;
+        int nm1 = n - 1;
+        int j = 0;
+        for (int i = 0; i < nm1; i++) {
+            int ii = i << 1;
+            int jj = j << 1;
+            int k = n >> 1;
+            if (i < j) {
+                double tr = data[ii];
+                double ti = data[ii + 1];
+                data[ii] = data[jj];
+                data[ii + 1] = data[jj + 1];
+                data[jj] = tr;
+                data[jj + 1] = ti;
+            }
+            while (k <= j) { j = j - k; k = k >> 1; }
+            j = j + k;
+        }
+    }
+
+    static void Transform(double[] data, double direction) {
+        int n = data.Length / 2;
+        if (n <= 1) return;
+        int logn = Log2(n);
+        Bitreverse(data);
+        int dual = 1;
+        for (int bit = 0; bit < logn; bit++) {
+            double theta = 2.0 * direction * Math.PI / (2.0 * dual);
+            double s = Math.Sin(theta);
+            double t = Math.Sin(theta / 2.0);
+            double s2 = 2.0 * t * t;
+            for (int b = 0; b < n; b += 2 * dual) {
+                int i = 2 * b;
+                int j = 2 * (b + dual);
+                double wdr = data[j];
+                double wdi = data[j + 1];
+                data[j] = data[i] - wdr;
+                data[j + 1] = data[i + 1] - wdi;
+                data[i] = data[i] + wdr;
+                data[i + 1] = data[i + 1] + wdi;
+            }
+            double wr = 1.0;
+            double wi = 0.0;
+            for (int a = 1; a < dual; a++) {
+                double tmpr = wr - s * wi - s2 * wr;
+                double tmpi = wi + s * wr - s2 * wi;
+                wr = tmpr;
+                wi = tmpi;
+                for (int b = 0; b < n; b += 2 * dual) {
+                    int i = 2 * (b + a);
+                    int j = 2 * (b + a + dual);
+                    double z1r = data[j];
+                    double z1i = data[j + 1];
+                    double wdr = wr * z1r - wi * z1i;
+                    double wdi = wr * z1i + wi * z1r;
+                    data[j] = data[i] - wdr;
+                    data[j + 1] = data[i + 1] - wdi;
+                    data[i] = data[i] + wdr;
+                    data[i + 1] = data[i + 1] + wdi;
+                }
+            }
+            dual = dual * 2;
+        }
+    }
+
+    static void Inverse(double[] data) {
+        Transform(data, 1.0);
+        int n = data.Length / 2;
+        double norm = 1.0 / n;
+        for (int i = 0; i < data.Length; i++) data[i] = data[i] * norm;
+    }
+
+    static double Run(int n) {
+        Rnd r = new Rnd(101010L);
+        double[] data = new double[2 * n];
+        double[] orig = new double[2 * n];
+        for (int i = 0; i < 2 * n; i++) {
+            double v = r.NextDouble() - 0.5;
+            data[i] = v;
+            orig[i] = v;
+        }
+        // SciMark protocol: the transform repeats so setup amortizes.
+        for (int rep = 0; rep < 4; rep++) {
+            Transform(data, -1.0);
+            Inverse(data);
+        }
+        double sum = 0.0;
+        for (int i = 0; i < data.Length; i++) {
+            double d = data[i] - orig[i];
+            sum += d * d;
+        }
+        return Math.Sqrt(sum / n);
+    }
+}
+
+class SOR {
+    static double Run(int n) {
+        Rnd r = new Rnd(101010L);
+        double[][] g = new double[n][];
+        for (int i = 0; i < n; i++) {
+            g[i] = new double[n];
+            for (int j = 0; j < n; j++) g[i][j] = r.NextDouble();
+        }
+        Execute(1.25, g, 10);
+        double sum = 0.0;
+        for (int i = 0; i < n; i++) {
+            double[] row = g[i];
+            for (int j = 0; j < row.Length; j++) sum += row[j];
+        }
+        return g[1][1] + sum / (n * n);
+    }
+
+    static void Execute(double omega, double[][] g, int iters) {
+        int m = g.Length;
+        int n = g[0].Length;
+        double omegaOverFour = omega * 0.25;
+        double oneMinusOmega = 1.0 - omega;
+        int mm1 = m - 1;
+        int nm1 = n - 1;
+        for (int p = 0; p < iters; p++) {
+            for (int i = 1; i < mm1; i++) {
+                double[] gi = g[i];
+                double[] gim1 = g[i - 1];
+                double[] gip1 = g[i + 1];
+                for (int j = 1; j < nm1; j++) {
+                    gi[j] = omegaOverFour * (gim1[j] + gip1[j] + gi[j - 1] + gi[j + 1])
+                        + oneMinusOmega * gi[j];
+                }
+            }
+        }
+    }
+}
+
+class MonteCarlo {
+    static object mutex;
+    static Rnd gen;
+
+    static double NextSample() {
+        // The paper notes this kernel is "mainly a test of the access to
+        // synchronized methods": the generator is shared and locked.
+        lock (mutex) {
+            return gen.NextDouble();
+        }
+    }
+
+    static double Run(int samples) {
+        mutex = new Rnd(0L);
+        gen = new Rnd(101010L);
+        int underCurve = 0;
+        for (int count = 0; count < samples; count++) {
+            double x = NextSample();
+            double y = NextSample();
+            if (x * x + y * y <= 1.0) underCurve++;
+        }
+        return ((double) underCurve) / samples * 4.0;
+    }
+}
+
+class Sparse {
+    static double Run(int n) {
+        int nz = 5 * n;
+        Rnd r = new Rnd(101010L);
+        int nr = nz / n;
+        int anz = nr * n;
+        double[] val = new double[anz];
+        for (int i = 0; i < val.Length; i++) val[i] = r.NextDouble();
+        double[] x = new double[n];
+        for (int i = 0; i < x.Length; i++) x[i] = r.NextDouble();
+        int[] col = new int[anz];
+        int[] row = new int[n + 1];
+        for (int rr = 0; rr < n; rr++) {
+            int rowr = rr * nr;
+            row[rr] = rowr;
+            int step = rr / nr;
+            if (step < 1) step = 1;
+            for (int i = 0; i < nr; i++) col[rowr + i] = i * step;
+        }
+        row[n] = anz;
+        double[] y = new double[n];
+        // Repeated multiplies y = A*x, SciMark style, so the kernel
+        // dominates setup (the paper's +15% BCE observation applies to
+        // exactly this loop shape).
+        for (int reps = 0; reps < 100; reps++) {
+            for (int rr = 0; rr < n; rr++) {
+                double sum = 0.0;
+                int from = row[rr];
+                int to = row[rr + 1];
+                for (int i = from; i < to; i++) sum += x[col[i]] * val[i];
+                y[rr] = sum;
+            }
+        }
+        double total = 0.0;
+        for (int i = 0; i < y.Length; i++) total += y[i];
+        return total;
+    }
+}
+
+class LU {
+    static double Run(int n) {
+        Rnd r = new Rnd(101010L);
+        double[][] a = new double[n][];
+        for (int i = 0; i < n; i++) {
+            a[i] = new double[n];
+            for (int j = 0; j < n; j++) a[i][j] = r.NextDouble();
+        }
+        int[] pivot = new int[n];
+        Factor(a, pivot);
+        double sum = 0.0;
+        for (int i = 0; i < n; i++) sum += Math.Abs(a[i][i]);
+        return sum;
+    }
+
+    static void Factor(double[][] a, int[] pivot) {
+        int n = a.Length;
+        for (int j = 0; j < n; j++) {
+            int jp = j;
+            double t = Math.Abs(a[j][j]);
+            for (int i = j + 1; i < n; i++) {
+                double ab = Math.Abs(a[i][j]);
+                if (ab > t) { jp = i; t = ab; }
+            }
+            pivot[j] = jp;
+            if (jp != j) {
+                double[] tmp = a[j];
+                a[j] = a[jp];
+                a[jp] = tmp;
+            }
+            if (a[j][j] == 0.0) continue;
+            if (j < n - 1) {
+                double recp = 1.0 / a[j][j];
+                for (int i = j + 1; i < n; i++) a[i][j] = a[i][j] * recp;
+            }
+            if (j < n - 1) {
+                for (int i = j + 1; i < n; i++) {
+                    double[] ai = a[i];
+                    double[] aj = a[j];
+                    double aij = ai[j];
+                    for (int k = j + 1; k < n; k++) ai[k] -= aij * aj[k];
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+// Table 4: Search — alpha-beta pruned connect-4 on a 6x7 board with
+// bitboards (memory and integer intensive). Mirrors native/apps.rs
+// Connect4; the node count is a deterministic integer every engine must
+// reproduce exactly.
+class Search {
+    static long bb0;
+    static long bb1;
+    static int[] height;
+    static long nodes;
+    static int[] colOrder;
+
+    static bool Wins(long b) {
+        long m = b & (b >> 1);
+        if ((m & (m >> 2)) != 0L) return true;
+        m = b & (b >> 7);
+        if ((m & (m >> 14)) != 0L) return true;
+        m = b & (b >> 6);
+        if ((m & (m >> 12)) != 0L) return true;
+        m = b & (b >> 8);
+        if ((m & (m >> 16)) != 0L) return true;
+        return false;
+    }
+
+    static int Negamax(int depth, int alpha, int beta, int player) {
+        nodes = nodes + 1L;
+        if (depth == 0) return 0;
+        for (int oi = 0; oi < 7; oi++) {
+            int col = colOrder[oi];
+            if (height[col] >= 6) continue;
+            long bit = 1L << (col * 7 + height[col]);
+            long mine;
+            if (player == 0) { bb0 = bb0 | bit; mine = bb0; }
+            else { bb1 = bb1 | bit; mine = bb1; }
+            height[col]++;
+            int score;
+            if (Wins(mine)) score = depth;
+            else score = -Negamax(depth - 1, -beta, -alpha, 1 - player);
+            height[col]--;
+            if (player == 0) bb0 = bb0 & ~bit;
+            else bb1 = bb1 & ~bit;
+            if (score >= beta) return beta;
+            if (score > alpha) alpha = score;
+        }
+        return alpha;
+    }
+
+    static double Run(int depth) {
+        bb0 = 0L;
+        bb1 = 0L;
+        nodes = 0L;
+        height = new int[7];
+        colOrder = new int[7];
+        colOrder[0] = 3; colOrder[1] = 2; colOrder[2] = 4; colOrder[3] = 1;
+        colOrder[4] = 5; colOrder[5] = 0; colOrder[6] = 6;
+        int score = Negamax(depth, -1000, 1000, 0);
+        return nodes * 1000.0 + (score + 500);
+    }
+}

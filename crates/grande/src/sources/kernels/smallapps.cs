@@ -1,0 +1,100 @@
+// Table 4 small application kernels: Fibonacci, Sieve, Hanoi, HeapSort.
+// Algorithms mirror crates/grande/src/native/apps.rs exactly so the
+// checksums match across every engine and the native baseline.
+class Rnd2 {
+    long seed;
+    Rnd2(long s) { seed = (s ^ 25214903917L) & 281474976710655L; }
+    int Next(int bits) {
+        seed = (seed * 25214903917L + 11L) & 281474976710655L;
+        return (int)(seed >> (48 - bits));
+    }
+    int NextInt() { return Next(32); }
+}
+
+class Fib {
+    static int Calc(int n) {
+        if (n < 2) return n;
+        return Calc(n - 1) + Calc(n - 2);
+    }
+    static double Run(int n) { return Calc(n); }
+}
+
+class Sieve {
+    static double Run(int n) {
+        if (n < 3) {
+            if (n > 2) return 1;
+            return 0;
+        }
+        bool[] flags = new bool[n];
+        for (int i = 0; i < n; i++) flags[i] = true;
+        int count = 0;
+        for (int i = 2; i < n; i++) {
+            if (flags[i]) {
+                count++;
+                int k = i + i;
+                while (k < n) { flags[k] = false; k += i; }
+            }
+        }
+        return count;
+    }
+}
+
+class Hanoi {
+    static long moves;
+    static void Move(int n) {
+        if (n == 0) return;
+        Move(n - 1);
+        moves = moves + 1L;
+        Move(n - 1);
+    }
+    static double Run(int disks) {
+        moves = 0L;
+        Move(disks);
+        return moves;
+    }
+}
+
+class HeapSort {
+    static void SiftDown(int[] a, int root, int end) {
+        bool going = true;
+        while (going) {
+            int child = 2 * root + 1;
+            if (child >= end) { going = false; }
+            else {
+                if (child + 1 < end && a[child] < a[child + 1]) child++;
+                if (a[root] < a[child]) {
+                    int t = a[root];
+                    a[root] = a[child];
+                    a[child] = t;
+                    root = child;
+                } else {
+                    going = false;
+                }
+            }
+        }
+    }
+    static void Sort(int[] a) {
+        int n = a.Length;
+        if (n < 2) return;
+        int start = n / 2;
+        while (start > 0) {
+            start--;
+            SiftDown(a, start, n);
+        }
+        int end = n;
+        while (end > 1) {
+            end--;
+            int t = a[0];
+            a[0] = a[end];
+            a[end] = t;
+            SiftDown(a, 0, end);
+        }
+    }
+    static double Run(int n) {
+        Rnd2 r = new Rnd2(101010L);
+        int[] a = new int[n];
+        for (int i = 0; i < n; i++) a[i] = r.NextInt();
+        Sort(a);
+        return a[0] + 2.0 * a[n / 2] + 3.0 * a[n - 1];
+    }
+}

@@ -1,0 +1,93 @@
+// Java Grande section 1: arithmetic micro-benchmarks (Graphs 1-3 of the
+// paper). Four independent dependency chains per loop iteration, exactly
+// the JGF shape, so per-iteration work is 4 operations.
+class Arith {
+    static double AddInt(int iters) {
+        int i1 = 1; int i2 = -2; int i3 = 3; int i4 = -4;
+        for (int i = 0; i < iters; i++) { i2 += i1; i3 += i2; i4 += i3; i1 += i4; }
+        return i1 + i2 + i3 + i4;
+    }
+    static double MultInt(int iters) {
+        int i1 = 1; int i2 = -2; int i3 = 3; int i4 = -4;
+        for (int i = 0; i < iters; i++) { i2 *= i1; i3 *= i2; i4 *= i3; i1 *= i4; }
+        return i1 + i2 + i3 + i4;
+    }
+    static double DivInt(int iters) {
+        int i1 = 2147483647; int i2 = 3;
+        for (int i = 0; i < iters; i++) {
+            i1 = i1 / i2;
+            if (i1 == 0) i1 = 2147483647;
+        }
+        return i1;
+    }
+    static double AddLong(int iters) {
+        long l1 = 1L; long l2 = -2L; long l3 = 3L; long l4 = -4L;
+        for (int i = 0; i < iters; i++) { l2 += l1; l3 += l2; l4 += l3; l1 += l4; }
+        return l1 + l2 + l3 + l4;
+    }
+    static double MultLong(int iters) {
+        long l1 = 1L; long l2 = -2L; long l3 = 3L; long l4 = -4L;
+        for (int i = 0; i < iters; i++) { l2 *= l1; l3 *= l2; l4 *= l3; l1 *= l4; }
+        return l1 + l2 + l3 + l4;
+    }
+    static double DivLong(int iters) {
+        long l1 = 9223372036854775807L; long l2 = 3L;
+        for (int i = 0; i < iters; i++) {
+            l1 = l1 / l2;
+            if (l1 == 0L) l1 = 9223372036854775807L;
+        }
+        return l1;
+    }
+    static double AddFloat(int iters) {
+        float f1 = 1.0f; float f2 = -2.0f; float f3 = 3.0f; float f4 = -4.0f;
+        for (int i = 0; i < iters; i++) {
+            f2 += f1; f3 += f2; f4 += f3; f1 += f4;
+            if (f1 > 1.0E15f || f1 < -1.0E15f) { f1 = 1.0f; f2 = -2.0f; f3 = 3.0f; f4 = -4.0f; }
+        }
+        return f1 + f2 + f3 + f4;
+    }
+    static double MultFloat(int iters) {
+        float f1 = 1.0f; float f2 = -1.01f; float f3 = 1.02f; float f4 = -1.03f;
+        for (int i = 0; i < iters; i++) {
+            f2 *= f1; f3 *= f2; f4 *= f3; f1 *= f4;
+            if (f1 > 1.0E15f || f1 < -1.0E15f || (f1 < 1.0E-15f && f1 > -1.0E-15f)) {
+                f1 = 1.0f; f2 = -1.01f; f3 = 1.02f; f4 = -1.03f;
+            }
+        }
+        return f1 + f2 + f3 + f4;
+    }
+    static double DivFloat(int iters) {
+        float f1 = 100000.0f; float f2 = 1.01f;
+        for (int i = 0; i < iters; i++) {
+            f1 = f1 / f2;
+            if (f1 < 1.0f) f1 = 100000.0f;
+        }
+        return f1;
+    }
+    static double AddDouble(int iters) {
+        double d1 = 1.0; double d2 = -2.0; double d3 = 3.0; double d4 = -4.0;
+        for (int i = 0; i < iters; i++) {
+            d2 += d1; d3 += d2; d4 += d3; d1 += d4;
+            if (d1 > 1.0E100 || d1 < -1.0E100) { d1 = 1.0; d2 = -2.0; d3 = 3.0; d4 = -4.0; }
+        }
+        return d1 + d2 + d3 + d4;
+    }
+    static double MultDouble(int iters) {
+        double d1 = 1.0; double d2 = -1.01; double d3 = 1.02; double d4 = -1.03;
+        for (int i = 0; i < iters; i++) {
+            d2 *= d1; d3 *= d2; d4 *= d3; d1 *= d4;
+            if (d1 > 1.0E100 || d1 < -1.0E100 || (d1 < 1.0E-100 && d1 > -1.0E-100)) {
+                d1 = 1.0; d2 = -1.01; d3 = 1.02; d4 = -1.03;
+            }
+        }
+        return d1 + d2 + d3 + d4;
+    }
+    static double DivDouble(int iters) {
+        double d1 = 100000.0; double d2 = 1.01;
+        for (int i = 0; i < iters; i++) {
+            d1 = d1 / d2;
+            if (d1 < 1.0) d1 = 100000.0;
+        }
+        return d1;
+    }
+}

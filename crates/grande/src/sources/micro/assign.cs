@@ -1,0 +1,29 @@
+// Java Grande section 1: Assign — cost of assigning to the different
+// variable flavors (Table 1).
+class Assign {
+    static int sstatic;
+    int sinstance;
+    static double Local(int iters) {
+        int v = 0;
+        int s = 7;
+        for (int i = 0; i < iters; i++) { v = s; s = v + 1; v = s; s = v; }
+        return s;
+    }
+    static double Static(int iters) {
+        int s = 3;
+        for (int i = 0; i < iters; i++) { sstatic = s; s = sstatic; sstatic = s; s = sstatic; }
+        return sstatic;
+    }
+    static double Instance(int iters) {
+        Assign o = new Assign();
+        int s = 3;
+        for (int i = 0; i < iters; i++) { o.sinstance = s; s = o.sinstance; o.sinstance = s; s = o.sinstance; }
+        return o.sinstance;
+    }
+    static double ArrayElem(int iters) {
+        int[] a = new int[16];
+        int s = 3;
+        for (int i = 0; i < iters; i++) { a[4] = s; s = a[4]; a[5] = s; s = a[5]; }
+        return s;
+    }
+}

@@ -1,0 +1,23 @@
+// Java Grande section 1: Cast — converting between primitive types.
+class Cast {
+    static double IntFloat(int iters) {
+        int i1 = 9; float f1 = 0.0f;
+        for (int i = 0; i < iters; i++) { f1 = (float) i1; i1 = (int) f1; f1 = (float) i1; i1 = (int) f1; }
+        return i1 + f1;
+    }
+    static double IntDouble(int iters) {
+        int i1 = 9; double d1 = 0.0;
+        for (int i = 0; i < iters; i++) { d1 = (double) i1; i1 = (int) d1; d1 = (double) i1; i1 = (int) d1; }
+        return i1 + d1;
+    }
+    static double LongFloat(int iters) {
+        long l1 = 9L; float f1 = 0.0f;
+        for (int i = 0; i < iters; i++) { f1 = (float) l1; l1 = (long) f1; f1 = (float) l1; l1 = (long) f1; }
+        return l1 + f1;
+    }
+    static double LongDouble(int iters) {
+        long l1 = 9L; double d1 = 0.0;
+        for (int i = 0; i < iters; i++) { d1 = (double) l1; l1 = (long) d1; d1 = (double) l1; l1 = (long) d1; }
+        return l1 + d1;
+    }
+}

@@ -1,0 +1,20 @@
+// Java Grande section 1: Create — objects and arrays.
+class Small { int x; }
+class Create {
+    static double Objects(int iters) {
+        Small last = null;
+        for (int i = 0; i < iters; i++) { last = new Small(); last = new Small(); }
+        last.x = 1;
+        return last.x;
+    }
+    static double Arrays(int iters) {
+        int[] last = null;
+        for (int i = 0; i < iters; i++) { last = new int[128]; last = new int[128]; }
+        return last.Length;
+    }
+    static double DoubleArrays(int iters) {
+        double[] last = null;
+        for (int i = 0; i < iters; i++) { last = new double[128]; last = new double[128]; }
+        return last.Length;
+    }
+}

@@ -1,0 +1,30 @@
+// Java Grande section 1: Exception — creating, throwing and catching,
+// in the current method and further down the call tree (Graph 5).
+class ExceptionBench {
+    static Exception ready;
+    static double New(int iters) {
+        Exception last = null;
+        for (int i = 0; i < iters; i++) { last = new Exception(); }
+        if (last == null) return 0;
+        return iters;
+    }
+    static double Throw(int iters) {
+        ready = new Exception();
+        int caught = 0;
+        for (int i = 0; i < iters; i++) {
+            try { throw ready; } catch (Exception e) { caught++; }
+        }
+        return caught;
+    }
+    static void Level3() { throw ready; }
+    static void Level2() { Level3(); }
+    static void Level1() { Level2(); }
+    static double Method(int iters) {
+        ready = new Exception();
+        int caught = 0;
+        for (int i = 0; i < iters; i++) {
+            try { Level1(); } catch (Exception e) { caught++; }
+        }
+        return caught;
+    }
+}

@@ -1,0 +1,19 @@
+// Java Grande section 1: Loop overheads (Graph 4).
+class Loops {
+    static double For(int iters) {
+        int count = 0;
+        for (int i = 0; i < iters; i++) count++;
+        return count;
+    }
+    static double ReverseFor(int iters) {
+        int count = 0;
+        for (int i = iters; i > 0; i--) count++;
+        return count;
+    }
+    static double WhileLoop(int iters) {
+        int count = 0;
+        int i = 0;
+        while (i < iters) { count++; i++; }
+        return count;
+    }
+}

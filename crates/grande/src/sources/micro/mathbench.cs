@@ -1,0 +1,148 @@
+// Java Grande section 1: Math library routines (Graphs 6-8).
+class MathBench {
+    static double AbsInt(int iters) {
+        int v = 0;
+        for (int i = 0; i < iters; i++) { v = Math.Abs(-i) - Math.Abs(v); }
+        return v;
+    }
+    static double AbsLong(int iters) {
+        long v = 0L;
+        for (int i = 0; i < iters; i++) { v = Math.Abs(-1L - v) - Math.Abs(v); }
+        return v;
+    }
+    static double AbsFloat(int iters) {
+        float v = 0.0f;
+        for (int i = 0; i < iters; i++) { v = Math.Abs(-1.5f - v) - Math.Abs(v); }
+        return v;
+    }
+    static double AbsDouble(int iters) {
+        double v = 0.0;
+        for (int i = 0; i < iters; i++) { v = Math.Abs(-1.5 - v) - Math.Abs(v); }
+        return v;
+    }
+    static double MaxInt(int iters) {
+        int v = 0;
+        for (int i = 0; i < iters; i++) { v = Math.Max(v, i) - Math.Max(i, 2); }
+        return v;
+    }
+    static double MaxLong(int iters) {
+        long v = 0L;
+        for (int i = 0; i < iters; i++) { v = Math.Max(v, 7L) - Math.Max(v, 2L); }
+        return v;
+    }
+    static double MaxFloat(int iters) {
+        float v = 0.0f;
+        for (int i = 0; i < iters; i++) { v = Math.Max(v, 7.5f) - Math.Max(v, 2.5f); }
+        return v;
+    }
+    static double MaxDouble(int iters) {
+        double v = 0.0;
+        for (int i = 0; i < iters; i++) { v = Math.Max(v, 7.5) - Math.Max(v, 2.5); }
+        return v;
+    }
+    static double MinInt(int iters) {
+        int v = 0;
+        for (int i = 0; i < iters; i++) { v = Math.Min(v, i) + Math.Min(i, 2); }
+        return v % 1000;
+    }
+    static double MinLong(int iters) {
+        long v = 0L;
+        for (int i = 0; i < iters; i++) { v = Math.Min(v, 7L) + Math.Min(v, 2L); }
+        return v % 1000L;
+    }
+    static double MinFloat(int iters) {
+        float v = 0.0f;
+        for (int i = 0; i < iters; i++) { v = Math.Min(v, 7.5f) - Math.Min(v, 2.5f); }
+        return v;
+    }
+    static double MinDouble(int iters) {
+        double v = 0.0;
+        for (int i = 0; i < iters; i++) { v = Math.Min(v, 7.5) - Math.Min(v, 2.5); }
+        return v;
+    }
+    static double SinDouble(int iters) {
+        double v = 0.0; double x = 0.0;
+        for (int i = 0; i < iters; i++) { v += Math.Sin(x); x += 0.001; }
+        return v;
+    }
+    static double CosDouble(int iters) {
+        double v = 0.0; double x = 0.0;
+        for (int i = 0; i < iters; i++) { v += Math.Cos(x); x += 0.001; }
+        return v;
+    }
+    static double TanDouble(int iters) {
+        double v = 0.0; double x = 0.0;
+        for (int i = 0; i < iters; i++) { v += Math.Tan(x); x += 0.001; }
+        return v;
+    }
+    static double AsinDouble(int iters) {
+        double v = 0.0; double x = -0.99;
+        for (int i = 0; i < iters; i++) { v += Math.Asin(x); x += 0.0001; if (x > 0.99) x = -0.99; }
+        return v;
+    }
+    static double AcosDouble(int iters) {
+        double v = 0.0; double x = -0.99;
+        for (int i = 0; i < iters; i++) { v += Math.Acos(x); x += 0.0001; if (x > 0.99) x = -0.99; }
+        return v;
+    }
+    static double AtanDouble(int iters) {
+        double v = 0.0; double x = -50.0;
+        for (int i = 0; i < iters; i++) { v += Math.Atan(x); x += 0.001; if (x > 50.0) x = -50.0; }
+        return v;
+    }
+    static double Atan2Double(int iters) {
+        double v = 0.0; double x = -50.0;
+        for (int i = 0; i < iters; i++) { v += Math.Atan2(x, 3.0); x += 0.001; if (x > 50.0) x = -50.0; }
+        return v;
+    }
+    static double FloorDouble(int iters) {
+        double v = 0.0; double x = -100.7;
+        for (int i = 0; i < iters; i++) { v += Math.Floor(x); x += 0.01; if (x > 100.0) x = -100.7; }
+        return v;
+    }
+    static double CeilDouble(int iters) {
+        double v = 0.0; double x = -100.7;
+        for (int i = 0; i < iters; i++) { v += Math.Ceiling(x); x += 0.01; if (x > 100.0) x = -100.7; }
+        return v;
+    }
+    static double SqrtDouble(int iters) {
+        double v = 0.0; double x = 0.5;
+        for (int i = 0; i < iters; i++) { v += Math.Sqrt(x); x += 0.01; }
+        return v;
+    }
+    static double ExpDouble(int iters) {
+        double v = 0.0; double x = -10.0;
+        for (int i = 0; i < iters; i++) { v += Math.Exp(x); x += 0.001; if (x > 10.0) x = -10.0; }
+        return v;
+    }
+    static double LogDouble(int iters) {
+        double v = 0.0; double x = 0.1;
+        for (int i = 0; i < iters; i++) { v += Math.Log(x); x += 0.01; }
+        return v;
+    }
+    static double PowDouble(int iters) {
+        double v = 0.0; double x = 0.5;
+        for (int i = 0; i < iters; i++) { v += Math.Pow(x, 1.5); x += 0.001; if (x > 20.0) x = 0.5; }
+        return v;
+    }
+    static double RintDouble(int iters) {
+        double v = 0.0; double x = -100.75;
+        for (int i = 0; i < iters; i++) { v += Math.Rint(x); x += 0.01; if (x > 100.0) x = -100.75; }
+        return v;
+    }
+    static double RandomDouble(int iters) {
+        double v = 0.0;
+        for (int i = 0; i < iters; i++) { v += Math.Random(); }
+        return v / iters;
+    }
+    static double RoundFloat(int iters) {
+        int v = 0; float x = -100.7f;
+        for (int i = 0; i < iters; i++) { v += Math.Round(x); x += 0.01f; if (x > 100.0f) x = -100.7f; }
+        return v;
+    }
+    static double RoundDouble(int iters) {
+        long v = 0L; double x = -100.7;
+        for (int i = 0; i < iters; i++) { v += Math.Round(x); x += 0.01; if (x > 100.0) x = -100.7; }
+        return v;
+    }
+}

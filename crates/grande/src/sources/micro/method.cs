@@ -1,0 +1,29 @@
+// Java Grande section 1: Method — the cost of method calls (static,
+// instance, virtual dispatch).
+class MethodBench {
+    int state;
+    static int sstate;
+    static int StaticAdd(int v) { return v + 1; }
+    int InstanceAdd(int v) { return v + state + 1; }
+    virtual int VirtualAdd(int v) { return v + state + 1; }
+    static double StaticCall(int iters) {
+        int v = 0;
+        for (int i = 0; i < iters; i++) { v = StaticAdd(v); v = StaticAdd(v); }
+        return v;
+    }
+    static double InstanceCall(int iters) {
+        MethodBench o = new MethodBench();
+        int v = 0;
+        for (int i = 0; i < iters; i++) { v = o.InstanceAdd(v); v = o.InstanceAdd(v); }
+        return v;
+    }
+    static double VirtualCall(int iters) {
+        MethodBench o = new MethodSub();
+        int v = 0;
+        for (int i = 0; i < iters; i++) { v = o.VirtualAdd(v); v = o.VirtualAdd(v); }
+        return v % 1000000;
+    }
+}
+class MethodSub : MethodBench {
+    override int VirtualAdd(int v) { return v + 2; }
+}

@@ -1,0 +1,35 @@
+// Java Grande section 1: Serial — writing and reading object graphs
+// (to the in-memory sink; the paper's version uses a file, the work
+// measured is the graph walk + encoding either way).
+class SerNode {
+    int val;
+    SerNode next;
+    SerNode(int v) { val = v; }
+}
+class SerialBench {
+    static SerNode Build(int len) {
+        SerNode head = new SerNode(0);
+        SerNode cur = head;
+        for (int i = 1; i < len; i++) {
+            cur.next = new SerNode(i);
+            cur = cur.next;
+        }
+        return head;
+    }
+    static double Write(int iters) {
+        SerNode head = Build(64);
+        int bytes = 0;
+        for (int i = 0; i < iters; i++) { bytes = Serial.Write(head); }
+        return bytes;
+    }
+    static double ReadWrite(int iters) {
+        SerNode head = Build(64);
+        int total = 0;
+        for (int i = 0; i < iters; i++) {
+            Serial.Write(head);
+            SerNode back = (SerNode) Serial.Read();
+            total += back.next.val;
+        }
+        return total;
+    }
+}

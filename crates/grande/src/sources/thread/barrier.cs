@@ -1,0 +1,103 @@
+// Java Grande multithreaded section 1: Barrier (Table 2). Two flavors as
+// in the paper: a Simple barrier (one shared counter, monitor-guarded)
+// and a lock-free barrier. The JGF "Tournament" is a lock-free 4-ary
+// tree built on atomic RMW, which MiniC# does not surface; the managed
+// lock-free flavor here is a dissemination barrier — same family (flag
+// networks, no central counter, log-depth) — while the native 4-ary
+// tournament lives in hpcnet-runtime::barrier. See DESIGN.md.
+class SimpleBarrier {
+    int parties;
+    int count;
+    int sense;
+    SimpleBarrier(int n) { parties = n; }
+    void Arrive(int mySense) {
+        int arrived;
+        lock (this) {
+            count = count + 1;
+            arrived = count;
+        }
+        if (arrived == parties) {
+            lock (this) { count = 0; sense = mySense; }
+        } else {
+            int spins = 0;
+            bool done = false;
+            while (!done) {
+                lock (this) { if (sense == mySense) done = true; }
+                spins++;
+                if (spins > 32) Sys.Yield();
+            }
+        }
+    }
+}
+
+class BarrierWorker {
+    SimpleBarrier bar;
+    int rounds;
+    BarrierWorker(SimpleBarrier b, int r) { bar = b; rounds = r; }
+    virtual void Run() {
+        int sense = 1;
+        for (int i = 0; i < rounds; i++) {
+            bar.Arrive(sense);
+            sense = 1 - sense;
+        }
+    }
+}
+
+// Lock-free dissemination barrier: in round r, thread i publishes its
+// epoch and waits for thread (i + 2^r) mod n to reach it. Epochs are
+// monotonic, so no sense reuse / ABA.
+class DissemBarrier {
+    int parties;
+    int[] flags;   // flags[round * parties + thread] = epoch reached
+    int roundsPerEpisode;
+    DissemBarrier(int n) {
+        parties = n;
+        int r = 0;
+        int k = 1;
+        while (k < n) { k = k * 2; r = r + 1; }
+        roundsPerEpisode = r;
+        flags = new int[r * n];
+    }
+    void Arrive(int id, int epoch) {
+        for (int r = 0; r < roundsPerEpisode; r++) {
+            flags[r * parties + id] = epoch;
+            int partner = (id + (1 << r)) % parties;
+            int spins = 0;
+            while (flags[r * parties + partner] < epoch) {
+                spins++;
+                if (spins > 32) Sys.Yield();
+            }
+        }
+    }
+}
+
+class TourWorker {
+    DissemBarrier bar;
+    int id;
+    int rounds;
+    TourWorker(DissemBarrier b, int who, int r) { bar = b; id = who; rounds = r; }
+    virtual void Run() {
+        for (int i = 1; i <= rounds; i++) {
+            bar.Arrive(id, i);
+        }
+    }
+}
+
+class BarrierBench {
+    static double Simple(int rounds) {
+        int nthreads = 4;
+        SimpleBarrier b = new SimpleBarrier(nthreads);
+        int[] handles = new int[nthreads];
+        for (int t = 0; t < nthreads; t++) handles[t] = Sys.Start(new BarrierWorker(b, rounds));
+        for (int t = 0; t < nthreads; t++) Sys.Join(handles[t]);
+        return rounds * nthreads;
+    }
+    static double Tournament(int rounds) {
+        int nthreads = 4;
+        DissemBarrier b = new DissemBarrier(nthreads);
+        int[] handles = new int[nthreads];
+        for (int t = 0; t < nthreads; t++) handles[t] = Sys.Start(new TourWorker(b, t, rounds));
+        for (int t = 0; t < nthreads; t++) Sys.Join(handles[t]);
+        return rounds * nthreads;
+    }
+}

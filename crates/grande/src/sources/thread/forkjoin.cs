@@ -1,0 +1,22 @@
+// Java Grande multithreaded section 1: ForkJoin — the cost of creating
+// and joining threads (Table 2).
+class FJWorker {
+    static int hits;
+    static object mutex;
+    virtual void Run() {
+        lock (mutex) { hits = hits + 1; }
+    }
+}
+class ForkJoin {
+    static double Run(int iters) {
+        FJWorker.mutex = new FJWorker();
+        FJWorker.hits = 0;
+        int nthreads = 4;
+        int[] handles = new int[nthreads];
+        for (int i = 0; i < iters; i++) {
+            for (int t = 0; t < nthreads; t++) handles[t] = Sys.Start(new FJWorker());
+            for (int t = 0; t < nthreads; t++) Sys.Join(handles[t]);
+        }
+        return FJWorker.hits;
+    }
+}

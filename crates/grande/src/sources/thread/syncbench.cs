@@ -1,0 +1,37 @@
+// Java Grande multithreaded section 1: Synchronization — synchronized
+// methods and blocks under contention (Table 2).
+class SyncShared {
+    static object mutex;
+    static int counter;
+    // "synchronized method": the whole body under the lock.
+    static void SyncMethod() {
+        lock (mutex) { counter = counter + 1; }
+    }
+}
+class SyncWorker {
+    int iters;
+    int flavor;
+    SyncWorker(int n, int f) { iters = n; flavor = f; }
+    virtual void Run() {
+        if (flavor == 0) {
+            for (int i = 0; i < iters; i++) SyncShared.SyncMethod();
+        } else {
+            for (int i = 0; i < iters; i++) {
+                lock (SyncShared.mutex) { SyncShared.counter = SyncShared.counter + 1; }
+            }
+        }
+    }
+}
+class SyncBench {
+    static double Method(int iters) { return RunWith(iters, 0); }
+    static double Block(int iters) { return RunWith(iters, 1); }
+    static double RunWith(int iters, int flavor) {
+        SyncShared.mutex = new SyncShared();
+        SyncShared.counter = 0;
+        int nthreads = 4;
+        int[] handles = new int[nthreads];
+        for (int t = 0; t < nthreads; t++) handles[t] = Sys.Start(new SyncWorker(iters, flavor));
+        for (int t = 0; t < nthreads; t++) Sys.Join(handles[t]);
+        return SyncShared.counter;
+    }
+}

@@ -1,0 +1,181 @@
+//! Validation of every benchmark entry: the MiniC# sources must compile,
+//! verify, run on the engines, and reproduce the native oracles'
+//! checksums — the paper's prerequisite ("the focus of our current effort
+//! is on the validation of the results of the computations by the
+//! different kernels") before any timing comparison means anything.
+
+use hpcnet_grande::{registry, run_entry, vm_for, Suite};
+use hpcnet_vm::VmProfile;
+
+/// Sizes small enough for exhaustive cross-engine validation.
+fn validation_n(entry_id: &str, small_n: i32) -> i32 {
+    match entry_id {
+        // Downscale the heavier micro loops; checksum shape is unchanged.
+        id if id.starts_with("arith") => 10_000,
+        id if id.starts_with("assign") => 10_000,
+        id if id.starts_with("cast") => 10_000,
+        id if id.starts_with("create") => 2_000,
+        id if id.starts_with("exception") => 500,
+        id if id.starts_with("loop") => 10_000,
+        id if id.starts_with("math") => 2_000,
+        id if id.starts_with("method") => 10_000,
+        id if id.starts_with("serial") => 50,
+        id if id.starts_with("barrier") => 100,
+        "forkjoin" => 5,
+        id if id.starts_with("sync") => 1_000,
+        id if id.starts_with("matrix") => 10,
+        id if id.starts_with("boxing") => 10_000,
+        "thread.startjoin" => 10,
+        "lock.uncontended" => 10_000,
+        "lock.contended" => 2_000,
+        "scimark.fft" => 256,
+        "scimark.sor" => 32,
+        "scimark.montecarlo" => 10_000,
+        "scimark.sparse" => 200,
+        "scimark.lu" => 32,
+        "app.fibonacci" => 15,
+        "app.sieve" => 10_000,
+        "app.hanoi" => 10,
+        "app.heapsort" => 5_000,
+        "app.crypt" => 2_048,
+        "app.moldyn" => 3,
+        "app.euler" => 16,
+        "app.search" => 6,
+        "app.raytracer" => 12,
+        _ => small_n.min(10_000),
+    }
+}
+
+#[test]
+fn all_sources_compile_and_validate_on_clr() {
+    for group in registry() {
+        let vm = vm_for(&group, VmProfile::clr11());
+        for entry in &group.entries {
+            let n = validation_n(entry.id, entry.small_n);
+            let r = run_entry(&vm, entry, n)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", entry.id));
+            (entry.validate)(n, r).unwrap_or_else(|e| panic!("{}: {e}", entry.id));
+        }
+        vm.join_all_threads();
+    }
+}
+
+#[test]
+fn serial_suites_agree_across_all_profiles() {
+    // Every non-threaded entry must produce the same checksum on every
+    // engine — the reproduction of the paper's validation step.
+    let profiles = [
+        VmProfile::jvm_ibm131(),
+        VmProfile::mono023(),
+        VmProfile::sscli10(),
+        VmProfile::jvm_sun14(),
+    ];
+    for group in registry() {
+        if group.entries.iter().all(|e| e.threaded) {
+            continue;
+        }
+        let reference = vm_for(&group, VmProfile::clr11());
+        let others: Vec<_> = profiles.iter().map(|p| vm_for(&group, *p)).collect();
+        for entry in group.entries.iter().filter(|e| !e.threaded) {
+            if entry.id == "math.random" {
+                // Math.Random draws from the process-global generator, so
+                // successive VMs see different stream positions.
+                continue;
+            }
+            let n = validation_n(entry.id, entry.small_n).min(2_000);
+            let want = run_entry(&reference, entry, n).unwrap();
+            for (vm, p) in others.iter().zip(profiles.iter()) {
+                let got = run_entry(vm, entry, n)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", entry.id, p.name));
+                let tol = 1e-9 * want.abs().max(1.0);
+                assert!(
+                    (got - want).abs() <= tol,
+                    "{} differs on {}: {got} vs {want}",
+                    entry.id,
+                    p.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_suites_validate_on_two_profiles() {
+    for group in registry() {
+        let threaded: Vec<_> = group.entries.iter().filter(|e| e.threaded).collect();
+        if threaded.is_empty() {
+            continue;
+        }
+        for profile in [VmProfile::clr11(), VmProfile::jvm_ibm131()] {
+            let vm = vm_for(&group, profile);
+            for entry in &threaded {
+                let n = validation_n(entry.id, entry.small_n);
+                let r = run_entry(&vm, entry, n)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", entry.id, profile.name));
+                (entry.validate)(n, r)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", entry.id, profile.name));
+            }
+            vm.join_all_threads();
+        }
+    }
+}
+
+#[test]
+fn registry_covers_the_papers_tables() {
+    let reg = registry();
+    let ids: Vec<&str> = reg
+        .iter()
+        .flat_map(|g| g.entries.iter().map(|e| e.id))
+        .collect();
+    // Table 1 micro suite.
+    for want in [
+        "arith.add.int",
+        "assign.local",
+        "cast.int.float",
+        "create.objects",
+        "exception.throw",
+        "loop.for",
+        "serial.write",
+        "math.sin",
+        "method.virtual",
+    ] {
+        assert!(ids.contains(&want), "missing Table 1 entry {want}");
+    }
+    // Table 2.
+    for want in ["barrier.simple", "barrier.tournament", "forkjoin", "sync.method"] {
+        assert!(ids.contains(&want), "missing Table 2 entry {want}");
+    }
+    // Table 3.
+    for want in ["matrix.multi.value", "boxing.explicit", "thread.startjoin", "lock.contended"] {
+        assert!(ids.contains(&want), "missing Table 3 entry {want}");
+    }
+    // Table 4 macro suite.
+    for want in [
+        "scimark.fft",
+        "app.fibonacci",
+        "app.sieve",
+        "app.hanoi",
+        "app.heapsort",
+        "app.crypt",
+        "scimark.lu",
+        "scimark.sparse",
+        "scimark.sor",
+        "scimark.montecarlo",
+        "app.moldyn",
+        "app.euler",
+        "app.search",
+        "app.raytracer",
+    ] {
+        assert!(ids.contains(&want), "missing Table 4 entry {want}");
+    }
+    // Every suite is populated.
+    for suite in [
+        Suite::MicroJG1,
+        Suite::MicroJGMT,
+        Suite::MicroCli,
+        Suite::SciMark,
+        Suite::Apps,
+    ] {
+        assert!(reg.iter().any(|g| g.suite == suite));
+    }
+}

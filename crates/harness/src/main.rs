@@ -1,0 +1,82 @@
+//! `hpcnet-report` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! hpcnet-report all                # every graph, paper small sizes
+//! hpcnet-report g9 g10             # specific graphs
+//! hpcnet-report g10 --large        # large memory model (Graph 11)
+//! hpcnet-report all --quick        # smoke-test timings (short runs)
+//! hpcnet-report all --csv out/     # also write CSV per graph
+//! hpcnet-report all --relative     # extra baseline-normalized views
+//! ```
+
+use hpcnet_harness::{all_reports, Config};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let mut cfg = Config::default();
+    let mut csv_dir: Option<String> = None;
+    let mut relative = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--large" => cfg.large = true,
+            "--quick" => cfg.min_time = Duration::from_millis(30),
+            "--min-time-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-time-ms needs a number");
+                cfg.min_time = Duration::from_millis(ms);
+            }
+            "--csv" => csv_dir = Some(it.next().expect("--csv needs a directory")),
+            "--relative" => relative = true,
+            other => wanted.push(other.to_string()),
+        }
+    }
+    let reports = all_reports();
+    let run_all = wanted.iter().any(|w| w == "all");
+    let mut ran = 0;
+    for (name, gen) in &reports {
+        if !run_all && !wanted.iter().any(|w| w == name) {
+            continue;
+        }
+        let table = gen(&cfg);
+        println!("{}", table.render());
+        if relative && table.columns.len() > 1 {
+            println!("{}", table.relative_to_first().render());
+        }
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{name}{}.csv", if cfg.large { "_large" } else { "" });
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no matching reports; known: all {}", {
+            reports
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        });
+        std::process::exit(2);
+    }
+}
+
+fn print_help() {
+    println!(
+        "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
+         usage: hpcnet-report <graph ...|all> [--large] [--quick] \n\
+                [--min-time-ms N] [--csv DIR] [--relative]\n\
+         graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4\n\
+         (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2)"
+    );
+}

@@ -1,0 +1,153 @@
+//! Measurement protocol.
+//!
+//! Java-Grande style: run the kernel repeatedly until a minimum wall time
+//! has elapsed, then report `ops/sec` from the entry's operation count.
+//! Every engine profile and the native baseline are measured under the
+//! same protocol.
+
+use hpcnet_core::{run_entry, Entry, Value, Vm};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One timing result.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Work-unit throughput (ops/sec, calls/sec, flops/sec — per the
+    /// entry's unit).
+    pub rate: f64,
+    /// Kernel invocations performed.
+    pub runs: u32,
+    /// Total wall time.
+    pub secs: f64,
+    /// Checksum of the last run (validation already happened in tests;
+    /// kept for spot checks in reports).
+    pub checksum: f64,
+}
+
+/// Time a managed entry at size `n` under `min_time`.
+pub fn time_entry(vm: &Arc<Vm>, entry: &Entry, n: i32, min_time: Duration) -> Measurement {
+    // Warm-up run: first-call JIT translation must not pollute timing
+    // (the paper's runtimes JIT on first invocation too, and JGF warms).
+    let mut checksum = run_entry(vm, entry, n).expect("benchmark entry failed");
+    let start = Instant::now();
+    let mut runs = 0u32;
+    while start.elapsed() < min_time {
+        checksum = run_entry(vm, entry, n).expect("benchmark entry failed");
+        runs += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let ops = (entry.ops)(n);
+    Measurement {
+        rate: ops * runs as f64 / secs,
+        runs,
+        secs,
+        checksum,
+    }
+}
+
+/// Time a native baseline closure under the same protocol.
+pub fn time_native(f: impl Fn() -> f64, ops: f64, min_time: Duration) -> Measurement {
+    let mut checksum = std::hint::black_box(f());
+    let start = Instant::now();
+    let mut runs = 0u32;
+    while start.elapsed() < min_time {
+        checksum = std::hint::black_box(f());
+        runs += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement {
+        rate: ops * runs as f64 / secs,
+        runs,
+        secs,
+        checksum,
+    }
+}
+
+/// The native baseline for a registry entry, when one exists
+/// (the "MS - C++" series in Graphs 9–11).
+pub fn native_baseline(entry_id: &str, n: i32) -> Option<Box<dyn Fn() -> f64>> {
+    use hpcnet_core::native::{apps, scimark};
+    let n_us = n.max(0) as usize;
+    Some(match entry_id {
+        "scimark.fft" => Box::new(move || scimark::fft_run(n_us)),
+        "scimark.sor" => Box::new(move || scimark::sor_run(n_us, 10)),
+        "scimark.montecarlo" => Box::new(move || scimark::montecarlo_run(n_us)),
+        "scimark.sparse" => Box::new(move || scimark::sparse_run(n_us, 5 * n_us, 100)),
+        "scimark.lu" => Box::new(move || scimark::lu_run(n_us)),
+        "app.fibonacci" => Box::new(move || apps::fib(n) as f64),
+        "app.sieve" => Box::new(move || apps::sieve(n_us) as f64),
+        "app.hanoi" => Box::new(move || apps::hanoi_moves(n as u32) as f64),
+        "app.heapsort" => Box::new(move || apps::heapsort_run(n_us)),
+        "app.crypt" => Box::new(move || apps::crypt_run(n_us)),
+        "app.moldyn" => Box::new(move || apps::moldyn_run(n_us, 4)),
+        "app.euler" => Box::new(move || apps::euler_run(n_us, 5)),
+        "app.search" => Box::new(move || apps::search_run(n)),
+        "app.raytracer" => Box::new(move || apps::raytracer_run(n_us)),
+        _ => return None,
+    })
+}
+
+/// Invoke a method once and time it (used by the `Thread`/startup style
+/// one-shot measurements).
+pub fn time_once(vm: &Arc<Vm>, entry: &str, n: i32) -> (f64, f64) {
+    let start = Instant::now();
+    let r = vm
+        .invoke_by_name(entry, vec![Value::I4(n)])
+        .expect("entry failed")
+        .map(|v| v.as_r8())
+        .unwrap_or(0.0);
+    (start.elapsed().as_secs_f64(), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_core::{vm_for, VmProfile};
+    use std::time::Duration;
+
+    #[test]
+    fn timing_protocol_reports_positive_rates() {
+        let group = hpcnet_core::registry()
+            .into_iter()
+            .find(|g| g.id == "loop")
+            .unwrap();
+        let vm = vm_for(&group, VmProfile::clr11());
+        let e = group.entries.iter().find(|e| e.id == "loop.for").unwrap();
+        let m = time_entry(&vm, e, 10_000, Duration::from_millis(20));
+        assert!(m.rate > 0.0);
+        assert!(m.runs >= 1);
+        assert!(m.secs >= 0.02);
+        assert_eq!(m.checksum, 10_000.0);
+    }
+
+    #[test]
+    fn native_baselines_exist_for_every_kernel_and_app() {
+        for id in [
+            "scimark.fft",
+            "scimark.sor",
+            "scimark.montecarlo",
+            "scimark.sparse",
+            "scimark.lu",
+            "app.fibonacci",
+            "app.sieve",
+            "app.hanoi",
+            "app.heapsort",
+            "app.crypt",
+            "app.moldyn",
+            "app.euler",
+            "app.search",
+            "app.raytracer",
+        ] {
+            assert!(native_baseline(id, 16).is_some(), "{id}");
+        }
+        assert!(native_baseline("loop.for", 16).is_none());
+    }
+
+    #[test]
+    fn native_timing_protocol() {
+        let m = time_native(|| hpcnet_core::native::apps::sieve(1000) as f64, 1000.0,
+            Duration::from_millis(10));
+        assert!(m.rate > 0.0);
+        assert_eq!(m.checksum, 168.0);
+    }
+}

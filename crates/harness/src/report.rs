@@ -1,0 +1,178 @@
+//! Table rendering: aligned text for the terminal, CSV for plotting.
+
+use std::fmt::Write as _;
+
+/// A measured table: rows × columns of rates.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub title: String,
+    pub unit: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    pub fn new(title: &str, unit: &str) -> Table {
+        Table {
+            title: title.to_string(),
+            unit: unit.to_string(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn add_column(&mut self, name: &str) {
+        self.columns.push(name.to_string());
+    }
+
+    pub fn add_row(&mut self, label: &str, cells: Vec<f64>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.to_string(), cells));
+    }
+
+    /// Engineering-notation cell (the paper's axes are log-scale, so a
+    /// compact mantissa+exponent reads best).
+    fn fmt_cell(v: f64) -> String {
+        if v == 0.0 {
+            return "0".into();
+        }
+        if !v.is_finite() {
+            return format!("{v}");
+        }
+        if v.abs() >= 1e4 {
+            format!("{v:.2e}")
+        } else if v.abs() >= 10.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.3}")
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(_, r)| r.iter().map(|&v| Self::fmt_cell(v)).collect())
+            .collect();
+        let col_ws: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                cells
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(c.len()))
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&col_ws) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for ((label, _), row) in self.rows.iter().zip(&cells) {
+            let _ = write!(out, "{label:label_w$}");
+            for (cell, w) in row.iter().zip(&col_ws) {
+                let _ = write!(out, "  {cell:>w$}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "({})", self.unit);
+        out
+    }
+
+    /// Render as CSV (header row then data rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "benchmark");
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in cells {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Ratio of a row's cell to the first column (baseline-relative view,
+    /// the normalization Graphs 10–11 use).
+    pub fn relative_to_first(&self) -> Table {
+        let mut t = Table::new(&format!("{} — relative to {}", self.title, self.columns[0]), "ratio");
+        for c in &self.columns[1..] {
+            t.add_column(c);
+        }
+        for (label, cells) in &self.rows {
+            let base = cells[0];
+            t.add_row(
+                label,
+                cells[1..]
+                    .iter()
+                    .map(|&v| if base != 0.0 { v / base } else { f64::NAN })
+                    .collect(),
+            );
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Sample", "ops/sec");
+        t.add_column("native");
+        t.add_column("clr");
+        t.add_row("add", vec![100.0, 50.0]);
+        t.add_row("mult", vec![2e8, 1e8]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let s = sample().render();
+        assert!(s.contains("== Sample =="), "{s}");
+        assert!(s.contains("native"), "{s}");
+        assert!(s.contains("2.00e8"), "{s}");
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("benchmark,native,clr\n"));
+        assert!(csv.contains("add,100,50"));
+    }
+
+    #[test]
+    fn relative_normalizes() {
+        let r = sample().relative_to_first();
+        assert_eq!(r.columns, vec!["clr"]);
+        assert_eq!(r.rows[0].1[0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "u");
+        t.add_column("a");
+        t.add_row("r", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! MiniC# abstract syntax tree.
+
+use crate::lexer::Pos;
+
+/// A surface type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ty {
+    Void,
+    /// The type of the `null` literal (internal to the checker; no
+    /// surface syntax produces it).
+    Null,
+    Bool,
+    Int,
+    Long,
+    Float,
+    Double,
+    Str,
+    Object,
+    /// A user class, by name (resolved at codegen).
+    Class(String),
+    /// `T[]`.
+    Array(Box<Ty>),
+    /// `T[,]` / `T[,,]`.
+    Multi(Box<Ty>, u8),
+}
+
+impl Ty {
+    pub fn array_of(self) -> Ty {
+        Ty::Array(Box::new(self))
+    }
+}
+
+/// Method dispatch kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MKind {
+    Static,
+    Instance,
+    Virtual,
+    Override,
+    Ctor,
+}
+
+/// Binary operators (surface level; `&&`/`||` short-circuit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    AndAnd,
+    OrOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnKind {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Bool(bool),
+    Str(String),
+    Null,
+    This(Pos),
+    /// Unqualified name: local, parameter, field of `this`, or static
+    /// field of the enclosing class — resolved at codegen.
+    Ident(String, Pos),
+    /// `expr.name` — instance field, `arr.Length`, or `Class.staticField`
+    /// when `obj` is a class name.
+    Field {
+        obj: Box<Expr>,
+        name: String,
+        pos: Pos,
+    },
+    /// `a[i]` (SZ) or `a[i,j]` (multidimensional).
+    Index {
+        arr: Box<Expr>,
+        idxs: Vec<Expr>,
+        pos: Pos,
+    },
+    /// `name(args)`, `expr.name(args)`, `Class.Name(args)`.
+    Call {
+        target: Option<Box<Expr>>,
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
+    New {
+        class: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
+    /// `new T[n]`, `new T[n][]` (jagged spine), `new T[n,m]`.
+    NewArray {
+        elem: Ty,
+        dims: Vec<Expr>,
+        /// Trailing `[]` pairs: `new int[n][]` has 1.
+        extra_ranks: u8,
+        pos: Pos,
+    },
+    Cast {
+        ty: Ty,
+        expr: Box<Expr>,
+        pos: Pos,
+    },
+    Un {
+        op: UnKind,
+        expr: Box<Expr>,
+        pos: Pos,
+    },
+    Bin {
+        op: BinKind,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
+    /// Ternary `c ? a : b`.
+    Cond {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::This(p) | Expr::Ident(_, p) => *p,
+            Expr::Field { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::New { pos, .. }
+            | Expr::NewArray { pos, .. }
+            | Expr::Cast { pos, .. }
+            | Expr::Un { pos, .. }
+            | Expr::Bin { pos, .. }
+            | Expr::Cond { pos, .. } => *pos,
+            _ => Pos { line: 0, col: 0 },
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    Local {
+        ty: Ty,
+        name: String,
+        init: Option<Expr>,
+        pos: Pos,
+    },
+    /// Expression statement (a call).
+    Expr(Expr),
+    Assign {
+        target: Expr,
+        /// `Some(op)` for compound assignment (`+=` etc.).
+        op: Option<BinKind>,
+        value: Expr,
+        pos: Pos,
+    },
+    /// `i++;` / `--i;` (value unused).
+    IncDec {
+        target: Expr,
+        inc: bool,
+        pos: Pos,
+    },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Option<Vec<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        update: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Break(Pos),
+    Continue(Pos),
+    Return(Option<Expr>, Pos),
+    Throw(Expr, Pos),
+    Try {
+        body: Vec<Stmt>,
+        /// `(exception class, binding name, handler)`
+        catch: Option<(String, String, Vec<Stmt>)>,
+        finally: Option<Vec<Stmt>>,
+    },
+    /// `lock (expr) { ... }` — sugar for Monitor.Enter/try/finally/Exit.
+    Lock {
+        obj: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    Block(Vec<Stmt>),
+}
+
+/// A field declaration.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub name: String,
+    pub ty: Ty,
+    pub is_static: bool,
+    /// Static-field initializer (collected into the synthetic
+    /// `$Startup.Init` method).
+    pub init: Option<Expr>,
+    pub pos: Pos,
+}
+
+/// A method declaration.
+#[derive(Clone, Debug)]
+pub struct MethodDecl {
+    pub name: String,
+    pub params: Vec<(Ty, String)>,
+    pub ret: Ty,
+    pub kind: MKind,
+    pub body: Vec<Stmt>,
+    pub pos: Pos,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug)]
+pub struct ClassDecl {
+    pub name: String,
+    pub base: Option<String>,
+    pub fields: Vec<FieldDecl>,
+    pub methods: Vec<MethodDecl>,
+    pub pos: Pos,
+}
+
+/// A compilation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub classes: Vec<ClassDecl>,
+}

@@ -1,0 +1,68 @@
+//! # hpcnet-minics — the MiniC# compiler
+//!
+//! The paper's methodology hinges on a *single* compiler: "we use a single
+//! compiler (the CLR 1.1 C# compiler) to generate the intermediate code,
+//! and this code is then executed on each of the different runtimes." This
+//! crate is that compiler for the reproduction: it compiles MiniC# — the
+//! C# subset the benchmark ports are written in — to the `hpcnet-cil`
+//! bytecode that every execution profile runs.
+//!
+//! The subset covers what the Java Grande / SciMark ports need: classes
+//! with single inheritance and virtual methods, constructors, static and
+//! instance fields (static fields may carry initializers, collected into a
+//! synthetic `$Startup.Init` method), the full numeric tower with C#
+//! implicit widening, jagged and true multidimensional arrays, boxing via
+//! `object`, `try`/`catch`/`finally`, `lock`, and the builtin classes
+//! `Math`, `Console`, `Sys` (timers/threads), `Monitor`, and `Serial`.
+//!
+//! ```
+//! let module = hpcnet_minics::compile(r#"
+//!     class Hello {
+//!         static int Add(int a, int b) { return a + b; }
+//!     }
+//! "#).unwrap();
+//! assert!(module.find_method("Hello.Add").is_some());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+
+use hpcnet_cil::Module;
+use lexer::Pos;
+use std::fmt;
+
+/// A compilation failure with source position.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<parser::ParseError> for CompileError {
+    fn from(e: parser::ParseError) -> CompileError {
+        CompileError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+/// Name of the synthetic static-initializer entry point.
+pub const STARTUP_INIT: &str = "$Startup.Init";
+
+/// Compile MiniC# source to a CIL module (prelude included, verified by
+/// the host when it constructs a VM).
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let prog = parser::parse(src)?;
+    codegen::emit(&prog)
+}

@@ -1,0 +1,234 @@
+//! Barrier synchronization algorithms.
+//!
+//! The multithreaded Java Grande suite (paper Table 2) benchmarks two
+//! barrier styles, reproduced here as native substrate (the managed-code
+//! versions the benchmark suite runs are written in MiniC# in the `grande`
+//! crate; these are the reference implementations the tests validate
+//! against, and what the harness uses for its own coordination):
+//!
+//! * [`SimpleBarrier`] — a shared counter with sense reversal; every
+//!   arrival increments one contended atomic.
+//! * [`TournamentBarrier`] — a lock-free d-ary (d = 4, per the paper)
+//!   combining tree; arrivals contend only within their group of four,
+//!   and release fans out down the tree.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Trait over the two barrier flavors so tests and benches can be generic.
+pub trait Barrier: Sync {
+    /// Block until all `n` parties have arrived. `id` is the calling
+    /// party's index in `0..n`.
+    fn arrive(&self, id: usize);
+    /// Number of parties.
+    fn parties(&self) -> usize;
+}
+
+/// Shared-counter barrier with sense reversal (reusable across rounds).
+pub struct SimpleBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SimpleBarrier {
+    pub fn new(n: usize) -> SimpleBarrier {
+        assert!(n > 0);
+        SimpleBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Barrier for SimpleBarrier {
+    fn arrive(&self, _id: usize) {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arrival: reset and flip the sense, releasing everyone.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.n
+    }
+}
+
+const ARITY: usize = 4;
+
+struct TourNode {
+    /// Arrival count within this group for the current round.
+    count: AtomicUsize,
+}
+
+/// Lock-free 4-ary tournament (combining-tree) barrier.
+///
+/// Parties are the leaves; each internal node waits for up to four children
+/// to arrive, then propagates one arrival upward. The root flips the global
+/// sense, which every waiter spins on. With `n` parties the hot atomics are
+/// spread over ⌈n/4⌉ + ⌈n/16⌉ + … nodes instead of one counter.
+pub struct TournamentBarrier {
+    n: usize,
+    /// Nodes per level, root level last. `levels[0]` groups the parties.
+    levels: Vec<Vec<TourNode>>,
+    sense: AtomicBool,
+}
+
+impl TournamentBarrier {
+    pub fn new(n: usize) -> TournamentBarrier {
+        assert!(n > 0);
+        let mut levels = Vec::new();
+        let mut width = n;
+        while width > 1 {
+            let nodes = width.div_ceil(ARITY);
+            levels.push(
+                (0..nodes)
+                    .map(|_| TourNode {
+                        count: AtomicUsize::new(0),
+                    })
+                    .collect(),
+            );
+            width = nodes;
+        }
+        TournamentBarrier {
+            n,
+            levels,
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of children feeding node `node` at `level`.
+    fn fan_in(&self, level: usize, node: usize) -> usize {
+        let below = if level == 0 {
+            self.n
+        } else {
+            self.levels[level - 1].len()
+        };
+        let start = node * ARITY;
+        below.saturating_sub(start).min(ARITY)
+    }
+}
+
+impl Barrier for TournamentBarrier {
+    fn arrive(&self, id: usize) {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.levels.is_empty() {
+            // Single party: nothing to wait for.
+            self.sense.store(my_sense, Ordering::Release);
+            return;
+        }
+        // Climb: the last arrival at each node continues upward.
+        let mut idx = id;
+        let mut level = 0;
+        let champion = loop {
+            let node_idx = idx / ARITY;
+            let node = &self.levels[level][node_idx];
+            let fan = self.fan_in(level, node_idx);
+            if node.count.fetch_add(1, Ordering::AcqRel) + 1 == fan {
+                node.count.store(0, Ordering::Relaxed);
+                if level + 1 == self.levels.len() {
+                    break true; // reached (and won) the root
+                }
+                idx = node_idx;
+                level += 1;
+            } else {
+                break false;
+            }
+        };
+        if champion {
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn exercise<B: Barrier + Send + 'static>(b: Arc<B>, rounds: usize) {
+        // Invariant: after a barrier, every thread observes every other
+        // thread's pre-barrier write for that round.
+        let n = b.parties();
+        let flags: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let mut handles = Vec::new();
+        for id in 0..n {
+            let b = b.clone();
+            let flags = flags.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 1..=rounds as u64 {
+                    flags[id].store(round, Ordering::Release);
+                    b.arrive(id);
+                    for f in flags.iter() {
+                        let v = f.load(Ordering::Acquire);
+                        assert!(v >= round, "barrier leaked: saw {v} in round {round}");
+                    }
+                    b.arrive(id);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn simple_barrier_rounds() {
+        exercise(Arc::new(SimpleBarrier::new(4)), 200);
+    }
+
+    #[test]
+    fn tournament_barrier_rounds() {
+        exercise(Arc::new(TournamentBarrier::new(4)), 200);
+    }
+
+    #[test]
+    fn tournament_non_power_of_arity() {
+        for n in [1, 2, 3, 5, 6, 7, 9, 13] {
+            exercise(Arc::new(TournamentBarrier::new(n)), 50);
+        }
+    }
+
+    #[test]
+    fn simple_single_party() {
+        let b = SimpleBarrier::new(1);
+        for _ in 0..10 {
+            b.arrive(0);
+        }
+    }
+
+    #[test]
+    fn tournament_levels_shape() {
+        let b = TournamentBarrier::new(16);
+        assert_eq!(b.levels.len(), 2);
+        assert_eq!(b.levels[0].len(), 4);
+        assert_eq!(b.levels[1].len(), 1);
+        assert_eq!(b.fan_in(0, 0), 4);
+        let b = TournamentBarrier::new(5);
+        assert_eq!(b.levels[0].len(), 2);
+        assert_eq!(b.fan_in(0, 1), 1);
+    }
+}

@@ -1,0 +1,474 @@
+//! The managed object model.
+//!
+//! Objects carry their class identity, a recursive [`Monitor`] (every CLI
+//! object can be locked), and a body. Field and element storage is designed
+//! for safe shared-memory access from multiple managed threads:
+//!
+//! * primitive slots are `AtomicU64`s accessed with relaxed ordering (a
+//!   plain load/store on every target we run on, matching how VM mutator
+//!   threads touch fields);
+//! * reference slots ([`RefSlot`]) are tiny mutexed cells, because an `Arc`
+//!   cannot be read concurrently with a swap without synchronization.
+//!
+//! True multidimensional arrays ([`ObjBody::MultiPrim`] / `MultiRef`) keep a
+//! single flat buffer plus a dimension vector — the layout whose
+//! addressing-cost difference from jagged arrays Graph 12 of the paper
+//! measures.
+
+use crate::monitor::Monitor;
+use crate::value::{Obj, Value};
+use hpcnet_cil::{ClassId, ElemKind, NumTy};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A mutable, thread-safe reference cell (object field, `object[]` /
+/// jagged-array element, static).
+#[derive(Debug, Default)]
+pub struct RefSlot(Mutex<Option<Obj>>);
+
+impl RefSlot {
+    pub fn new(v: Option<Obj>) -> RefSlot {
+        RefSlot(Mutex::new(v))
+    }
+
+    #[inline]
+    pub fn get(&self) -> Option<Obj> {
+        self.0.lock().clone()
+    }
+
+    #[inline]
+    pub fn set(&self, v: Option<Obj>) {
+        *self.0.lock() = v;
+    }
+
+    /// Take the value out, leaving `None` (used by the cycle collector).
+    pub fn take(&self) -> Option<Obj> {
+        self.0.lock().take()
+    }
+}
+
+/// Object payload.
+#[derive(Debug)]
+pub enum ObjBody {
+    /// A class instance: primitive slots and reference slots, laid out per
+    /// the class metadata.
+    Instance {
+        class: ClassId,
+        prim: Box<[AtomicU64]>,
+        refs: Box<[RefSlot]>,
+    },
+    /// An immutable string.
+    Str(String),
+    /// A boxed value type (`box int32` etc.).
+    Boxed { ty: NumTy, bits: u64 },
+    /// SZ array of `uint8`.
+    ArrU1(Box<[AtomicU64]>),
+    /// SZ array of `int32`.
+    ArrI4(Box<[AtomicU64]>),
+    /// SZ array of `int64`.
+    ArrI8(Box<[AtomicU64]>),
+    /// SZ array of `float32`.
+    ArrR4(Box<[AtomicU64]>),
+    /// SZ array of `float64`.
+    ArrR8(Box<[AtomicU64]>),
+    /// SZ array of references (jagged rows, object arrays).
+    ArrRef(Box<[RefSlot]>),
+    /// True multidimensional primitive array: flat row-major buffer.
+    MultiPrim {
+        kind: ElemKind,
+        dims: Box<[u32]>,
+        data: Box<[AtomicU64]>,
+    },
+    /// True multidimensional reference array.
+    MultiRef {
+        dims: Box<[u32]>,
+        data: Box<[RefSlot]>,
+    },
+}
+
+/// A managed heap object.
+#[derive(Debug)]
+pub struct HeapObj {
+    pub monitor: Monitor,
+    pub body: ObjBody,
+}
+
+fn zeroed(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+fn ref_slots(n: usize) -> Box<[RefSlot]> {
+    (0..n).map(|_| RefSlot::default()).collect()
+}
+
+impl HeapObj {
+    pub fn new_instance(class: ClassId, n_prim: usize, n_ref: usize) -> HeapObj {
+        HeapObj {
+            monitor: Monitor::new(),
+            body: ObjBody::Instance {
+                class,
+                prim: zeroed(n_prim),
+                refs: ref_slots(n_ref),
+            },
+        }
+    }
+
+    pub fn new_str(s: impl Into<String>) -> HeapObj {
+        HeapObj {
+            monitor: Monitor::new(),
+            body: ObjBody::Str(s.into()),
+        }
+    }
+
+    pub fn new_boxed(ty: NumTy, bits: u64) -> HeapObj {
+        HeapObj {
+            monitor: Monitor::new(),
+            body: ObjBody::Boxed { ty, bits },
+        }
+    }
+
+    /// Allocate an SZ array of the given element kind and length.
+    pub fn new_array(kind: ElemKind, len: usize) -> HeapObj {
+        let body = match kind {
+            ElemKind::U1 => ObjBody::ArrU1(zeroed(len)),
+            ElemKind::I4 => ObjBody::ArrI4(zeroed(len)),
+            ElemKind::I8 => ObjBody::ArrI8(zeroed(len)),
+            ElemKind::R4 => ObjBody::ArrR4(zeroed(len)),
+            ElemKind::R8 => ObjBody::ArrR8(zeroed(len)),
+            ElemKind::Ref => ObjBody::ArrRef(ref_slots(len)),
+        };
+        HeapObj {
+            monitor: Monitor::new(),
+            body,
+        }
+    }
+
+    /// Allocate a true multidimensional array.
+    pub fn new_multi(kind: ElemKind, dims: &[u32]) -> HeapObj {
+        let total: usize = dims.iter().map(|&d| d as usize).product();
+        let body = match kind {
+            ElemKind::Ref => ObjBody::MultiRef {
+                dims: dims.into(),
+                data: ref_slots(total),
+            },
+            k => ObjBody::MultiPrim {
+                kind: k,
+                dims: dims.into(),
+                data: zeroed(total),
+            },
+        };
+        HeapObj {
+            monitor: Monitor::new(),
+            body,
+        }
+    }
+
+    /// Class id for instances (virtual dispatch, cast checks).
+    pub fn class_id(&self) -> Option<ClassId> {
+        match &self.body {
+            ObjBody::Instance { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.body {
+            ObjBody::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SZ / flat-multi element count.
+    pub fn array_len(&self) -> Option<usize> {
+        match &self.body {
+            ObjBody::ArrU1(d)
+            | ObjBody::ArrI4(d)
+            | ObjBody::ArrI8(d)
+            | ObjBody::ArrR4(d)
+            | ObjBody::ArrR8(d) => Some(d.len()),
+            ObjBody::ArrRef(d) => Some(d.len()),
+            ObjBody::MultiPrim { data, .. } => Some(data.len()),
+            ObjBody::MultiRef { data, .. } => Some(data.len()),
+            _ => None,
+        }
+    }
+
+    /// Dimension lengths of a multidimensional array.
+    pub fn multi_dims(&self) -> Option<&[u32]> {
+        match &self.body {
+            ObjBody::MultiPrim { dims, .. } => Some(dims),
+            ObjBody::MultiRef { dims, .. } => Some(dims),
+            _ => None,
+        }
+    }
+
+    // ---- instance field access ----
+
+    #[inline]
+    pub fn prim_field(&self, slot: u32) -> u64 {
+        match &self.body {
+            ObjBody::Instance { prim, .. } => prim[slot as usize].load(Ordering::Relaxed),
+            _ => panic!("prim_field on non-instance"),
+        }
+    }
+
+    #[inline]
+    pub fn set_prim_field(&self, slot: u32, bits: u64) {
+        match &self.body {
+            ObjBody::Instance { prim, .. } => prim[slot as usize].store(bits, Ordering::Relaxed),
+            _ => panic!("set_prim_field on non-instance"),
+        }
+    }
+
+    #[inline]
+    pub fn ref_field(&self, slot: u32) -> Option<Obj> {
+        match &self.body {
+            ObjBody::Instance { refs, .. } => refs[slot as usize].get(),
+            _ => panic!("ref_field on non-instance"),
+        }
+    }
+
+    #[inline]
+    pub fn set_ref_field(&self, slot: u32, v: Option<Obj>) {
+        match &self.body {
+            ObjBody::Instance { refs, .. } => refs[slot as usize].set(v),
+            _ => panic!("set_ref_field on non-instance"),
+        }
+    }
+
+    // ---- SZ array element access (bounds already checked by caller) ----
+
+    /// Raw primitive slice of any primitive array body.
+    #[inline]
+    pub fn prim_data(&self) -> &[AtomicU64] {
+        match &self.body {
+            ObjBody::ArrU1(d)
+            | ObjBody::ArrI4(d)
+            | ObjBody::ArrI8(d)
+            | ObjBody::ArrR4(d)
+            | ObjBody::ArrR8(d) => d,
+            ObjBody::MultiPrim { data, .. } => data,
+            _ => panic!("prim_data on non-primitive array"),
+        }
+    }
+
+    /// Reference slot slice of any reference array body.
+    #[inline]
+    pub fn ref_data(&self) -> &[RefSlot] {
+        match &self.body {
+            ObjBody::ArrRef(d) => d,
+            ObjBody::MultiRef { data, .. } => data,
+            _ => panic!("ref_data on non-reference array"),
+        }
+    }
+
+    /// Element load as a [`Value`] (interpreter path).
+    #[inline]
+    pub fn load_elem(&self, kind: ElemKind, idx: usize) -> Value {
+        match kind.num_ty() {
+            Some(nt) => Value::from_bits(nt, self.prim_data()[idx].load(Ordering::Relaxed)),
+            None => match self.ref_data()[idx].get() {
+                Some(o) => Value::Ref(o),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// Element store from a [`Value`] (interpreter path).
+    #[inline]
+    pub fn store_elem(&self, kind: ElemKind, idx: usize, v: &Value) {
+        match kind.num_ty() {
+            Some(_) => {
+                let bits = match (kind, v) {
+                    // u1 stores truncate to the low byte, as `stelem.u1` does.
+                    (ElemKind::U1, Value::I4(x)) => (*x as u8) as u64,
+                    _ => v.to_bits(),
+                };
+                self.prim_data()[idx].store(bits, Ordering::Relaxed);
+            }
+            None => self.ref_data()[idx].set(v.as_ref_opt().cloned()),
+        }
+    }
+
+    /// Row-major flat offset of multidimensional indices; `None` when any
+    /// index is out of its dimension's bounds.
+    #[inline]
+    pub fn multi_offset(&self, idxs: &[i32]) -> Option<usize> {
+        let dims = self.multi_dims()?;
+        debug_assert_eq!(dims.len(), idxs.len());
+        let mut off: usize = 0;
+        for (&i, &d) in idxs.iter().zip(dims.iter()) {
+            if i < 0 || i as u32 >= d {
+                return None;
+            }
+            off = off * d as usize + i as usize;
+        }
+        Some(off)
+    }
+
+    /// Visit every outgoing reference (cycle collector, serializer).
+    pub fn for_each_ref(&self, mut f: impl FnMut(&Obj)) {
+        match &self.body {
+            ObjBody::Instance { refs, .. } => {
+                for slot in refs.iter() {
+                    if let Some(o) = slot.get() {
+                        f(&o);
+                    }
+                }
+            }
+            ObjBody::ArrRef(d) => {
+                for slot in d.iter() {
+                    if let Some(o) = slot.get() {
+                        f(&o);
+                    }
+                }
+            }
+            ObjBody::MultiRef { data, .. } => {
+                for slot in data.iter() {
+                    if let Some(o) = slot.get() {
+                        f(&o);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Clear every outgoing reference (cycle breaking).
+    pub fn clear_refs(&self) {
+        match &self.body {
+            ObjBody::Instance { refs, .. } => {
+                for slot in refs.iter() {
+                    slot.take();
+                }
+            }
+            ObjBody::ArrRef(d) => {
+                for slot in d.iter() {
+                    slot.take();
+                }
+            }
+            ObjBody::MultiRef { data, .. } => {
+                for slot in data.iter() {
+                    slot.take();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Approximate payload size in bytes (heap accounting).
+    pub fn size_bytes(&self) -> usize {
+        let base = std::mem::size_of::<HeapObj>();
+        base + match &self.body {
+            ObjBody::Instance { prim, refs, .. } => prim.len() * 8 + refs.len() * 16,
+            ObjBody::Str(s) => s.len(),
+            ObjBody::Boxed { .. } => 0,
+            ObjBody::ArrRef(d) => d.len() * 16,
+            ObjBody::MultiRef { data, .. } => data.len() * 16,
+            ObjBody::MultiPrim { data, .. } => data.len() * 8,
+            b => b_prim_len(b) * 8,
+        }
+    }
+}
+
+fn b_prim_len(b: &ObjBody) -> usize {
+    match b {
+        ObjBody::ArrU1(d) | ObjBody::ArrI4(d) | ObjBody::ArrI8(d) | ObjBody::ArrR4(d)
+        | ObjBody::ArrR8(d) => d.len(),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn instance_field_roundtrip() {
+        let o = HeapObj::new_instance(ClassId(0), 2, 1);
+        o.set_prim_field(0, Value::R8(2.5).to_bits());
+        o.set_prim_field(1, Value::I4(-3).to_bits());
+        assert_eq!(Value::from_bits(NumTy::R8, o.prim_field(0)).as_r8(), 2.5);
+        assert_eq!(Value::from_bits(NumTy::I4, o.prim_field(1)).as_i4(), -3);
+        assert!(o.ref_field(0).is_none());
+        let s = Arc::new(HeapObj::new_str("hi"));
+        o.set_ref_field(0, Some(s.clone()));
+        assert_eq!(o.ref_field(0).unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn array_elem_roundtrip() {
+        let a = HeapObj::new_array(ElemKind::R8, 4);
+        a.store_elem(ElemKind::R8, 2, &Value::R8(1.25));
+        assert_eq!(a.load_elem(ElemKind::R8, 2).as_r8(), 1.25);
+        assert_eq!(a.load_elem(ElemKind::R8, 0).as_r8(), 0.0);
+        assert_eq!(a.array_len(), Some(4));
+    }
+
+    #[test]
+    fn u1_store_truncates() {
+        let a = HeapObj::new_array(ElemKind::U1, 2);
+        a.store_elem(ElemKind::U1, 0, &Value::I4(0x1FF));
+        assert_eq!(a.load_elem(ElemKind::U1, 0).as_i4(), 0xFF);
+        a.store_elem(ElemKind::U1, 1, &Value::I4(-1));
+        assert_eq!(a.load_elem(ElemKind::U1, 1).as_i4(), 0xFF);
+    }
+
+    #[test]
+    fn multi_offsets_row_major() {
+        let m = HeapObj::new_multi(ElemKind::R8, &[3, 4]);
+        assert_eq!(m.multi_offset(&[0, 0]), Some(0));
+        assert_eq!(m.multi_offset(&[0, 3]), Some(3));
+        assert_eq!(m.multi_offset(&[1, 0]), Some(4));
+        assert_eq!(m.multi_offset(&[2, 3]), Some(11));
+        assert_eq!(m.multi_offset(&[3, 0]), None);
+        assert_eq!(m.multi_offset(&[0, 4]), None);
+        assert_eq!(m.multi_offset(&[-1, 0]), None);
+        assert_eq!(m.array_len(), Some(12));
+    }
+
+    #[test]
+    fn multi_rank3() {
+        let m = HeapObj::new_multi(ElemKind::I4, &[2, 3, 4]);
+        assert_eq!(m.multi_offset(&[1, 2, 3]), Some(23));
+        assert_eq!(m.multi_offset(&[0, 0, 4]), None);
+    }
+
+    #[test]
+    fn ref_array_and_for_each() {
+        let a = HeapObj::new_array(ElemKind::Ref, 3);
+        let s1 = Arc::new(HeapObj::new_str("a"));
+        let s2 = Arc::new(HeapObj::new_str("b"));
+        a.store_elem(ElemKind::Ref, 0, &Value::Ref(s1));
+        a.store_elem(ElemKind::Ref, 2, &Value::Ref(s2));
+        let mut seen = Vec::new();
+        a.for_each_ref(|o| seen.push(o.as_str().unwrap().to_string()));
+        assert_eq!(seen, ["a", "b"]);
+        a.clear_refs();
+        let mut count = 0;
+        a.for_each_ref(|_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn boxed_and_str_accessors() {
+        let b = HeapObj::new_boxed(NumTy::I4, Value::I4(42).to_bits());
+        match b.body {
+            ObjBody::Boxed { ty, bits } => {
+                assert_eq!(ty, NumTy::I4);
+                assert_eq!(Value::from_bits(ty, bits).as_i4(), 42);
+            }
+            _ => panic!(),
+        }
+        assert!(b.class_id().is_none());
+        assert_eq!(HeapObj::new_str("xyz").as_str(), Some("xyz"));
+    }
+
+    #[test]
+    fn size_accounting_positive() {
+        assert!(HeapObj::new_array(ElemKind::R8, 100).size_bytes() >= 800);
+        assert!(HeapObj::new_instance(ClassId(0), 1, 1).size_bytes() > 0);
+    }
+}

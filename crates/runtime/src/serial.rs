@@ -1,0 +1,242 @@
+//! Binary object-graph encoding for the `Serial` micro-benchmark.
+//!
+//! Table 1's `Serial` benchmark "tests the performance of serialization,
+//! both writing and reading of objects to and from a file". The execution
+//! engine walks the object graph; this module supplies the wire format: a
+//! compact tag/varint encoding with back-references for shared/cyclic
+//! objects, written into an in-memory sink (the benchmarks measure
+//! serialization work, not disk latency — the sink can be persisted by the
+//! host if desired).
+
+use std::fmt;
+
+/// Wire-format tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tag {
+    Null = 0,
+    /// Back-reference to an already-encoded object (varint id follows).
+    BackRef = 1,
+    Instance = 2,
+    Str = 3,
+    Boxed = 4,
+    ArrPrim = 5,
+    ArrRef = 6,
+    MultiPrim = 7,
+    MultiRef = 8,
+}
+
+impl Tag {
+    pub fn from_u8(v: u8) -> Option<Tag> {
+        Some(match v {
+            0 => Tag::Null,
+            1 => Tag::BackRef,
+            2 => Tag::Instance,
+            3 => Tag::Str,
+            4 => Tag::Boxed,
+            5 => Tag::ArrPrim,
+            6 => Tag::ArrRef,
+            7 => Tag::MultiPrim,
+            8 => Tag::MultiRef,
+            _ => return None,
+        })
+    }
+}
+
+/// Encoding writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub fn tag(&mut self, t: Tag) {
+        self.buf.push(t as u8);
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Raw 64-bit word (field bits, float payloads).
+    pub fn word(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encoding reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| DecodeError("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn tag(&mut self) -> Result<Tag, DecodeError> {
+        let b = self.byte()?;
+        Tag::from_u8(b).ok_or_else(|| DecodeError(format!("bad tag {b}")))
+    }
+
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(DecodeError("varint overflow".into()));
+            }
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn word(&mut self) -> Result<u64, DecodeError> {
+        if self.pos + 8 > self.buf.len() {
+            return Err(DecodeError("truncated word".into()));
+        }
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.varint()? as usize;
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError("truncated bytes".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when all input is consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut w = Writer::new();
+        for &c in &cases {
+            w.varint(c);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &c in &cases {
+            assert_eq!(r.varint().unwrap(), c);
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn words_and_bytes() {
+        let mut w = Writer::new();
+        w.word(f64::to_bits(2.5));
+        w.bytes(b"payload");
+        w.tag(Tag::Str);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(f64::from_bits(r.word().unwrap()), 2.5);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.tag().unwrap(), Tag::Str);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for t in [
+            Tag::Null,
+            Tag::BackRef,
+            Tag::Instance,
+            Tag::Str,
+            Tag::Boxed,
+            Tag::ArrPrim,
+            Tag::ArrRef,
+            Tag::MultiPrim,
+            Tag::MultiRef,
+        ] {
+            assert_eq!(Tag::from_u8(t as u8), Some(t));
+        }
+        assert_eq!(Tag::from_u8(200), None);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.word(12345);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(4);
+        let mut r = Reader::new(&bytes);
+        assert!(r.word().is_err());
+        let mut r = Reader::new(&[0x80u8; 12]);
+        assert!(r.varint().is_err(), "unterminated varint must error");
+    }
+}

@@ -1,0 +1,120 @@
+//! Managed thread registry.
+//!
+//! Managed code spawns threads through the `Sys.Start(obj)` intrinsic; the
+//! execution engine hands this registry a closure that runs `obj.Run()` on
+//! a fresh interpreter, and gets back an `int32` handle managed code can
+//! later pass to `Sys.Join`. This mirrors the thread model the ForkJoin and
+//! Thread micro-benchmarks (Tables 2–3) measure: OS threads under a managed
+//! veneer.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::thread::JoinHandle;
+
+/// Registry of live managed threads.
+#[derive(Debug, Default)]
+pub struct ThreadRegistry {
+    next: AtomicI32,
+    handles: Mutex<HashMap<i32, JoinHandle<()>>>,
+}
+
+impl ThreadRegistry {
+    pub fn new() -> ThreadRegistry {
+        ThreadRegistry::default()
+    }
+
+    /// Spawn a managed thread; returns its handle.
+    ///
+    /// Managed threads get a generous native stack: interpreted frames
+    /// consume several native frames each, and the kernels that spawn
+    /// threads also recurse.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) -> i32 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let handle = std::thread::Builder::new()
+            .stack_size(32 << 20)
+            .spawn(f)
+            .expect("spawn managed thread");
+        self.handles.lock().insert(id, handle);
+        id
+    }
+
+    /// Join a managed thread by handle.
+    ///
+    /// Returns `false` for unknown (or already-joined) handles — managed
+    /// code sees that as a no-op, like joining a dead thread.
+    pub fn join(&self, id: i32) -> bool {
+        let handle = self.handles.lock().remove(&id);
+        match handle {
+            Some(h) => {
+                // Propagate managed-thread panics to the joiner: a crashed
+                // benchmark thread must fail the run, not vanish.
+                h.join().expect("managed thread panicked");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Join every outstanding thread (host shutdown).
+    pub fn join_all(&self) {
+        let drained: Vec<JoinHandle<()>> = {
+            let mut map = self.handles.lock();
+            map.drain().map(|(_, h)| h).collect()
+        };
+        for h in drained {
+            h.join().expect("managed thread panicked");
+        }
+    }
+
+    /// Number of threads not yet joined.
+    pub fn outstanding(&self) -> usize {
+        self.handles.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn spawn_and_join() {
+        let reg = ThreadRegistry::new();
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h2 = hit.clone();
+        let id = reg.spawn(move || {
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(id > 0);
+        assert!(reg.join(id));
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert!(!reg.join(id), "double join is a no-op");
+    }
+
+    #[test]
+    fn join_all_waits_for_everyone() {
+        let reg = ThreadRegistry::new();
+        let hit = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let h = hit.clone();
+            reg.spawn(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(reg.outstanding() <= 8);
+        reg.join_all();
+        assert_eq!(hit.load(Ordering::SeqCst), 8);
+        assert_eq!(reg.outstanding(), 0);
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let reg = ThreadRegistry::new();
+        let a = reg.spawn(|| {});
+        let b = reg.spawn(|| {});
+        assert_ne!(a, b);
+        reg.join_all();
+    }
+}

@@ -1,0 +1,49 @@
+//! Monotonic timers.
+//!
+//! The Java Grande harness times with `System.currentTimeMillis()`; the
+//! paper keeps timer support code identical across languages. We expose the
+//! same two clocks as intrinsics (`Sys.Millis` / `Sys.Nanos`), both
+//! monotonic from a process-wide epoch so that differences are meaningful
+//! across threads.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Milliseconds since the process epoch.
+pub fn millis() -> i64 {
+    epoch().elapsed().as_millis() as i64
+}
+
+/// Nanoseconds since the process epoch.
+pub fn nanos() -> i64 {
+    epoch().elapsed().as_nanos() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = nanos();
+        let b = nanos();
+        assert!(b >= a);
+        let m1 = millis();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let m2 = millis();
+        assert!(m2 >= m1 + 1);
+    }
+
+    #[test]
+    fn units_consistent() {
+        let n0 = nanos();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let dn = nanos() - n0;
+        assert!(dn >= 5_000_000, "5ms must be >= 5e6 ns, got {dn}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Engine errors and in-flight managed exceptions.
+
+use hpcnet_runtime::Obj;
+use std::fmt;
+
+/// An error produced while executing managed code.
+#[derive(Debug, Clone)]
+pub enum VmError {
+    /// A managed exception object in flight, looking for a handler.
+    Exception(Obj),
+    /// A resource guard tripped (call depth, runaway loops in tests).
+    Limit(String),
+    /// An engine invariant failed — verified code should never produce
+    /// this; it indicates a bug in the engine or an unverified module.
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Exception(obj) => {
+                write!(f, "unhandled managed exception ({:?})", obj.class_id())
+            }
+            VmError::Limit(m) => write!(f, "limit exceeded: {m}"),
+            VmError::Internal(m) => write!(f, "internal engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Shorthand used throughout the engines.
+pub type VmResult<T> = Result<T, VmError>;

@@ -1,0 +1,843 @@
+//! # hpcnet-vm — the CLI execution engines
+//!
+//! This crate is the reproduction's core: several execution engines that
+//! run the *same verified CIL* at different optimization levels, modeling
+//! the runtimes the paper benchmarks (CLR 1.1, Mono 0.23, SSCLI 1.0 and
+//! three JVMs). See `DESIGN.md` §3 for the mechanism-to-knob mapping and
+//! [`profile::VmProfile`] for the concrete configurations.
+//!
+//! * [`machine::Vm`] — the host: heap, statics, intrinsics, threads.
+//! * [`interp`] — the stack interpreter (Rotor tier).
+//! * [`rir`] — stack→register lowering, optimization passes, allocation.
+//! * [`exec`] — the register-tier dispatch loop with an enregistered file
+//!   and a volatile spill frame.
+//!
+//! ```
+//! use hpcnet_cil::{CilType, MethodKind, ModuleBuilder, BinOp};
+//! use hpcnet_vm::{declare_prelude, Vm, VmProfile};
+//! use hpcnet_runtime::Value;
+//!
+//! let mut mb = ModuleBuilder::new();
+//! declare_prelude(&mut mb);
+//! let c = mb.declare_class("P", None);
+//! let mut f = mb.method(c, "AddOne", vec![CilType::I4], CilType::I4, MethodKind::Static);
+//! f.ld_arg(0);
+//! f.ldc_i4(1);
+//! f.bin(BinOp::Add);
+//! f.ret();
+//! f.finish();
+//! let vm = Vm::new(mb.finish(), VmProfile::clr11()).unwrap();
+//! let r = vm.invoke_by_name("P.AddOne", vec![Value::I4(41)]).unwrap();
+//! assert_eq!(r.unwrap().as_i4(), 42);
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod interp;
+pub mod machine;
+pub mod numerics;
+pub mod profile;
+pub mod rir;
+
+pub use error::{VmError, VmResult};
+pub use machine::{declare_prelude, Vm, WellKnown};
+pub use profile::{MathKind, MultiDimStyle, PassConfig, Tier, VmProfile};
+pub use rir::{print_rir, RirMethod};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_cil::{BinOp, CilType, CmpOp, ElemKind, Intrinsic, MethodKind, ModuleBuilder, NumTy, Op};
+    use hpcnet_runtime::Value;
+    
+
+    /// Every profile we test semantics against.
+    fn all_profiles() -> Vec<VmProfile> {
+        let mut v = VmProfile::scimark_lineup();
+        v.push(VmProfile::sscli10());
+        v.dedup_by_key(|p| p.name);
+        v
+    }
+
+    fn build_module(f: impl FnOnce(&mut ModuleBuilder)) -> hpcnet_cil::Module {
+        let mut mb = ModuleBuilder::new();
+        declare_prelude(&mut mb);
+        f(&mut mb);
+        mb.finish()
+    }
+
+    /// Run one static method on every profile and require identical results.
+    fn run_everywhere(
+        module: &hpcnet_cil::Module,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Vec<Option<Value>> {
+        let mut outs = Vec::new();
+        for p in all_profiles() {
+            let vm = Vm::new(module.clone(), p).unwrap();
+            let r = vm
+                .invoke_by_name(name, args.clone())
+                .unwrap_or_else(|e| panic!("{name} failed on {}: {e}", p.name));
+            outs.push(r);
+        }
+        outs
+    }
+
+    fn assert_all_i4(module: &hpcnet_cil::Module, name: &str, args: Vec<Value>, want: i32) {
+        for (p, r) in all_profiles()
+            .iter()
+            .zip(run_everywhere(module, name, args))
+        {
+            assert_eq!(r.unwrap().as_i4(), want, "profile {}", p.name);
+        }
+    }
+
+    fn assert_all_r8(module: &hpcnet_cil::Module, name: &str, args: Vec<Value>, want: f64, tol: f64) {
+        for (p, r) in all_profiles()
+            .iter()
+            .zip(run_everywhere(module, name, args))
+        {
+            let got = r.unwrap().as_r8();
+            assert!((got - want).abs() <= tol, "profile {}: {got} vs {want}", p.name);
+        }
+    }
+
+    #[test]
+    fn counting_loop_all_tiers() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Sum", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let s = f.local(CilType::I4);
+            let i = f.local(CilType::I4);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(s);
+            f.ld_loc(i);
+            f.bin(BinOp::Add);
+            f.st_loc(s);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(s);
+            f.ret();
+            f.finish();
+        });
+        assert_all_i4(&m, "P.Sum", vec![Value::I4(100)], 4950);
+        assert_all_i4(&m, "P.Sum", vec![Value::I4(0)], 0);
+    }
+
+    #[test]
+    fn division_loop_matches_paper_code() {
+        // The paper's Table 5 benchmark: repeated division by a constant.
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Div", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let i1 = f.local(CilType::I4);
+            let i = f.local(CilType::I4);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.ldc_i4(i32::MAX);
+            f.st_loc(i1);
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(i1);
+            f.ldc_i4(3);
+            f.bin(BinOp::Div);
+            f.st_loc(i1);
+            // reset when it hits zero so the loop keeps dividing
+            f.ld_loc(i1);
+            let nz = f.new_label();
+            f.br_true(nz);
+            f.ldc_i4(i32::MAX);
+            f.st_loc(i1);
+            f.place(nz);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(i1);
+            f.ret();
+            f.finish();
+        });
+        // 2^31-1 divided by 3 five times is 8837381.
+        assert_all_i4(&m, "P.Div", vec![Value::I4(5)], 8837381);
+    }
+
+    #[test]
+    fn float_math_and_intrinsics() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Hyp", vec![CilType::R8, CilType::R8], CilType::R8, MethodKind::Static);
+            f.ld_arg(0);
+            f.ld_arg(0);
+            f.bin(BinOp::Mul);
+            f.ld_arg(1);
+            f.ld_arg(1);
+            f.bin(BinOp::Mul);
+            f.bin(BinOp::Add);
+            f.intrinsic(Intrinsic::Sqrt);
+            f.ret();
+            f.finish();
+        });
+        assert_all_r8(&m, "P.Hyp", vec![Value::R8(3.0), Value::R8(4.0)], 5.0, 1e-12);
+    }
+
+    #[test]
+    fn exceptions_catch_across_tiers() {
+        let m = build_module(|mb| {
+            let exc = mb.class_id("Exception").unwrap();
+            let c = mb.declare_class("P", None);
+            // Thrower: throws when arg != 0.
+            let exc_ctor = mb.method_id("Exception..ctor").unwrap();
+            let mut t = mb.method(c, "Boom", vec![CilType::I4], CilType::Void, MethodKind::Static);
+            let skip = t.new_label();
+            t.ld_arg(0);
+            t.br_false(skip);
+            t.emit(Op::NewObj(exc_ctor));
+            t.emit(Op::Throw);
+            t.place(skip);
+            t.ret();
+            let boom = t.finish();
+            // Catcher: returns 7 when caught, 1 otherwise.
+            let mut f = mb.method(c, "Try", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let (ts, te, hs, he) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let done = f.new_label();
+            let r = f.local(CilType::I4);
+            f.ldc_i4(1);
+            f.st_loc(r);
+            f.place(ts);
+            f.ld_arg(0);
+            f.call(boom);
+            f.leave(done);
+            f.place(te);
+            f.place(hs);
+            f.emit(Op::Pop);
+            f.ldc_i4(7);
+            f.st_loc(r);
+            f.leave(done);
+            f.place(he);
+            f.place(done);
+            f.ld_loc(r);
+            f.ret();
+            f.eh_catch(ts, te, hs, he, exc);
+            f.finish();
+        });
+        assert_all_i4(&m, "P.Try", vec![Value::I4(1)], 7);
+        assert_all_i4(&m, "P.Try", vec![Value::I4(0)], 1);
+    }
+
+    #[test]
+    fn finally_runs_on_both_paths() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let exc_ctor = mb.method_id("Exception..ctor").unwrap();
+            let exc = mb.class_id("Exception").unwrap();
+            // Try/finally inside try/catch; finally increments a static.
+            let g = mb.add_field(c, "g", CilType::I4, true);
+            let mut f = mb.method(c, "Go", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let (ts, te, hs, he) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let (fts, fte, fhs, fhe) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let done = f.new_label();
+            f.place(ts);
+            f.place(fts);
+            f.ld_arg(0);
+            let no_throw = f.new_label();
+            f.br_false(no_throw);
+            f.emit(Op::NewObj(exc_ctor));
+            f.emit(Op::Throw);
+            f.place(no_throw);
+            f.leave(done);
+            f.place(fte);
+            f.place(fhs);
+            // finally: g += 10
+            f.emit(Op::LdSFld(g));
+            f.ldc_i4(10);
+            f.bin(BinOp::Add);
+            f.emit(Op::StSFld(g));
+            f.emit(Op::EndFinally);
+            f.place(fhe);
+            f.place(te);
+            f.place(hs);
+            f.emit(Op::Pop);
+            // catch: g += 100
+            f.emit(Op::LdSFld(g));
+            f.ldc_i4(100);
+            f.bin(BinOp::Add);
+            f.emit(Op::StSFld(g));
+            f.leave(done);
+            f.place(he);
+            f.place(done);
+            f.emit(Op::LdSFld(g));
+            f.ret();
+            f.eh_finally(fts, fte, fhs, fhe);
+            f.eh_catch(ts, te, hs, he, exc);
+            f.finish();
+        });
+        // No throw: finally only → 10. Throw: finally + catch → 110.
+        assert_all_i4(&m, "P.Go", vec![Value::I4(0)], 10);
+        assert_all_i4(&m, "P.Go", vec![Value::I4(1)], 110);
+    }
+
+    #[test]
+    fn runtime_faults_are_catchable() {
+        let m = build_module(|mb| {
+            let div0 = mb.class_id(crate::machine::DIV_ZERO_CLASS).unwrap();
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "SafeDiv", vec![CilType::I4, CilType::I4], CilType::I4, MethodKind::Static);
+            let (ts, te, hs, he) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let done = f.new_label();
+            let r = f.local(CilType::I4);
+            f.place(ts);
+            f.ld_arg(0);
+            f.ld_arg(1);
+            f.bin(BinOp::Div);
+            f.st_loc(r);
+            f.leave(done);
+            f.place(te);
+            f.place(hs);
+            f.emit(Op::Pop);
+            f.ldc_i4(-1);
+            f.st_loc(r);
+            f.leave(done);
+            f.place(he);
+            f.place(done);
+            f.ld_loc(r);
+            f.ret();
+            f.eh_catch(ts, te, hs, he, div0);
+            f.finish();
+        });
+        assert_all_i4(&m, "P.SafeDiv", vec![Value::I4(10), Value::I4(3)], 3);
+        assert_all_i4(&m, "P.SafeDiv", vec![Value::I4(10), Value::I4(0)], -1);
+    }
+
+    #[test]
+    fn uncaught_exception_escapes() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let exc_ctor = mb.method_id("Exception..ctor").unwrap();
+            let mut f = mb.method(c, "Raise", vec![], CilType::Void, MethodKind::Static);
+            f.emit(Op::NewObj(exc_ctor));
+            f.emit(Op::Throw);
+            f.finish();
+        });
+        for p in all_profiles() {
+            let vm = Vm::new(m.clone(), p).unwrap();
+            let e = vm.invoke_by_name("P.Raise", vec![]).unwrap_err();
+            assert!(matches!(e, VmError::Exception(_)), "{}: {e}", p.name);
+            assert_eq!(vm.counters.throws.load(std::sync::atomic::Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn arrays_and_bounds() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            // Fill a[i] = i*i for i < a.Length, then sum.
+            let mut f = mb.method(c, "SumSquares", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let a = f.local(CilType::array_of(CilType::I4));
+            let i = f.local(CilType::I4);
+            let s = f.local(CilType::I4);
+            f.ld_arg(0);
+            f.emit(Op::NewArr(ElemKind::I4));
+            f.st_loc(a);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_loc(a);
+            f.emit(Op::LdLen);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(a);
+            f.ld_loc(i);
+            f.ld_loc(i);
+            f.ld_loc(i);
+            f.bin(BinOp::Mul);
+            f.emit(Op::StElem(ElemKind::I4));
+            f.ld_loc(s);
+            f.ld_loc(a);
+            f.ld_loc(i);
+            f.emit(Op::LdElem(ElemKind::I4));
+            f.bin(BinOp::Add);
+            f.st_loc(s);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(s);
+            f.ret();
+            f.finish();
+        });
+        // sum i^2, i<10 = 285
+        assert_all_i4(&m, "P.SumSquares", vec![Value::I4(10)], 285);
+    }
+
+    #[test]
+    fn index_out_of_range_raises() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Oob", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let a = f.local(CilType::array_of(CilType::I4));
+            f.ldc_i4(4);
+            f.emit(Op::NewArr(ElemKind::I4));
+            f.st_loc(a);
+            f.ld_loc(a);
+            f.ld_arg(0);
+            f.emit(Op::LdElem(ElemKind::I4));
+            f.ret();
+            f.finish();
+        });
+        for p in all_profiles() {
+            let vm = Vm::new(m.clone(), p).unwrap();
+            assert_eq!(
+                vm.invoke_by_name("P.Oob", vec![Value::I4(2)]).unwrap().unwrap().as_i4(),
+                0
+            );
+            let e = vm.invoke_by_name("P.Oob", vec![Value::I4(4)]).unwrap_err();
+            assert!(matches!(e, VmError::Exception(_)), "{}", p.name);
+            let e = vm.invoke_by_name("P.Oob", vec![Value::I4(-1)]).unwrap_err();
+            assert!(matches!(e, VmError::Exception(_)), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn multidim_vs_jagged_same_answers() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "MSum", vec![CilType::I4], CilType::R8, MethodKind::Static);
+            let a = f.local(CilType::multi_of(CilType::R8, 2));
+            let i = f.local(CilType::I4);
+            let j = f.local(CilType::I4);
+            let s = f.local(CilType::R8);
+            f.ld_arg(0);
+            f.ld_arg(0);
+            f.emit(Op::NewMultiArr { kind: ElemKind::R8, rank: 2 });
+            f.st_loc(a);
+            let (ih, ix) = (f.new_label(), f.new_label());
+            let (jh, jx) = (f.new_label(), f.new_label());
+            f.place(ih);
+            f.ld_loc(i);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, ix);
+            f.ldc_i4(0);
+            f.st_loc(j);
+            f.place(jh);
+            f.ld_loc(j);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, jx);
+            // a[i,j] = i + 2*j
+            f.ld_loc(a);
+            f.ld_loc(i);
+            f.ld_loc(j);
+            f.ld_loc(i);
+            f.ld_loc(j);
+            f.ldc_i4(2);
+            f.bin(BinOp::Mul);
+            f.bin(BinOp::Add);
+            f.conv(NumTy::R8);
+            f.emit(Op::StElemMulti { kind: ElemKind::R8, rank: 2 });
+            // s += a[i,j]
+            f.ld_loc(s);
+            f.ld_loc(a);
+            f.ld_loc(i);
+            f.ld_loc(j);
+            f.emit(Op::LdElemMulti { kind: ElemKind::R8, rank: 2 });
+            f.bin(BinOp::Add);
+            f.st_loc(s);
+            f.ld_loc(j);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(j);
+            f.br(jh);
+            f.place(jx);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(ih);
+            f.place(ix);
+            f.ld_loc(s);
+            f.ret();
+            f.finish();
+        });
+        // sum over i,j<4 of i+2j = 4*(0+1+2+3) + 2*4*(0+1+2+3) = 24+48=72
+        assert_all_r8(&m, "P.MSum", vec![Value::I4(4)], 72.0, 0.0);
+    }
+
+    #[test]
+    fn virtual_dispatch_and_fields() {
+        let m = build_module(|mb| {
+            let a = mb.declare_class("Animal", None);
+            let x = mb.add_field(a, "x", CilType::I4, false);
+            let mut actor = mb.method(a, ".ctor", vec![CilType::I4], CilType::Void, MethodKind::Ctor);
+            actor.ld_arg(0);
+            actor.ld_arg(1);
+            actor.emit(Op::StFld(x));
+            actor.ret();
+            let actor = actor.finish();
+            let mut sound = mb.method(a, "Value", vec![], CilType::I4, MethodKind::Virtual);
+            sound.ld_arg(0);
+            sound.emit(Op::LdFld(x));
+            sound.ret();
+            let sound = sound.finish();
+            let d = mb.declare_class("Dog", Some("Animal"));
+            let mut dctor = mb.method(d, ".ctor", vec![CilType::I4], CilType::Void, MethodKind::Ctor);
+            dctor.ld_arg(0);
+            dctor.ld_arg(1);
+            dctor.emit(Op::StFld(x));
+            dctor.ret();
+            let dctor = dctor.finish();
+            let mut dsound = mb.method(d, "Value", vec![], CilType::I4, MethodKind::Override);
+            dsound.ld_arg(0);
+            dsound.emit(Op::LdFld(x));
+            dsound.ldc_i4(1000);
+            dsound.bin(BinOp::Add);
+            dsound.ret();
+            dsound.finish();
+            let p = mb.declare_class("P", None);
+            let mut f = mb.method(p, "Go", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let animal = f.local(CilType::Class(a));
+            let pick = f.new_label();
+            let join = f.new_label();
+            f.ld_arg(0);
+            f.br_true(pick);
+            f.ldc_i4(5);
+            f.emit(Op::NewObj(actor));
+            f.st_loc(animal);
+            f.br(join);
+            f.place(pick);
+            f.ldc_i4(5);
+            f.emit(Op::NewObj(dctor));
+            f.st_loc(animal);
+            f.place(join);
+            f.ld_loc(animal);
+            f.call_virt(sound);
+            f.ret();
+            f.finish();
+        });
+        assert_all_i4(&m, "P.Go", vec![Value::I4(0)], 5);
+        assert_all_i4(&m, "P.Go", vec![Value::I4(1)], 1005);
+    }
+
+    #[test]
+    fn boxing_roundtrip() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "BoxRt", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let o = f.local(CilType::Object);
+            f.ld_arg(0);
+            f.emit(Op::BoxVal(NumTy::I4));
+            f.st_loc(o);
+            f.ld_loc(o);
+            f.emit(Op::UnboxVal(NumTy::I4));
+            f.ret();
+            f.finish();
+        });
+        assert_all_i4(&m, "P.BoxRt", vec![Value::I4(-123)], -123);
+    }
+
+    #[test]
+    fn inlining_reduces_call_count_on_clr() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut g = mb.method(c, "Twice", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            g.ld_arg(0);
+            g.ldc_i4(2);
+            g.bin(BinOp::Mul);
+            g.ret();
+            let twice = g.finish();
+            let mut f = mb.method(c, "Go", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            f.ld_arg(0);
+            f.call(twice);
+            f.call(twice);
+            f.ret();
+            f.finish();
+        });
+        // CLR inlines: only the outer call counts. Sun 1.4 (inline off)
+        // performs all three managed calls.
+        let clr = Vm::new(m.clone(), VmProfile::clr11()).unwrap();
+        assert_eq!(clr.invoke_by_name("P.Go", vec![Value::I4(3)]).unwrap().unwrap().as_i4(), 12);
+        assert_eq!(clr.counters.calls.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let sun = Vm::new(m, VmProfile::jvm_sun14()).unwrap();
+        assert_eq!(sun.invoke_by_name("P.Go", vec![Value::I4(3)]).unwrap().unwrap().as_i4(), 12);
+        assert_eq!(sun.counters.calls.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Fib", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let fid = f.id();
+            let rec = f.new_label();
+            f.ld_arg(0);
+            f.ldc_i4(2);
+            f.br_cmp(CmpOp::Ge, rec);
+            f.ld_arg(0);
+            f.ret();
+            f.place(rec);
+            f.ld_arg(0);
+            f.ldc_i4(1);
+            f.bin(BinOp::Sub);
+            f.call(fid);
+            f.ld_arg(0);
+            f.ldc_i4(2);
+            f.bin(BinOp::Sub);
+            f.call(fid);
+            f.bin(BinOp::Add);
+            f.ret();
+            f.finish();
+        });
+        assert_all_i4(&m, "P.Fib", vec![Value::I4(15)], 610);
+    }
+
+    #[test]
+    fn call_depth_limit_enforced() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Forever", vec![], CilType::Void, MethodKind::Static);
+            let fid = f.id();
+            f.call(fid);
+            f.ret();
+            f.finish();
+        });
+        let vm = Vm::new(m, VmProfile::clr11()).unwrap();
+        // Debug-build native frames are large; give the guard headroom.
+        let e = machine::run_on_big_stack(move || {
+            vm.invoke_by_name("P.Forever", vec![]).unwrap_err()
+        });
+        assert!(matches!(e, VmError::Limit(_)), "{e}");
+    }
+
+    #[test]
+    fn strings_and_console() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Hello", vec![], CilType::I4, MethodKind::Static);
+            f.ld_str("hello ");
+            f.ld_str("world");
+            f.intrinsic(Intrinsic::StrConcat);
+            f.emit(Op::Dup);
+            f.intrinsic(Intrinsic::ConsoleWriteLineStr);
+            f.intrinsic(Intrinsic::StrLen);
+            f.ret();
+            f.finish();
+        });
+        for p in all_profiles() {
+            let vm = Vm::new(m.clone(), p).unwrap();
+            let r = vm.invoke_by_name("P.Hello", vec![]).unwrap().unwrap();
+            assert_eq!(r.as_i4(), 11);
+            assert_eq!(vm.take_console(), vec!["hello world".to_string()]);
+        }
+    }
+
+    #[test]
+    fn serialization_intrinsics_roundtrip() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("Node", None);
+            let val = mb.add_field(c, "val", CilType::I4, false);
+            let next = mb.add_field(c, "next", CilType::Class(c), false);
+            let mut ctor = mb.method(c, ".ctor", vec![CilType::I4], CilType::Void, MethodKind::Ctor);
+            ctor.ld_arg(0);
+            ctor.ld_arg(1);
+            ctor.emit(Op::StFld(val));
+            ctor.ret();
+            let ctor = ctor.finish();
+            let p = mb.declare_class("P", None);
+            let mut f = mb.method(p, "Rt", vec![], CilType::I4, MethodKind::Static);
+            let a = f.local(CilType::Class(c));
+            let b = f.local(CilType::Class(c));
+            f.ldc_i4(42);
+            f.emit(Op::NewObj(ctor));
+            f.st_loc(a);
+            f.ldc_i4(17);
+            f.emit(Op::NewObj(ctor));
+            f.st_loc(b);
+            // cycle: a.next = b, b.next = a
+            f.ld_loc(a);
+            f.ld_loc(b);
+            f.emit(Op::StFld(next));
+            f.ld_loc(b);
+            f.ld_loc(a);
+            f.emit(Op::StFld(next));
+            f.ld_loc(a);
+            f.intrinsic(Intrinsic::SerializeObj);
+            f.emit(Op::Pop);
+            f.intrinsic(Intrinsic::DeserializeObj);
+            f.emit(Op::CastClass(c));
+            f.emit(Op::LdFld(next));
+            f.emit(Op::LdFld(next));
+            f.emit(Op::LdFld(val));
+            f.ret();
+            f.finish();
+        });
+        // Roundtrip preserves the 2-cycle: a.next.next.val == a.val == 42.
+        assert_all_i4(&m, "P.Rt", vec![], 42);
+    }
+
+    #[test]
+    fn jit_output_differs_by_profile_as_in_tables_6_to_8() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Div", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let i1 = f.local(CilType::I4);
+            let head = f.new_label();
+            let exit = f.new_label();
+            let i = f.local(CilType::I4);
+            f.ldc_i4(i32::MAX);
+            f.st_loc(i1);
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(i1);
+            f.ldc_i4(3);
+            f.bin(BinOp::Div);
+            f.st_loc(i1);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(i1);
+            f.ret();
+            f.finish();
+        });
+        let id = m.find_method("P.Div").unwrap();
+        // IBM: constant fused as an immediate.
+        let ibm = Vm::new(m.clone(), VmProfile::jvm_ibm131()).unwrap();
+        let ibm_code = print_rir(&ibm.compiled(id).unwrap());
+        assert!(ibm_code.contains("div") && ibm_code.contains("#0x3"), "{ibm_code}");
+        // CLR: divisor constant forced into a stack-frame temporary.
+        let clr = Vm::new(m.clone(), VmProfile::clr11()).unwrap();
+        let clr_rir = clr.compiled(id).unwrap();
+        let clr_code = print_rir(&clr_rir);
+        assert!(clr_code.contains("[psp"), "CLR should spill the divisor:\n{clr_code}");
+        // Mono: no passes — the stack-shuffle moves survive, and with one
+        // register nearly everything is a memory operand.
+        let mono = Vm::new(m, VmProfile::mono023()).unwrap();
+        let mono_rir = mono.compiled(id).unwrap();
+        assert!(mono_rir.code.len() > clr_rir.code.len());
+        assert!(mono_rir.n_preg <= 1);
+        // All three still compute the same thing.
+        for vm in [&ibm, &clr] {
+            assert_eq!(vm.invoke(id, vec![Value::I4(5)]).unwrap().unwrap().as_i4(), 8837381);
+        }
+    }
+
+    #[test]
+    fn bce_unchecks_length_bound_loops_on_clr() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Fill", vec![CilType::array_of(CilType::R8)], CilType::Void, MethodKind::Static);
+            let i = f.local(CilType::I4);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_arg(0);
+            f.emit(Op::LdLen);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_arg(0);
+            f.ld_loc(i);
+            f.ld_loc(i);
+            f.conv(NumTy::R8);
+            f.emit(Op::StElem(ElemKind::R8));
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ret();
+            f.finish();
+        });
+        let id = m.find_method("P.Fill").unwrap();
+        let clr = Vm::new(m.clone(), VmProfile::clr11()).unwrap();
+        let code = print_rir(&clr.compiled(id).unwrap());
+        assert!(code.contains(".nobound"), "CLR should eliminate the check:\n{code}");
+        let bea = Vm::new(m.clone(), VmProfile::jvm_bea81()).unwrap();
+        let code = print_rir(&bea.compiled(id).unwrap());
+        assert!(!code.contains(".nobound"), "BEA has bce off:\n{code}");
+        // Semantics unchanged: run it.
+        let arr = clr.heap.alloc_array(ElemKind::I4, 0);
+        drop(arr);
+        let arr = clr.heap.alloc_array(ElemKind::R8, 8);
+        clr.invoke(id, vec![Value::Ref(arr.clone())]).unwrap();
+        assert_eq!(arr.load_elem(ElemKind::R8, 7).as_r8(), 7.0);
+    }
+
+    #[test]
+    fn managed_threads_and_monitors() {
+        let m = build_module(|mb| {
+            let w = mb.declare_class("Worker", None);
+            let count = mb.add_field(w, "count", CilType::I4, true);
+            let lock_obj = mb.add_field(w, "lockObj", CilType::Object, true);
+            let mut ctor = mb.method(w, ".ctor", vec![], CilType::Void, MethodKind::Ctor);
+            ctor.ret();
+            let wctor = ctor.finish();
+            let mut run = mb.method(w, "Run", vec![], CilType::Void, MethodKind::Virtual);
+            let i = run.local(CilType::I4);
+            let head = run.new_label();
+            let exit = run.new_label();
+            run.place(head);
+            run.ld_loc(i);
+            run.ldc_i4(1000);
+            run.br_cmp(CmpOp::Ge, exit);
+            run.emit(Op::LdSFld(lock_obj));
+            run.intrinsic(Intrinsic::MonitorEnter);
+            run.emit(Op::LdSFld(count));
+            run.ldc_i4(1);
+            run.bin(BinOp::Add);
+            run.emit(Op::StSFld(count));
+            run.emit(Op::LdSFld(lock_obj));
+            run.intrinsic(Intrinsic::MonitorExit);
+            run.ld_loc(i);
+            run.ldc_i4(1);
+            run.bin(BinOp::Add);
+            run.st_loc(i);
+            run.br(head);
+            run.place(exit);
+            run.ret();
+            run.finish();
+            let p = mb.declare_class("P", None);
+            let mut f = mb.method(p, "Go", vec![], CilType::I4, MethodKind::Static);
+            let t1 = f.local(CilType::I4);
+            let t2 = f.local(CilType::I4);
+            // lockObj = new Worker()
+            f.emit(Op::NewObj(wctor));
+            f.emit(Op::StSFld(lock_obj));
+            f.emit(Op::NewObj(wctor));
+            f.intrinsic(Intrinsic::ThreadStart);
+            f.st_loc(t1);
+            f.emit(Op::NewObj(wctor));
+            f.intrinsic(Intrinsic::ThreadStart);
+            f.st_loc(t2);
+            f.ld_loc(t1);
+            f.intrinsic(Intrinsic::ThreadJoin);
+            f.ld_loc(t2);
+            f.intrinsic(Intrinsic::ThreadJoin);
+            f.emit(Op::LdSFld(count));
+            f.ret();
+            f.finish();
+        });
+        for p in [VmProfile::clr11(), VmProfile::sscli10(), VmProfile::mono023()] {
+            let vm = Vm::new(m.clone(), p).unwrap();
+            let r = vm.invoke_by_name("P.Go", vec![]).unwrap().unwrap();
+            assert_eq!(r.as_i4(), 2000, "profile {}", p.name);
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The virtual machine host: module instance, statics, intrinsics.
+//!
+//! A [`Vm`] binds a verified [`Module`] to a [`VmProfile`]. All profiles
+//! share this host — heap, statics, monitors, threads, math dispatch — and
+//! differ only in how method bodies are executed (see [`crate::interp`] and
+//! [`crate::exec`]), which is precisely the experimental isolation the
+//! paper aims for by running one CIL image on several runtimes.
+
+use crate::error::{VmError, VmResult};
+use crate::interp;
+use crate::profile::{MathKind, Tier, VmProfile};
+use crate::rir::RirMethod;
+use hpcnet_cil::{
+    verify_module, ClassId, ElemKind, Intrinsic, MethodId, Module, NumTy,
+    StrId,
+};
+use hpcnet_runtime::heap::Heap;
+use hpcnet_runtime::math::{global_random, MathTable};
+use hpcnet_runtime::object::{HeapObj, ObjBody, RefSlot};
+use hpcnet_runtime::serial::{Reader, Tag, Writer};
+use hpcnet_runtime::threads::ThreadRegistry;
+use hpcnet_runtime::{timer, Obj, Value};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use hpcnet_cil::prelude::{
+    declare_prelude, DIV_ZERO_CLASS, EXCEPTION_CLASS, INDEX_OOB_CLASS, INVALID_CAST_CLASS,
+    NULL_REF_CLASS,
+};
+
+/// Resolved ids of the well-known exception classes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WellKnown {
+    pub exception: Option<ClassId>,
+    pub null_ref: Option<ClassId>,
+    pub index_oob: Option<ClassId>,
+    pub div_zero: Option<ClassId>,
+    pub invalid_cast: Option<ClassId>,
+}
+
+impl WellKnown {
+    fn resolve(module: &Module) -> WellKnown {
+        WellKnown {
+            exception: module.find_class(EXCEPTION_CLASS),
+            null_ref: module.find_class(NULL_REF_CLASS),
+            index_oob: module.find_class(INDEX_OOB_CLASS),
+            div_zero: module.find_class(DIV_ZERO_CLASS),
+            invalid_cast: module.find_class(INVALID_CAST_CLASS),
+        }
+    }
+}
+
+/// Module-wide static field storage.
+#[derive(Debug)]
+pub struct Statics {
+    pub prim: Box<[AtomicU64]>,
+    pub refs: Box<[RefSlot]>,
+}
+
+/// Execution counters (observable effects for tests and the harness).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Managed method invocations (all tiers, excluding inlined calls —
+    /// inlining visibly reduces this, as it should).
+    pub calls: AtomicU64,
+    /// Managed exceptions thrown (by `throw` or by runtime faults).
+    pub throws: AtomicU64,
+    /// Methods translated to RIR.
+    pub jit_compiles: AtomicU64,
+}
+
+/// A module bound to an execution profile.
+pub struct Vm {
+    pub module: Arc<Module>,
+    pub profile: VmProfile,
+    pub heap: Heap,
+    pub statics: Statics,
+    pub math: MathTable,
+    pub counters: Counters,
+    pub(crate) threads: ThreadRegistry,
+    code_cache: RwLock<Vec<Option<Arc<RirMethod>>>>,
+    pub(crate) well_known: WellKnown,
+    /// Pre-created string literal objects.
+    literals: Vec<Obj>,
+    /// `Run` method resolution per class (managed thread entry points).
+    run_methods: HashMap<ClassId, MethodId>,
+    /// Captured console output.
+    console: Mutex<Vec<String>>,
+    echo_console: AtomicBool,
+    /// In-memory sink for the Serial benchmark.
+    serial_sink: Mutex<Vec<u8>>,
+    /// Maximum managed call depth (soft stack-overflow guard).
+    max_depth: std::sync::atomic::AtomicU32,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm").field("profile", &self.profile.name).finish()
+    }
+}
+
+impl Vm {
+    /// Verify `module` and bind it to `profile`.
+    pub fn new(mut module: Module, profile: VmProfile) -> VmResult<Arc<Vm>> {
+        verify_module(&mut module)
+            .map_err(|e| VmError::Internal(format!("module failed verification: {e}")))?;
+        Ok(Self::new_unverified(module, profile))
+    }
+
+    /// Bind an already-verified module (differential tests reuse one
+    /// verified module across many profiles).
+    pub fn new_unverified(module: Module, profile: VmProfile) -> Arc<Vm> {
+        let module = Arc::new(module);
+        let heap = Heap::new();
+        let statics = Statics {
+            prim: (0..module.n_static_prim).map(|_| AtomicU64::new(0)).collect(),
+            refs: (0..module.n_static_ref).map(|_| RefSlot::default()).collect(),
+        };
+        let literals = module
+            .strings
+            .iter()
+            .map(|s| heap.adopt(HeapObj::new_str(s.clone())))
+            .collect();
+        let mut run_methods = HashMap::new();
+        for (ci, _) in module.classes.iter().enumerate() {
+            let class = ClassId(ci as u32);
+            let mut cur = Some(class);
+            'chain: while let Some(c) = cur {
+                for mid in module.methods_of(c) {
+                    let m = module.method(mid);
+                    if m.name == "Run" && !m.is_static && m.params.is_empty() {
+                        let resolved = module.resolve_virtual(class, mid);
+                        run_methods.insert(class, resolved);
+                        break 'chain;
+                    }
+                }
+                cur = module.class(c).base;
+            }
+        }
+        let n_methods = module.methods.len();
+        Arc::new(Vm {
+            well_known: WellKnown::resolve(&module),
+            math: match profile.math {
+                MathKind::Fast => MathTable::fast(),
+                MathKind::Strict => MathTable::strict(),
+            },
+            module,
+            profile,
+            heap,
+            statics,
+            counters: Counters::default(),
+            threads: ThreadRegistry::new(),
+            code_cache: RwLock::new(vec![None; n_methods]),
+            literals,
+            run_methods,
+            console: Mutex::new(Vec::new()),
+            echo_console: AtomicBool::new(false),
+            serial_sink: Mutex::new(Vec::new()),
+            max_depth: std::sync::atomic::AtomicU32::new(256),
+        })
+    }
+
+    /// Invoke a method by id. `args` must match the signature (receiver
+    /// first for instance methods).
+    pub fn invoke(self: &Arc<Self>, method: MethodId, args: Vec<Value>) -> VmResult<Option<Value>> {
+        self.invoke_at_depth(method, args, 0)
+    }
+
+    /// Invoke `"Class.Method"` by name.
+    pub fn invoke_by_name(
+        self: &Arc<Self>,
+        qualified: &str,
+        args: Vec<Value>,
+    ) -> VmResult<Option<Value>> {
+        let id = self
+            .module
+            .find_method(qualified)
+            .ok_or_else(|| VmError::Internal(format!("no such method {qualified}")))?;
+        self.invoke(id, args)
+    }
+
+    pub(crate) fn invoke_at_depth(
+        self: &Arc<Self>,
+        method: MethodId,
+        args: Vec<Value>,
+        depth: u32,
+    ) -> VmResult<Option<Value>> {
+        let max_depth = self.max_depth.load(Ordering::Relaxed);
+        if depth >= max_depth {
+            return Err(VmError::Limit(format!(
+                "managed call depth exceeded {max_depth} in {}",
+                self.module.method(method).name
+            )));
+        }
+        self.counters.calls.fetch_add(1, Ordering::Relaxed);
+        match self.profile.tier {
+            Tier::Interpreter => interp::call(self, method, args, depth),
+            Tier::Rir => crate::exec::call(self, method, args, depth),
+        }
+    }
+
+    /// Fetch (translating on first use) the register-tier code for a method.
+    pub fn compiled(self: &Arc<Self>, method: MethodId) -> VmResult<Arc<RirMethod>> {
+        if let Some(m) = &self.code_cache.read()[method.idx()] {
+            return Ok(m.clone());
+        }
+        let compiled = Arc::new(crate::rir::lower::compile(self, method)?);
+        self.counters.jit_compiles.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.code_cache.write();
+        if let Some(m) = &cache[method.idx()] {
+            return Ok(m.clone()); // lost the race; use the winner
+        }
+        cache[method.idx()] = Some(compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Adjust the managed call-depth guard. Hosts running deeply recursive
+    /// kernels (Fibonacci, Hanoi, game search) on big-stack threads may
+    /// raise it; see [`run_on_big_stack`].
+    pub fn set_max_depth(&self, d: u32) {
+        self.max_depth.store(d, Ordering::Relaxed);
+    }
+
+    /// The interned string object for a literal.
+    pub fn literal(&self, id: StrId) -> Obj {
+        self.literals[id.idx()].clone()
+    }
+
+    // ---- console ----
+
+    /// Echo console writes to stdout (examples); capture-only otherwise.
+    pub fn set_echo(&self, on: bool) {
+        self.echo_console.store(on, Ordering::Relaxed);
+    }
+
+    pub fn write_line(&self, s: String) {
+        if self.echo_console.load(Ordering::Relaxed) {
+            println!("{s}");
+        }
+        self.console.lock().push(s);
+    }
+
+    /// Drain captured console output.
+    pub fn take_console(&self) -> Vec<String> {
+        std::mem::take(&mut *self.console.lock())
+    }
+
+    // ---- managed exception construction ----
+
+    fn raise(&self, class: Option<ClassId>, what: &str, depth: u32) -> VmError {
+        self.counters.throws.fetch_add(1, Ordering::Relaxed);
+        self.throw_overhead(depth);
+        match class {
+            Some(c) => {
+                let cd = self.module.class(c);
+                let obj = self.heap.alloc_instance(
+                    c,
+                    cd.n_prim_slots as usize,
+                    cd.n_ref_slots as usize,
+                );
+                VmError::Exception(obj)
+            }
+            None => VmError::Internal(format!("{what} (no prelude exception class declared)")),
+        }
+    }
+
+    pub(crate) fn raise_null_ref(&self, depth: u32) -> VmError {
+        self.raise(self.well_known.null_ref, "NullReferenceException", depth)
+    }
+
+    pub(crate) fn raise_index_oob(&self, depth: u32) -> VmError {
+        self.raise(self.well_known.index_oob, "IndexOutOfRangeException", depth)
+    }
+
+    pub(crate) fn raise_div_zero(&self, depth: u32) -> VmError {
+        self.raise(self.well_known.div_zero, "DivideByZeroException", depth)
+    }
+
+    pub(crate) fn raise_invalid_cast(&self, depth: u32) -> VmError {
+        self.raise(self.well_known.invalid_cast, "InvalidCastException", depth)
+    }
+
+    /// Account for a user-level `throw` (cost model + counters).
+    pub(crate) fn note_throw(&self, depth: u32) {
+        self.counters.throws.fetch_add(1, Ordering::Relaxed);
+        self.throw_overhead(depth);
+    }
+
+    /// The per-throw unwind/stack-trace work this profile performs. The
+    /// CLI's two-pass SEH-style unwind with trace capture is modeled as
+    /// real string-building work proportional to call depth; the JVM
+    /// profiles do one pass (Graph 5's effect).
+    fn throw_overhead(&self, depth: u32) {
+        let units = self.profile.exception_cost_units;
+        if units == 0 {
+            return;
+        }
+        let mut trace = String::with_capacity(16 * (depth as usize + 1));
+        for u in 0..units {
+            trace.clear();
+            for d in 0..=depth {
+                let _ = write!(trace, " at frame {d}/{u};");
+            }
+            std::hint::black_box(&trace);
+        }
+    }
+
+    /// Can `sub` be treated as an instance of `sup`?
+    pub(crate) fn instance_of(&self, obj: &Obj, class: ClassId) -> bool {
+        match obj.class_id() {
+            Some(c) => self.module.is_subclass_of(c, class),
+            None => false,
+        }
+    }
+
+    // ---- intrinsic dispatch ----
+
+    /// Execute an intrinsic. `args` are in declaration order.
+    pub(crate) fn intrinsic(
+        self: &Arc<Self>,
+        i: Intrinsic,
+        args: &[Value],
+        depth: u32,
+    ) -> VmResult<Option<Value>> {
+        use Intrinsic::*;
+        let r8 = |k: usize| args[k].as_r8();
+        let i4 = |k: usize| args[k].as_i4();
+        let i8v = |k: usize| args[k].as_i8();
+        let r4 = |k: usize| args[k].as_r4();
+        let some_r8 = |v: f64| Ok(Some(Value::R8(v)));
+        match i {
+            AbsI4 => Ok(Some(Value::I4(i4(0).wrapping_abs()))),
+            AbsI8 => Ok(Some(Value::I8(i8v(0).wrapping_abs()))),
+            AbsR4 => Ok(Some(Value::R4(r4(0).abs()))),
+            AbsR8 => some_r8(r8(0).abs()),
+            MaxI4 => Ok(Some(Value::I4(i4(0).max(i4(1))))),
+            MaxI8 => Ok(Some(Value::I8(i8v(0).max(i8v(1))))),
+            MaxR4 => Ok(Some(Value::R4(r4(0).max(r4(1))))),
+            MaxR8 => some_r8(r8(0).max(r8(1))),
+            MinI4 => Ok(Some(Value::I4(i4(0).min(i4(1))))),
+            MinI8 => Ok(Some(Value::I8(i8v(0).min(i8v(1))))),
+            MinR4 => Ok(Some(Value::R4(r4(0).min(r4(1))))),
+            MinR8 => some_r8(r8(0).min(r8(1))),
+            Sin => some_r8((self.math.sin)(r8(0))),
+            Cos => some_r8((self.math.cos)(r8(0))),
+            Tan => some_r8((self.math.tan)(r8(0))),
+            Asin => some_r8((self.math.asin)(r8(0))),
+            Acos => some_r8((self.math.acos)(r8(0))),
+            Atan => some_r8((self.math.atan)(r8(0))),
+            Atan2 => some_r8((self.math.atan2)(r8(0), r8(1))),
+            Floor => some_r8((self.math.floor)(r8(0))),
+            Ceil => some_r8((self.math.ceil)(r8(0))),
+            Sqrt => some_r8((self.math.sqrt)(r8(0))),
+            Exp => some_r8((self.math.exp)(r8(0))),
+            Log => some_r8((self.math.log)(r8(0))),
+            Pow => some_r8((self.math.pow)(r8(0), r8(1))),
+            Rint => some_r8((self.math.rint)(r8(0))),
+            Random => some_r8(global_random()),
+            RoundR4 => Ok(Some(Value::I4(crate::numerics::f64_to_i32(
+                (self.math.rint)(r4(0) as f64),
+            )))),
+            RoundR8 => Ok(Some(Value::I8(crate::numerics::f64_to_i64(
+                (self.math.rint)(r8(0)),
+            )))),
+            ConsoleWriteLineStr => {
+                let s = match args[0].as_ref_opt() {
+                    Some(o) => o.as_str().unwrap_or("<non-string>").to_string(),
+                    None => return Err(self.raise_null_ref(depth)),
+                };
+                self.write_line(s);
+                Ok(None)
+            }
+            ConsoleWriteLineI4 => {
+                self.write_line(i4(0).to_string());
+                Ok(None)
+            }
+            ConsoleWriteLineR8 => {
+                self.write_line(format!("{:?}", r8(0)));
+                Ok(None)
+            }
+            CurrentTimeMillis => Ok(Some(Value::I8(timer::millis()))),
+            NanoTime => Ok(Some(Value::I8(timer::nanos()))),
+            ThreadStart => {
+                let obj = args[0]
+                    .as_ref_opt()
+                    .cloned()
+                    .ok_or_else(|| self.raise_null_ref(depth))?;
+                let class = obj
+                    .class_id()
+                    .ok_or_else(|| VmError::Internal("Sys.Start on non-instance".into()))?;
+                let run = *self.run_methods.get(&class).ok_or_else(|| {
+                    VmError::Internal(format!(
+                        "class {} has no Run() method",
+                        self.module.class(class).name
+                    ))
+                })?;
+                let vm = self.clone();
+                let handle = self.threads.spawn(move || {
+                    vm.invoke(run, vec![Value::Ref(obj)])
+                        .expect("managed thread body raised an unhandled exception");
+                });
+                Ok(Some(Value::I4(handle)))
+            }
+            ThreadJoin => {
+                self.threads.join(i4(0));
+                Ok(None)
+            }
+            ThreadYield => {
+                std::thread::yield_now();
+                Ok(None)
+            }
+            MonitorEnter => match args[0].as_ref_opt() {
+                Some(o) => {
+                    o.monitor.enter();
+                    Ok(None)
+                }
+                None => Err(self.raise_null_ref(depth)),
+            },
+            MonitorExit => match args[0].as_ref_opt() {
+                Some(o) => o
+                    .monitor
+                    .exit()
+                    .map(|_| None)
+                    .map_err(|_| VmError::Internal("Monitor.Exit without ownership".into())),
+                None => Err(self.raise_null_ref(depth)),
+            },
+            StrConcat => {
+                let a = args[0].as_ref_opt().and_then(|o| o.as_str()).unwrap_or("");
+                let b = args[1].as_ref_opt().and_then(|o| o.as_str()).unwrap_or("");
+                Ok(Some(Value::Ref(self.heap.alloc_str(format!("{a}{b}")))))
+            }
+            StrFromI4 => Ok(Some(Value::Ref(self.heap.alloc_str(i4(0).to_string())))),
+            StrFromI8 => Ok(Some(Value::Ref(self.heap.alloc_str(i8v(0).to_string())))),
+            StrFromR8 => Ok(Some(Value::Ref(self.heap.alloc_str(format!("{:?}", r8(0)))))),
+            StrLen => {
+                let n = args[0]
+                    .as_ref_opt()
+                    .and_then(|o| o.as_str())
+                    .map(|s| s.chars().count())
+                    .ok_or_else(|| self.raise_null_ref(depth))?;
+                Ok(Some(Value::I4(n as i32)))
+            }
+            SerializeObj => {
+                let bytes = match args[0].as_ref_opt() {
+                    Some(o) => self.serialize(o),
+                    None => return Err(self.raise_null_ref(depth)),
+                };
+                let n = bytes.len() as i32;
+                *self.serial_sink.lock() = bytes;
+                Ok(Some(Value::I4(n)))
+            }
+            DeserializeObj => {
+                let bytes = self.serial_sink.lock().clone();
+                let obj = self
+                    .deserialize(&bytes)
+                    .map_err(|e| VmError::Internal(format!("deserialize: {e}")))?;
+                Ok(Some(match obj {
+                    Some(o) => Value::Ref(o),
+                    None => Value::Null,
+                }))
+            }
+        }
+    }
+
+    // ---- serialization (the Serial micro-benchmark) ----
+
+    /// Serialize an object graph (handles sharing and cycles with
+    /// back-references).
+    pub fn serialize(&self, root: &Obj) -> Vec<u8> {
+        let mut w = Writer::new();
+        let mut ids: HashMap<usize, u64> = HashMap::new();
+        self.ser_obj(&mut w, &mut ids, Some(root));
+        w.into_bytes()
+    }
+
+    fn ser_obj(&self, w: &mut Writer, ids: &mut HashMap<usize, u64>, obj: Option<&Obj>) {
+        let obj = match obj {
+            Some(o) => o,
+            None => {
+                w.tag(Tag::Null);
+                return;
+            }
+        };
+        let key = Obj::as_ptr(obj) as usize;
+        if let Some(&id) = ids.get(&key) {
+            w.tag(Tag::BackRef);
+            w.varint(id);
+            return;
+        }
+        ids.insert(key, ids.len() as u64);
+        match &obj.body {
+            ObjBody::Str(s) => {
+                w.tag(Tag::Str);
+                w.bytes(s.as_bytes());
+            }
+            ObjBody::Boxed { ty, bits } => {
+                w.tag(Tag::Boxed);
+                w.varint(num_ty_code(*ty) as u64);
+                w.word(*bits);
+            }
+            ObjBody::Instance { class, prim, refs } => {
+                w.tag(Tag::Instance);
+                w.varint(class.0 as u64);
+                w.varint(prim.len() as u64);
+                for p in prim.iter() {
+                    w.word(p.load(Ordering::Relaxed));
+                }
+                w.varint(refs.len() as u64);
+                for r in refs.iter() {
+                    self.ser_obj(w, ids, r.get().as_ref());
+                }
+            }
+            ObjBody::ArrRef(d) => {
+                w.tag(Tag::ArrRef);
+                w.varint(d.len() as u64);
+                for r in d.iter() {
+                    self.ser_obj(w, ids, r.get().as_ref());
+                }
+            }
+            ObjBody::MultiRef { dims, data } => {
+                w.tag(Tag::MultiRef);
+                w.varint(dims.len() as u64);
+                for &d in dims.iter() {
+                    w.varint(d as u64);
+                }
+                for r in data.iter() {
+                    self.ser_obj(w, ids, r.get().as_ref());
+                }
+            }
+            ObjBody::MultiPrim { kind, dims, data } => {
+                w.tag(Tag::MultiPrim);
+                w.varint(elem_code(*kind) as u64);
+                w.varint(dims.len() as u64);
+                for &d in dims.iter() {
+                    w.varint(d as u64);
+                }
+                for p in data.iter() {
+                    w.word(p.load(Ordering::Relaxed));
+                }
+            }
+            body => {
+                // Primitive SZ arrays.
+                let kind = match body {
+                    ObjBody::ArrU1(_) => ElemKind::U1,
+                    ObjBody::ArrI4(_) => ElemKind::I4,
+                    ObjBody::ArrI8(_) => ElemKind::I8,
+                    ObjBody::ArrR4(_) => ElemKind::R4,
+                    _ => ElemKind::R8,
+                };
+                let data = obj.prim_data();
+                w.tag(Tag::ArrPrim);
+                w.varint(elem_code(kind) as u64);
+                w.varint(data.len() as u64);
+                for p in data.iter() {
+                    w.word(p.load(Ordering::Relaxed));
+                }
+            }
+        }
+    }
+
+    /// Reconstruct an object graph from [`Vm::serialize`] output.
+    pub fn deserialize(&self, bytes: &[u8]) -> Result<Option<Obj>, String> {
+        let mut r = Reader::new(bytes);
+        let mut table: Vec<Obj> = Vec::new();
+        self.de_obj(&mut r, &mut table).map_err(|e| e.to_string())
+    }
+
+    fn de_obj(
+        &self,
+        r: &mut Reader<'_>,
+        table: &mut Vec<Obj>,
+    ) -> Result<Option<Obj>, hpcnet_runtime::serial::DecodeError> {
+        use hpcnet_runtime::serial::DecodeError;
+        let bad = |m: &str| DecodeError(m.to_string());
+        match r.tag()? {
+            Tag::Null => Ok(None),
+            Tag::BackRef => {
+                let id = r.varint()? as usize;
+                table.get(id).cloned().map(Some).ok_or_else(|| bad("dangling backref"))
+            }
+            Tag::Str => {
+                let s = String::from_utf8(r.bytes()?.to_vec()).map_err(|_| bad("bad utf8"))?;
+                let o = self.heap.alloc_str(s);
+                table.push(o.clone());
+                Ok(Some(o))
+            }
+            Tag::Boxed => {
+                let ty = code_num_ty(r.varint()? as u8).ok_or_else(|| bad("bad numty"))?;
+                let o = self.heap.alloc_boxed(ty, r.word()?);
+                table.push(o.clone());
+                Ok(Some(o))
+            }
+            Tag::Instance => {
+                let class = ClassId(r.varint()? as u32);
+                if class.idx() >= self.module.classes.len() {
+                    return Err(bad("bad class id"));
+                }
+                let n_prim = r.varint()? as usize;
+                let cd = self.module.class(class);
+                if n_prim != cd.n_prim_slots as usize {
+                    return Err(bad("field count mismatch"));
+                }
+                let o = self
+                    .heap
+                    .alloc_instance(class, n_prim, cd.n_ref_slots as usize);
+                table.push(o.clone());
+                for slot in 0..n_prim {
+                    o.set_prim_field(slot as u32, r.word()?);
+                }
+                let n_ref = r.varint()? as usize;
+                if n_ref != cd.n_ref_slots as usize {
+                    return Err(bad("ref count mismatch"));
+                }
+                for slot in 0..n_ref {
+                    let child = self.de_obj(r, table)?;
+                    o.set_ref_field(slot as u32, child);
+                }
+                Ok(Some(o))
+            }
+            Tag::ArrPrim => {
+                let kind = code_elem(r.varint()? as u8).ok_or_else(|| bad("bad elem"))?;
+                let len = r.varint()? as usize;
+                let o = self.heap.alloc_array(kind, len);
+                table.push(o.clone());
+                for i in 0..len {
+                    o.prim_data()[i].store(r.word()?, Ordering::Relaxed);
+                }
+                Ok(Some(o))
+            }
+            Tag::ArrRef => {
+                let len = r.varint()? as usize;
+                let o = self.heap.alloc_array(ElemKind::Ref, len);
+                table.push(o.clone());
+                for i in 0..len {
+                    let child = self.de_obj(r, table)?;
+                    o.ref_data()[i].set(child);
+                }
+                Ok(Some(o))
+            }
+            Tag::MultiPrim => {
+                let kind = code_elem(r.varint()? as u8).ok_or_else(|| bad("bad elem"))?;
+                let rank = r.varint()? as usize;
+                let mut dims = Vec::with_capacity(rank);
+                for _ in 0..rank {
+                    dims.push(r.varint()? as u32);
+                }
+                let o = self.heap.alloc_multi(kind, &dims);
+                table.push(o.clone());
+                let n = o.prim_data().len();
+                for i in 0..n {
+                    o.prim_data()[i].store(r.word()?, Ordering::Relaxed);
+                }
+                Ok(Some(o))
+            }
+            Tag::MultiRef => {
+                let rank = r.varint()? as usize;
+                let mut dims = Vec::with_capacity(rank);
+                for _ in 0..rank {
+                    dims.push(r.varint()? as u32);
+                }
+                let o = self.heap.alloc_multi(ElemKind::Ref, &dims);
+                table.push(o.clone());
+                let n = o.ref_data().len();
+                for i in 0..n {
+                    let child = self.de_obj(r, table)?;
+                    o.ref_data()[i].set(child);
+                }
+                Ok(Some(o))
+            }
+        }
+    }
+
+    /// Wait for every managed thread spawned via `Sys.Start`.
+    pub fn join_all_threads(&self) {
+        self.threads.join_all();
+    }
+}
+
+/// Run a closure on a thread with a large (64 MiB) stack.
+///
+/// Managed recursion is bounded by the VM's depth guard, but each managed
+/// frame consumes several native frames whose size varies by build
+/// profile; hosts running deep recursive kernels at raised depth limits
+/// should wrap the entry invocation in this.
+pub fn run_on_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(f)
+        .expect("spawn big-stack thread")
+        .join()
+        .expect("big-stack thread panicked")
+}
+
+fn num_ty_code(t: NumTy) -> u8 {
+    match t {
+        NumTy::I4 => 0,
+        NumTy::I8 => 1,
+        NumTy::R4 => 2,
+        NumTy::R8 => 3,
+    }
+}
+
+fn code_num_ty(c: u8) -> Option<NumTy> {
+    Some(match c {
+        0 => NumTy::I4,
+        1 => NumTy::I8,
+        2 => NumTy::R4,
+        3 => NumTy::R8,
+        _ => return None,
+    })
+}
+
+fn elem_code(k: ElemKind) -> u8 {
+    match k {
+        ElemKind::U1 => 0,
+        ElemKind::I4 => 1,
+        ElemKind::I8 => 2,
+        ElemKind::R4 => 3,
+        ElemKind::R8 => 4,
+        ElemKind::Ref => 5,
+    }
+}
+
+fn code_elem(c: u8) -> Option<ElemKind> {
+    Some(match c {
+        0 => ElemKind::U1,
+        1 => ElemKind::I4,
+        2 => ElemKind::I8,
+        3 => ElemKind::R4,
+        4 => ElemKind::R8,
+        5 => ElemKind::Ref,
+        _ => return None,
+    })
+}

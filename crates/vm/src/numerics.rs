@@ -1,0 +1,298 @@
+//! Shared numeric semantics.
+//!
+//! Both engines (and every profile) must compute identical results — the
+//! paper validates kernel outputs across runtimes before comparing speed,
+//! and our differential tests do the same. This module is the single
+//! definition of arithmetic, comparison and conversion semantics:
+//!
+//! * integer ops wrap (Java/CLI two's-complement semantics; `MIN / -1`
+//!   wraps like Java);
+//! * shifts mask the count (`& 31` / `& 63`);
+//! * float→int conversions saturate with NaN→0 (`java` semantics, which
+//!   the C# benchmark ports relied on staying within range anyway);
+//! * integer division/remainder by zero reports [`ArithErr::DivByZero`].
+
+use hpcnet_cil::{BinOp, CmpOp, NumTy, UnOp};
+
+/// Arithmetic faults that become managed exceptions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithErr {
+    DivByZero,
+}
+
+#[inline]
+pub fn bin_i4(op: BinOp, a: i32, b: i32) -> Result<i32, ArithErr> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(ArithErr::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(ArithErr::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+        BinOp::ShrUn => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+    })
+}
+
+#[inline]
+pub fn bin_i8(op: BinOp, a: i64, b: i64) -> Result<i64, ArithErr> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(ArithErr::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(ArithErr::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::ShrUn => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+    })
+}
+
+#[inline]
+pub fn bin_r4(op: BinOp, a: f32, b: f32) -> f32 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        _ => unreachable!("verifier rejects bitwise float ops"),
+    }
+}
+
+#[inline]
+pub fn bin_r8(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        _ => unreachable!("verifier rejects bitwise float ops"),
+    }
+}
+
+#[inline]
+pub fn un_i4(op: UnOp, a: i32) -> i32 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => !a,
+    }
+}
+
+#[inline]
+pub fn un_i8(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => !a,
+    }
+}
+
+/// Saturating float→i32 (Java `(int)` semantics).
+#[inline]
+pub fn f64_to_i32(x: f64) -> i32 {
+    if x.is_nan() {
+        0
+    } else if x >= i32::MAX as f64 {
+        i32::MAX
+    } else if x <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        x as i32
+    }
+}
+
+/// Saturating float→i64.
+#[inline]
+pub fn f64_to_i64(x: f64) -> i64 {
+    if x.is_nan() {
+        0
+    } else if x >= i64::MAX as f64 {
+        i64::MAX
+    } else if x <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        x as i64
+    }
+}
+
+/// Convert raw bits of kind `from` to kind `to`, returning raw bits.
+#[inline]
+pub fn conv_bits(from: NumTy, to: NumTy, bits: u64) -> u64 {
+    // Decode.
+    let as_f64 = |bits: u64| -> f64 {
+        match from {
+            NumTy::I4 => bits as u32 as i32 as f64,
+            NumTy::I8 => bits as i64 as f64,
+            NumTy::R4 => f32::from_bits(bits as u32) as f64,
+            NumTy::R8 => f64::from_bits(bits),
+        }
+    };
+    match to {
+        NumTy::I4 => {
+            let v: i32 = match from {
+                NumTy::I4 => bits as u32 as i32,
+                NumTy::I8 => bits as i64 as i32, // low 32 bits
+                NumTy::R4 => f64_to_i32(f32::from_bits(bits as u32) as f64),
+                NumTy::R8 => f64_to_i32(f64::from_bits(bits)),
+            };
+            v as u32 as u64
+        }
+        NumTy::I8 => {
+            let v: i64 = match from {
+                NumTy::I4 => bits as u32 as i32 as i64, // sign extend
+                NumTy::I8 => bits as i64,
+                NumTy::R4 => f64_to_i64(f32::from_bits(bits as u32) as f64),
+                NumTy::R8 => f64_to_i64(f64::from_bits(bits)),
+            };
+            v as u64
+        }
+        NumTy::R4 => (as_f64(bits) as f32).to_bits() as u64,
+        NumTy::R8 => as_f64(bits).to_bits(),
+    }
+}
+
+/// Evaluate a comparison on raw bits of kind `ty`, producing 0/1.
+///
+/// Float comparisons are "unordered false" except `Ne`, matching the
+/// branch combinations our compiler emits (Java/C# source semantics).
+#[inline]
+pub fn cmp_bits(op: CmpOp, ty: NumTy, a: u64, b: u64) -> i32 {
+    let r = match ty {
+        NumTy::I4 => {
+            let (a, b) = (a as u32 as i32, b as u32 as i32);
+            eval_ord(op, a.cmp(&b))
+        }
+        NumTy::I8 => {
+            let (a, b) = (a as i64, b as i64);
+            eval_ord(op, a.cmp(&b))
+        }
+        NumTy::R4 => eval_float(op, f32::from_bits(a as u32) as f64, f32::from_bits(b as u32) as f64),
+        NumTy::R8 => eval_float(op, f64::from_bits(a), f64::from_bits(b)),
+    };
+    r as i32
+}
+
+#[inline]
+fn eval_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    op.eval(ord)
+}
+
+#[inline]
+fn eval_float(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b, // true on unordered
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_edges() {
+        assert_eq!(bin_i4(BinOp::Add, i32::MAX, 1).unwrap(), i32::MIN);
+        assert_eq!(bin_i4(BinOp::Div, i32::MIN, -1).unwrap(), i32::MIN);
+        assert_eq!(bin_i4(BinOp::Mul, 1 << 30, 4).unwrap(), 0);
+        assert_eq!(bin_i8(BinOp::Sub, i64::MIN, 1).unwrap(), i64::MAX);
+        assert_eq!(un_i4(UnOp::Neg, i32::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn div_by_zero_detected() {
+        assert_eq!(bin_i4(BinOp::Div, 5, 0), Err(ArithErr::DivByZero));
+        assert_eq!(bin_i4(BinOp::Rem, 5, 0), Err(ArithErr::DivByZero));
+        assert_eq!(bin_i8(BinOp::Div, 5, 0), Err(ArithErr::DivByZero));
+        // Float division by zero is IEEE infinity, not a fault.
+        assert_eq!(bin_r8(BinOp::Div, 1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn shift_masking() {
+        assert_eq!(bin_i4(BinOp::Shl, 1, 33).unwrap(), 2);
+        assert_eq!(bin_i8(BinOp::Shl, 1, 65).unwrap(), 2);
+        assert_eq!(bin_i4(BinOp::Shr, -8, 1).unwrap(), -4);
+        assert_eq!(bin_i4(BinOp::ShrUn, -8, 1).unwrap(), 0x7FFF_FFFC);
+    }
+
+    #[test]
+    fn conversions() {
+        use hpcnet_runtime::Value;
+        // f64 -> i4 saturation and NaN.
+        assert_eq!(conv_bits(NumTy::R8, NumTy::I4, f64::NAN.to_bits()), 0);
+        assert_eq!(
+            conv_bits(NumTy::R8, NumTy::I4, 1e18f64.to_bits()),
+            i32::MAX as u32 as u64
+        );
+        assert_eq!(
+            Value::from_bits(NumTy::I4, conv_bits(NumTy::R8, NumTy::I4, (-2.7f64).to_bits()))
+                .as_i4(),
+            -2
+        );
+        // i8 -> i4 truncates; i4 -> i8 sign extends.
+        assert_eq!(
+            conv_bits(NumTy::I8, NumTy::I4, 0x1_0000_0005u64),
+            5
+        );
+        assert_eq!(
+            Value::from_bits(NumTy::I8, conv_bits(NumTy::I4, NumTy::I8, Value::I4(-3).to_bits()))
+                .as_i8(),
+            -3
+        );
+        // i4 -> r8 exact.
+        assert_eq!(
+            Value::from_bits(NumTy::R8, conv_bits(NumTy::I4, NumTy::R8, Value::I4(7).to_bits()))
+                .as_r8(),
+            7.0
+        );
+        // r8 -> r4 rounds.
+        let r4bits = conv_bits(NumTy::R8, NumTy::R4, 1.1f64.to_bits());
+        assert_eq!(f32::from_bits(r4bits as u32), 1.1f32);
+    }
+
+    #[test]
+    fn comparisons() {
+        use hpcnet_runtime::Value;
+        let b = |v: i32| Value::I4(v).to_bits();
+        assert_eq!(cmp_bits(CmpOp::Lt, NumTy::I4, b(-1), b(1)), 1);
+        assert_eq!(cmp_bits(CmpOp::Gt, NumTy::I4, b(-1), b(1)), 0);
+        let f = |v: f64| v.to_bits();
+        assert_eq!(cmp_bits(CmpOp::Lt, NumTy::R8, f(1.0), f(2.0)), 1);
+        // NaN comparisons: everything false except Ne.
+        assert_eq!(cmp_bits(CmpOp::Eq, NumTy::R8, f(f64::NAN), f(1.0)), 0);
+        assert_eq!(cmp_bits(CmpOp::Lt, NumTy::R8, f(f64::NAN), f(1.0)), 0);
+        assert_eq!(cmp_bits(CmpOp::Ge, NumTy::R8, f(f64::NAN), f(1.0)), 0);
+        assert_eq!(cmp_bits(CmpOp::Ne, NumTy::R8, f(f64::NAN), f(1.0)), 1);
+    }
+}

@@ -1,0 +1,1163 @@
+//! RIR optimization passes and register allocation.
+//!
+//! Each pass corresponds to a codegen capability the paper attributes to a
+//! specific JIT (see [`crate::profile`]). Passes run under the profile's
+//! [`PassConfig`]; Mono 0.23 runs none of them and keeps the naive lowering.
+//!
+//! Register allocation then models *enregistration*: virtual registers are
+//! ranked by static use count and the top `max_enreg` live in the register
+//! file (plain array access at run time); the rest — and anything in the
+//! force-spill set — live in the spill frame, accessed through volatile
+//! loads/stores (real memory traffic). CLR 1.0/1.1 "only consider a maximum
+//! of 64 local variables for enregistration"; that cap is exactly this
+//! parameter.
+
+use crate::machine::Vm;
+use crate::profile::PassConfig;
+use crate::rir::lower::{rewrite_slots, Lowered};
+use crate::rir::{ArgSlot, DstSlot, Operand, RInst, RirMethod, SPILL_BIT};
+use hpcnet_cil::module::MethodId;
+use hpcnet_cil::{BinOp, NumTy, UnOp};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Run the profile's passes over lowered code and allocate registers.
+pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lowered) -> RirMethod {
+    let passes = vm.profile.passes;
+    if passes.const_prop {
+        const_and_copy_prop(&mut l, &passes);
+    } else if passes.copy_prop {
+        const_and_copy_prop(
+            &mut l,
+            &PassConfig {
+                const_prop: false,
+                ..passes
+            },
+        );
+    }
+    if passes.mul_strength_reduction {
+        strength_reduce(&mut l);
+    }
+    if passes.bce {
+        eliminate_bounds_checks(&mut l);
+    }
+    if passes.dce {
+        dead_code_elim(&mut l);
+    }
+    compact(&mut l);
+    let force_spill_p = if passes.div_const_temp_quirk {
+        apply_div_const_quirk(&mut l)
+    } else {
+        HashSet::new()
+    };
+    allocate(vm, method, l, &force_spill_p)
+}
+
+/// Basic-block leader set: entry, branch targets, post-terminator
+/// instructions, and EH boundaries.
+fn leaders(l: &Lowered) -> HashSet<u32> {
+    let mut set = HashSet::new();
+    set.insert(0);
+    for (i, inst) in l.code.iter().enumerate() {
+        if let Some(t) = inst.target() {
+            set.insert(t);
+        }
+        if matches!(
+            inst,
+            RInst::Br { .. }
+                | RInst::BrIf { .. }
+                | RInst::BrIfRef { .. }
+                | RInst::BrCmp { .. }
+                | RInst::Ret { .. }
+                | RInst::Throw { .. }
+                | RInst::Leave { .. }
+                | RInst::EndFinally
+        ) {
+            set.insert(i as u32 + 1);
+        }
+    }
+    for r in &l.eh {
+        set.insert(r.try_start);
+        set.insert(r.handler_start);
+    }
+    set
+}
+
+/// The primitive slot an instruction defines, if any.
+fn def_p(inst: &RInst) -> Option<u16> {
+    match inst {
+        RInst::MovP { dst, .. }
+        | RInst::ConstP { dst, .. }
+        | RInst::Bin { dst, .. }
+        | RInst::Un { dst, .. }
+        | RInst::Conv { dst, .. }
+        | RInst::Cmp { dst, .. }
+        | RInst::CmpRef { dst, .. }
+        | RInst::IsInst { dst, .. }
+        | RInst::LdLen { dst, .. }
+        | RInst::LdMultiLen { dst, .. }
+        | RInst::UnboxV { dst, .. } => Some(*dst),
+        RInst::Call { dst: Some(DstSlot::P(d)), .. }
+        | RInst::CallIntr { dst: Some(DstSlot::P(d)), .. }
+        | RInst::LdFld { dst: DstSlot::P(d), .. }
+        | RInst::LdSFld { dst: DstSlot::P(d), .. }
+        | RInst::LdElem { dst: DstSlot::P(d), .. }
+        | RInst::LdElemMulti { dst: DstSlot::P(d), .. } => Some(*d),
+        _ => None,
+    }
+}
+
+/// The reference slot an instruction defines, if any.
+fn def_r(inst: &RInst) -> Option<u16> {
+    match inst {
+        RInst::MovR { dst, .. }
+        | RInst::ConstNull { dst }
+        | RInst::ConstStr { dst, .. }
+        | RInst::NewObj { dst, .. }
+        | RInst::CastClass { dst, .. }
+        | RInst::NewArr { dst, .. }
+        | RInst::NewMulti { dst, .. }
+        | RInst::BoxV { dst, .. } => Some(*dst),
+        RInst::Call { dst: Some(DstSlot::R(d)), .. }
+        | RInst::CallIntr { dst: Some(DstSlot::R(d)), .. }
+        | RInst::LdFld { dst: DstSlot::R(d), .. }
+        | RInst::LdSFld { dst: DstSlot::R(d), .. }
+        | RInst::LdElem { dst: DstSlot::R(d), .. }
+        | RInst::LdElemMulti { dst: DstSlot::R(d), .. } => Some(*d),
+        _ => None,
+    }
+}
+
+/// Rewrite only the *use* (read) positions of an instruction.
+fn rewrite_uses(
+    inst: &mut RInst,
+    pf: &mut dyn FnMut(u16) -> u16,
+    rf: &mut dyn FnMut(u16) -> u16,
+) {
+    // Save defs, apply the uniform rewrite, restore defs.
+    let dp = def_p(inst);
+    let dr = def_r(inst);
+    rewrite_slots(inst, pf, rf);
+    if let Some(d) = dp {
+        restore_def_p(inst, d);
+    }
+    if let Some(d) = dr {
+        restore_def_r(inst, d);
+    }
+}
+
+fn restore_def_p(inst: &mut RInst, d: u16) {
+    match inst {
+        RInst::MovP { dst, .. }
+        | RInst::ConstP { dst, .. }
+        | RInst::Bin { dst, .. }
+        | RInst::Un { dst, .. }
+        | RInst::Conv { dst, .. }
+        | RInst::Cmp { dst, .. }
+        | RInst::CmpRef { dst, .. }
+        | RInst::IsInst { dst, .. }
+        | RInst::LdLen { dst, .. }
+        | RInst::LdMultiLen { dst, .. }
+        | RInst::UnboxV { dst, .. } => *dst = d,
+        RInst::Call { dst: Some(DstSlot::P(x)), .. }
+        | RInst::CallIntr { dst: Some(DstSlot::P(x)), .. }
+        | RInst::LdFld { dst: DstSlot::P(x), .. }
+        | RInst::LdSFld { dst: DstSlot::P(x), .. }
+        | RInst::LdElem { dst: DstSlot::P(x), .. }
+        | RInst::LdElemMulti { dst: DstSlot::P(x), .. } => *x = d,
+        _ => {}
+    }
+}
+
+fn restore_def_r(inst: &mut RInst, d: u16) {
+    match inst {
+        RInst::MovR { dst, .. }
+        | RInst::ConstNull { dst }
+        | RInst::ConstStr { dst, .. }
+        | RInst::NewObj { dst, .. }
+        | RInst::CastClass { dst, .. }
+        | RInst::NewArr { dst, .. }
+        | RInst::NewMulti { dst, .. }
+        | RInst::BoxV { dst, .. } => *dst = d,
+        RInst::Call { dst: Some(DstSlot::R(x)), .. }
+        | RInst::CallIntr { dst: Some(DstSlot::R(x)), .. }
+        | RInst::LdFld { dst: DstSlot::R(x), .. }
+        | RInst::LdSFld { dst: DstSlot::R(x), .. }
+        | RInst::LdElem { dst: DstSlot::R(x), .. }
+        | RInst::LdElemMulti { dst: DstSlot::R(x), .. } => *x = d,
+        _ => {}
+    }
+}
+
+/// Combined local (per basic block) constant and copy propagation.
+///
+/// * copies: after `mov d, s`, uses of `d` read `s` directly;
+/// * constants: after `mov d, #k`, `d` is known; const-const operations
+///   fold, and with `imm_fusion` a known right operand becomes an
+///   immediate (IBM's "constants throughout the loop").
+fn const_and_copy_prop(l: &mut Lowered, passes: &PassConfig) {
+    let heads = leaders(l);
+    let mut pconst: HashMap<u16, u64> = HashMap::new();
+    let mut pcopy: HashMap<u16, u16> = HashMap::new();
+    let mut rcopy: HashMap<u16, u16> = HashMap::new();
+
+    for i in 0..l.code.len() {
+        if heads.contains(&(i as u32)) {
+            pconst.clear();
+            pcopy.clear();
+            rcopy.clear();
+        }
+        // Rewrite uses through the copy maps.
+        if passes.copy_prop {
+            let (pc, rc) = (&pcopy, &rcopy);
+            rewrite_uses(
+                &mut l.code[i],
+                &mut |v| *pc.get(&v).unwrap_or(&v),
+                &mut |v| *rc.get(&v).unwrap_or(&v),
+            );
+        }
+        // Constant folding / fusion.
+        if passes.const_prop {
+            let folded = fold_inst(&l.code[i], &pconst, passes.imm_fusion);
+            if let Some(new) = folded {
+                l.code[i] = new;
+            }
+        }
+        // Update the dataflow state from the (possibly rewritten) inst.
+        let inst = &l.code[i];
+        let dp = def_p(inst);
+        let dr = def_r(inst);
+        if let Some(d) = dp {
+            pconst.remove(&d);
+            pcopy.remove(&d);
+            pcopy.retain(|_, v| *v != d);
+        }
+        if let Some(d) = dr {
+            rcopy.remove(&d);
+            rcopy.retain(|_, v| *v != d);
+        }
+        match inst {
+            RInst::ConstP { dst, bits } => {
+                pconst.insert(*dst, *bits);
+            }
+            RInst::MovP { dst, src } if dst != src => {
+                if let Some(&c) = pconst.get(src) {
+                    pconst.insert(*dst, c);
+                }
+                // Canonicalize toward the lower-numbered vreg: arguments
+                // and locals precede stack cells, so facts about named
+                // variables (e.g. the BCE length idiom) survive the
+                // store-to-local direction too.
+                if dst < src {
+                    pcopy.insert(*src, *dst);
+                } else {
+                    pcopy.insert(*dst, *src);
+                }
+            }
+            RInst::MovR { dst, src } if dst != src => {
+                if dst < src {
+                    rcopy.insert(*src, *dst);
+                } else {
+                    rcopy.insert(*dst, *src);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fold one instruction against the known-constant map.
+fn fold_inst(inst: &RInst, pconst: &HashMap<u16, u64>, imm_fusion: bool) -> Option<RInst> {
+    let known = |s: &u16| pconst.get(s).copied();
+    match inst {
+        RInst::MovP { dst, src } => known(src).map(|bits| RInst::ConstP { dst: *dst, bits }),
+        RInst::Bin { op, ty, dst, a, b } => {
+            let bval = match b {
+                Operand::Imm(v) => Some(*v),
+                Operand::Slot(s) => known(s),
+            };
+            if let (Some(av), Some(bv)) = (known(a), bval) {
+                // Fold fully-constant operations (but never fold a trap).
+                if let Some(bits) = eval_bin(*op, *ty, av, bv) {
+                    return Some(RInst::ConstP { dst: *dst, bits });
+                }
+            }
+            if imm_fusion {
+                if let (Operand::Slot(s), Some(bv)) = (b, bval) {
+                    let _ = s;
+                    return Some(RInst::Bin {
+                        op: *op,
+                        ty: *ty,
+                        dst: *dst,
+                        a: *a,
+                        b: Operand::Imm(bv),
+                    });
+                }
+            }
+            None
+        }
+        RInst::Un { op, ty, dst, a } => known(a).and_then(|av| {
+            eval_un(*op, *ty, av).map(|bits| RInst::ConstP { dst: *dst, bits })
+        }),
+        RInst::Conv { from, to, dst, src } => known(src).map(|bits| RInst::ConstP {
+            dst: *dst,
+            bits: crate::numerics::conv_bits(*from, *to, bits),
+        }),
+        RInst::Cmp { op, ty, dst, a, b } => {
+            let bval = match b {
+                Operand::Imm(v) => Some(*v),
+                Operand::Slot(s) => known(s),
+            };
+            if let (Some(av), Some(bv)) = (known(a), bval) {
+                return Some(RInst::ConstP {
+                    dst: *dst,
+                    bits: crate::numerics::cmp_bits(*op, *ty, av, bv) as u32 as u64,
+                });
+            }
+            // Compare immediates exist on every target (`cmp r, imm`);
+            // they are fused whenever constants are known, independent of
+            // general-operand fusion.
+            if let (Operand::Slot(_), Some(bv)) = (b, bval) {
+                return Some(RInst::Cmp {
+                    op: *op,
+                    ty: *ty,
+                    dst: *dst,
+                    a: *a,
+                    b: Operand::Imm(bv),
+                });
+            }
+            None
+        }
+        RInst::BrCmp { op, ty, a, b, t } => match b {
+            Operand::Slot(s) => known(s).map(|bv| RInst::BrCmp {
+                op: *op,
+                ty: *ty,
+                a: *a,
+                b: Operand::Imm(bv),
+                t: *t,
+            }),
+            Operand::Imm(_) => None,
+        },
+        _ => None,
+    }
+}
+
+fn eval_bin(op: BinOp, ty: NumTy, a: u64, b: u64) -> Option<u64> {
+    use crate::numerics::{bin_i4, bin_i8, bin_r4, bin_r8};
+    match ty {
+        NumTy::I4 => bin_i4(op, a as u32 as i32, b as u32 as i32)
+            .ok()
+            .map(|v| v as u32 as u64),
+        NumTy::I8 => bin_i8(op, a as i64, b as i64).ok().map(|v| v as u64),
+        NumTy::R4 => Some(bin_r4(op, f32::from_bits(a as u32), f32::from_bits(b as u32)).to_bits() as u64),
+        NumTy::R8 => Some(bin_r8(op, f64::from_bits(a), f64::from_bits(b)).to_bits()),
+    }
+}
+
+fn eval_un(op: UnOp, ty: NumTy, a: u64) -> Option<u64> {
+    use crate::numerics::{un_i4, un_i8};
+    Some(match ty {
+        NumTy::I4 => un_i4(op, a as u32 as i32) as u32 as u64,
+        NumTy::I8 => un_i8(op, a as i64) as u64,
+        NumTy::R4 => match op {
+            UnOp::Neg => (-f32::from_bits(a as u32)).to_bits() as u64,
+            UnOp::Not => return None,
+        },
+        NumTy::R8 => match op {
+            UnOp::Neg => (-f64::from_bits(a)).to_bits(),
+            UnOp::Not => return None,
+        },
+    })
+}
+
+/// Multiply-by-power-of-two becomes a shift (the CLR's faster integer
+/// multiplication in Graph 1). Works on immediates and on register
+/// operands with an in-block constant reaching definition — shift counts
+/// are immediates in every real encoding, independent of whether the
+/// profile fuses general constants.
+fn strength_reduce(l: &mut Lowered) {
+    let heads = leaders(l);
+    let mut consts: HashMap<u16, u64> = HashMap::new();
+    for i in 0..l.code.len() {
+        if heads.contains(&(i as u32)) {
+            consts.clear();
+        }
+        if let RInst::Bin { op, ty, b, .. } = &mut l.code[i] {
+            if *op == BinOp::Mul && ty.is_int() {
+                let c = match b {
+                    Operand::Imm(c) => Some(*c),
+                    Operand::Slot(s) => consts.get(s).copied(),
+                };
+                if let Some(c) = c {
+                    let val = match ty {
+                        NumTy::I4 => c as u32 as i32 as i64,
+                        _ => c as i64,
+                    };
+                    if val > 0 && (val as u64).is_power_of_two() {
+                        *op = BinOp::Shl;
+                        *b = Operand::Imm(val.trailing_zeros() as u64);
+                    }
+                }
+            }
+        }
+        match &l.code[i] {
+            RInst::ConstP { dst, bits } => {
+                consts.insert(*dst, *bits);
+            }
+            inst => {
+                if let Some(d) = def_p(inst) {
+                    consts.remove(&d);
+                }
+            }
+        }
+    }
+}
+
+/// Bounds-check elimination for the canonical counted-loop shape:
+/// the index starts at zero, increments by a positive constant, and is
+/// guarded by a compare against `ldlen` of the same array ("using the
+/// array.length property as the bounds in the loop", Section 5 — worth
+/// 15 % on the sparse kernel).
+///
+/// The matcher works the way the era's JITs did — structural pattern
+/// recognition over block-local facts rather than full dominance
+/// analysis: per-block maps track copies, known constants, `x = local + k`
+/// facts, and `x = arr.Length` facts, resolved through the naive
+/// stack-shuffle lowering. The execution engine keeps a safety net: an
+/// "unchecked" access that does go out of range is an engine error, so a
+/// differential test would expose an unsound match.
+fn eliminate_bounds_checks(l: &mut Lowered) {
+    let heads = leaders(l);
+
+    // Global def counts: array origins must be written at most once for
+    // their length to be loop-invariant.
+    let mut pdef_count: HashMap<u16, u32> = HashMap::new();
+    let mut rdef_count: HashMap<u16, u32> = HashMap::new();
+    for inst in &l.code {
+        if let Some(d) = def_p(inst) {
+            *pdef_count.entry(d).or_default() += 1;
+        }
+        if let Some(d) = def_r(inst) {
+            // The entry zero-init (`ConstNull`) does not threaten length
+            // stability: a null array traps before its length matters.
+            if !matches!(inst, RInst::ConstNull { .. }) {
+                *rdef_count.entry(d).or_default() += 1;
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct Ind {
+        zero: bool,
+        inc: bool,
+        tainted: bool,
+    }
+    let mut ind: HashMap<u16, Ind> = HashMap::new();
+    let mut guards: HashSet<(u16, u16)> = HashSet::new();
+    let mut accesses: Vec<(usize, u16, u16)> = Vec::new();
+    // Length facts that survive block boundaries: a local with a single
+    // real definition that copies an `ldlen` result (the hand-hoisted
+    // `int len = arr.Length;` idiom the Grande sources use).
+    let mut global_lenof: HashMap<u16, u16> = HashMap::new();
+    let mut real_pdefs: HashMap<u16, u32> = HashMap::new();
+    for inst in &l.code {
+        if let Some(d) = def_p(inst) {
+            // Entry zero-inits don't count (a zero length only makes the
+            // loop vacuous).
+            if !matches!(inst, RInst::ConstP { bits: 0, .. }) {
+                *real_pdefs.entry(d).or_default() += 1;
+            }
+        }
+    }
+
+    // Block-local facts.
+    let mut copies: HashMap<u16, u16> = HashMap::new(); // vreg -> origin vreg
+    let mut rcopies: HashMap<u16, u16> = HashMap::new();
+    let mut consts: HashMap<u16, u64> = HashMap::new();
+    let mut incof: HashMap<u16, u16> = HashMap::new(); // vreg -> local (vreg == local + k)
+    let mut lenof: HashMap<u16, u16> = HashMap::new(); // vreg -> arr origin
+
+    for i in 0..l.code.len() {
+        if heads.contains(&(i as u32)) {
+            copies.clear();
+            rcopies.clear();
+            consts.clear();
+            incof.clear();
+            lenof.clear();
+        }
+        let presolve = |v: u16, copies: &HashMap<u16, u16>| *copies.get(&v).unwrap_or(&v);
+        let rresolve = |v: u16, rcopies: &HashMap<u16, u16>| *rcopies.get(&v).unwrap_or(&v);
+
+        // Record guard/access facts first (they read pre-instruction state).
+        match &l.code[i] {
+            RInst::BrCmp { ty: NumTy::I4, a, b: Operand::Slot(s), .. } => {
+                if let Some(&arr) = lenof.get(s).or_else(|| global_lenof.get(s)) {
+                    guards.insert((presolve(*a, &copies), arr));
+                }
+                if let Some(&arr) = lenof.get(a).or_else(|| global_lenof.get(a)) {
+                    guards.insert((presolve(*s, &copies), arr));
+                }
+            }
+            RInst::LdElem { arr, idx, .. } | RInst::StElem { arr, idx, .. } => {
+                accesses.push((i, presolve(*idx, &copies), rresolve(*arr, &rcopies)));
+            }
+            _ => {}
+        }
+
+        // Invalidation: a def of v breaks facts about v and facts that
+        // mention v as an origin.
+        let dp = def_p(&l.code[i]);
+        let dr = def_r(&l.code[i]);
+        // Compute new facts before invalidating (they reference old state).
+        enum NewFact {
+            Const(u64),
+            Copy(u16),
+            IncOf(u16),
+            LenOf(u16),
+            None,
+        }
+        let mut fact = NewFact::None;
+        match &l.code[i] {
+            RInst::ConstP { bits, .. } => fact = NewFact::Const(*bits),
+            RInst::MovP { dst, src } => {
+                if incof.get(src).copied() == Some(*dst) {
+                    // `i = <i + k>` — the canonical increment completing.
+                    ind.entry(*dst).or_default().inc = true;
+                } else {
+                    ind.entry(*dst).or_default().tainted = true;
+                    fact = NewFact::Copy(presolve(*src, &copies));
+                    // `int len = arr.Length;` — promote to a global fact
+                    // when this is the local's only real definition.
+                    if let Some(&arr) = lenof.get(src) {
+                        if real_pdefs.get(dst).copied().unwrap_or(0) == 1 {
+                            global_lenof.insert(*dst, arr);
+                        }
+                    }
+                }
+            }
+            RInst::MovR { dst, src } => {
+                let _ = dst;
+                fact = NewFact::Copy(rresolve(*src, &rcopies));
+            }
+            RInst::Bin { op: BinOp::Add, ty: NumTy::I4, dst, a, b } => {
+                let k = match b {
+                    Operand::Imm(k) => Some(*k),
+                    Operand::Slot(s) => consts.get(s).copied(),
+                };
+                ind.entry(*dst).or_default().tainted = true;
+                if let Some(k) = k {
+                    if (k as u32 as i32) > 0 {
+                        fact = NewFact::IncOf(presolve(*a, &copies));
+                    }
+                }
+            }
+            RInst::LdLen { arr, dst } => {
+                ind.entry(*dst).or_default().tainted = true;
+                let ao = rresolve(*arr, &rcopies);
+                if rdef_count.get(&ao).copied().unwrap_or(0) <= 1 {
+                    fact = NewFact::LenOf(ao);
+                }
+            }
+            inst => {
+                if let Some(d) = def_p(inst) {
+                    ind.entry(d).or_default().tainted = true;
+                }
+            }
+        }
+        if let RInst::ConstP { dst, bits: 0 } = &l.code[i] {
+            ind.entry(*dst).or_default().zero = true;
+        }
+        if let Some(d) = dp {
+            copies.remove(&d);
+            consts.remove(&d);
+            incof.remove(&d);
+            lenof.remove(&d);
+            copies.retain(|_, o| *o != d);
+            incof.retain(|_, o| *o != d);
+        }
+        if let Some(d) = dr {
+            rcopies.remove(&d);
+            rcopies.retain(|_, o| *o != d);
+            lenof.retain(|_, o| *o != d);
+        }
+        match (fact, dp, dr) {
+            (NewFact::Const(c), Some(d), _) => {
+                consts.insert(d, c);
+            }
+            (NewFact::Copy(o), Some(d), _) if o != d => {
+                copies.insert(d, o);
+                if let Some(&c) = consts.get(&o) {
+                    consts.insert(d, c);
+                }
+            }
+            (NewFact::Copy(o), _, Some(d)) if o != d => {
+                rcopies.insert(d, o);
+            }
+            (NewFact::IncOf(o), Some(d), _) if o != d => {
+                incof.insert(d, o);
+            }
+            (NewFact::LenOf(a), Some(d), _) => {
+                lenof.insert(d, a);
+            }
+            _ => {}
+        }
+    }
+
+    let induction: HashSet<u16> = ind
+        .iter()
+        .filter(|(_, c)| c.zero && c.inc && !c.tainted)
+        .map(|(v, _)| *v)
+        .collect();
+    for (i, idx_o, arr_o) in accesses {
+        if induction.contains(&idx_o) && guards.contains(&(idx_o, arr_o)) {
+            match &mut l.code[i] {
+                RInst::LdElem { checked, .. } | RInst::StElem { checked, .. } => {
+                    *checked = false;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Liveness-based dead-code elimination.
+///
+/// Global backward liveness over basic blocks, then a backward sweep that
+/// deletes pure definitions whose destination is dead — this is what
+/// erases the stack-shuffle moves the naive lowering produces, i.e. the
+/// difference between Mono 0.23's CIL-mirroring code and the compact
+/// loops the CLR and IBM JITs emit (Tables 6–8). Exception edges are
+/// handled conservatively: every block inside a protected range may
+/// transfer to its handler.
+fn dead_code_elim(l: &mut Lowered) {
+    loop {
+        if !dce_round(l) {
+            break;
+        }
+    }
+}
+
+/// One liveness + sweep round; true if anything was removed.
+fn dce_round(l: &mut Lowered) -> bool {
+    let n = l.code.len();
+    if n == 0 {
+        return false;
+    }
+    // Block structure.
+    let mut heads: Vec<u32> = leaders(l).into_iter().filter(|&h| h < n as u32).collect();
+    heads.sort_unstable();
+    let block_of = |pc: u32| -> usize {
+        match heads.binary_search(&pc) {
+            Ok(b) => b,
+            Err(b) => b - 1,
+        }
+    };
+    let nb = heads.len();
+    let block_range = |b: usize| -> (usize, usize) {
+        let start = heads[b] as usize;
+        let end = if b + 1 < nb { heads[b + 1] as usize } else { n };
+        (start, end)
+    };
+    // Successors. Blocks ending in `endfinally` resume at an unknown
+    // continuation (leave target or exception re-dispatch) — they are
+    // treated as fully live below.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    let mut endfinally_blocks: Vec<bool> = vec![false; nb];
+    for b in 0..nb {
+        let (start, end) = block_range(b);
+        let last = &l.code[end - 1];
+        if matches!(last, RInst::EndFinally) {
+            endfinally_blocks[b] = true;
+        }
+        if let Some(t) = last.target() {
+            succ[b].push(block_of(t));
+        }
+        let falls = !matches!(
+            last,
+            RInst::Br { .. }
+                | RInst::Ret { .. }
+                | RInst::Throw { .. }
+                | RInst::Leave { .. }
+                | RInst::EndFinally
+        );
+        if falls && end < n {
+            succ[b].push(block_of(end as u32));
+        }
+        // Conservative exception edges.
+        for r in &l.eh {
+            if (start as u32) < r.try_end && (end as u32) > r.try_start {
+                succ[b].push(block_of(r.handler_start));
+            }
+        }
+        let _ = start;
+    }
+
+    // Per-instruction uses/defs (as bitsets over the two vreg spaces).
+    let np = l.n_pvreg as usize;
+    let nr = l.n_rvreg as usize;
+    let idx = |is_ref: bool, v: u16| -> usize {
+        if is_ref {
+            np + v as usize
+        } else {
+            v as usize
+        }
+    };
+    let total = np + nr;
+    let uses_defs = |inst: &RInst| -> (Vec<usize>, Vec<usize>) {
+        let mut c = inst.clone();
+        let all = std::cell::RefCell::new(Vec::<usize>::new());
+        rewrite_slots(
+            &mut c,
+            &mut |v| {
+                all.borrow_mut().push(idx(false, v));
+                v
+            },
+            &mut |v| {
+                all.borrow_mut().push(idx(true, v));
+                v
+            },
+        );
+        let mut all = all.into_inner();
+        let mut defs = Vec::new();
+        if let Some(d) = def_p(inst) {
+            defs.push(idx(false, d));
+            // one occurrence of the def slot was counted as a use
+            if let Some(pos) = all.iter().position(|&x| x == idx(false, d)) {
+                all.remove(pos);
+            }
+        }
+        if let Some(d) = def_r(inst) {
+            defs.push(idx(true, d));
+            if let Some(pos) = all.iter().position(|&x| x == idx(true, d)) {
+                all.remove(pos);
+            }
+        }
+        (all, defs)
+    };
+
+    // Block-level gen/kill.
+    let mut gen: Vec<Vec<bool>> = vec![vec![false; total]; nb];
+    let mut kill: Vec<Vec<bool>> = vec![vec![false; total]; nb];
+    for b in 0..nb {
+        let (start, end) = block_range(b);
+        for i in (start..end).rev() {
+            let (uses, defs) = uses_defs(&l.code[i]);
+            for d in defs {
+                gen[b][d] = false;
+                kill[b][d] = true;
+            }
+            for u in uses {
+                gen[b][u] = true;
+            }
+        }
+    }
+    // Iterate to fixpoint: live_in = gen ∪ (live_out − kill).
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; total]; nb];
+    let mut live_out: Vec<Vec<bool>> = vec![vec![false; total]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let mut out = vec![false; total];
+            if endfinally_blocks[b] {
+                out.fill(true);
+            }
+            for &s in &succ[b] {
+                for (o, i2) in out.iter_mut().zip(live_in[s].iter()) {
+                    *o |= *i2;
+                }
+            }
+            let mut inn = gen[b].clone();
+            for k in 0..total {
+                if out[k] && !kill[b][k] {
+                    inn[k] = true;
+                }
+            }
+            if inn != live_in[b] || out != live_out[b] {
+                live_in[b] = inn;
+                live_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Backward sweep per block: delete pure defs of dead slots.
+    let mut removed = false;
+    for b in 0..nb {
+        let (start, end) = block_range(b);
+        let mut live = live_out[b].clone();
+        for i in (start..end).rev() {
+            let (uses, defs) = uses_defs(&l.code[i]);
+            let pure = matches!(
+                &l.code[i],
+                RInst::MovP { .. }
+                    | RInst::MovR { .. }
+                    | RInst::ConstP { .. }
+                    | RInst::ConstNull { .. }
+                    | RInst::ConstStr { .. }
+                    | RInst::Un { .. }
+                    | RInst::Conv { .. }
+                    | RInst::Cmp { .. }
+                    | RInst::CmpRef { .. }
+                    | RInst::IsInst { .. }
+                    | RInst::LdSFld { .. }
+            ) || matches!(
+                &l.code[i],
+                RInst::Bin { op, .. } if !matches!(op, BinOp::Div | BinOp::Rem)
+            );
+            if pure && !defs.is_empty() && defs.iter().all(|&d| !live[d]) {
+                l.code[i] = RInst::Nop;
+                removed = true;
+                continue;
+            }
+            for &d in &defs {
+                live[d] = false;
+            }
+            for u in uses {
+                live[u] = true;
+            }
+        }
+    }
+    removed
+}
+
+/// Remove `nop`s, remapping branch targets and EH ranges.
+fn compact(l: &mut Lowered) {
+    let n = l.code.len();
+    let mut new_idx = Vec::with_capacity(n + 1);
+    let mut kept = 0u32;
+    for inst in &l.code {
+        new_idx.push(kept);
+        if !matches!(inst, RInst::Nop) {
+            kept += 1;
+        }
+    }
+    new_idx.push(kept);
+    let old = std::mem::take(&mut l.code);
+    l.code = old
+        .into_iter()
+        .filter(|i| !matches!(i, RInst::Nop))
+        .collect();
+    for inst in &mut l.code {
+        if let Some(t) = inst.target() {
+            inst.set_target(new_idx[t as usize]);
+        }
+    }
+    for r in &mut l.eh {
+        r.try_start = new_idx[r.try_start as usize];
+        r.try_end = new_idx[r.try_end as usize];
+        r.handler_start = new_idx[r.handler_start as usize];
+        r.handler_end = new_idx[r.handler_end as usize];
+    }
+}
+
+/// Reproduce CLR 1.1's Table-6 quirk: a constant feeding an integer
+/// division is "temporarily stored in a variable" — i.e. it lives in a
+/// stack-frame temporary rather than a register. We retarget the constant
+/// load that reaches each division into a fresh virtual register and
+/// force that register to spill.
+///
+/// Returns the set of forced-spill virtual registers.
+fn apply_div_const_quirk(l: &mut Lowered) -> HashSet<u16> {
+    let heads = leaders(l);
+    let mut force = HashSet::new();
+    for i in 0..l.code.len() {
+        let (s, is_div) = match &l.code[i] {
+            RInst::Bin { op: BinOp::Div | BinOp::Rem, ty, b: Operand::Slot(s), .. }
+                if ty.is_int() =>
+            {
+                (*s, true)
+            }
+            _ => (0, false),
+        };
+        if !is_div {
+            continue;
+        }
+        // Find the in-block reaching definition of the divisor slot.
+        let mut j = i;
+        let reach = loop {
+            if j == 0 || heads.contains(&(j as u32)) {
+                break None;
+            }
+            j -= 1;
+            if def_p(&l.code[j]) == Some(s) {
+                break Some(j);
+            }
+        };
+        let Some(j) = reach else { continue };
+        let RInst::ConstP { bits, .. } = l.code[j] else { continue };
+        // The slot must be untouched between the constant load and the
+        // division (other than by the division itself).
+        let mut clean = true;
+        for inst in &mut l.code[j + 1..i] {
+            let mut seen = false;
+            rewrite_slots(
+                inst,
+                &mut |v| {
+                    seen |= v == s;
+                    v
+                },
+                &mut |v| v,
+            );
+            if seen {
+                clean = false;
+                break;
+            }
+        }
+        if !clean {
+            continue;
+        }
+        let tmp = l.n_pvreg;
+        l.n_pvreg += 1;
+        l.code[j] = RInst::ConstP { dst: tmp, bits };
+        if let RInst::Bin { b, .. } = &mut l.code[i] {
+            *b = Operand::Slot(tmp);
+        }
+        force.insert(tmp);
+    }
+    force
+}
+
+/// Use-count-ranked register allocation under the profile's caps.
+fn allocate(
+    vm: &Arc<Vm>,
+    method: MethodId,
+    mut l: Lowered,
+    force_spill_p: &HashSet<u16>,
+) -> RirMethod {
+    let mut pcount: HashMap<u16, u32> = HashMap::new();
+    let mut rcount: HashMap<u16, u32> = HashMap::new();
+    for inst in &mut l.code {
+        rewrite_slots(
+            inst,
+            &mut |v| {
+                *pcount.entry(v).or_default() += 1;
+                v
+            },
+            &mut |v| {
+                *rcount.entry(v).or_default() += 1;
+                v
+            },
+        );
+    }
+    // Argument registers are written at entry; count that use.
+    for a in &l.arg_locs {
+        match a {
+            ArgSlot::P(_, v) => *pcount.entry(*v).or_default() += 1,
+            ArgSlot::R(v) => *rcount.entry(*v).or_default() += 1,
+        }
+    }
+    for &v in &l.eh_exc_vregs {
+        if v != u16::MAX {
+            *rcount.entry(v).or_default() += 1;
+        }
+    }
+
+    let assign = |count: &HashMap<u16, u32>,
+                  n_vregs: u16,
+                  cap: u16,
+                  force: &HashSet<u16>|
+     -> (Vec<u16>, u16, u16) {
+        let mut order: Vec<u16> = (0..n_vregs).collect();
+        order.sort_by_key(|v| std::cmp::Reverse(count.get(v).copied().unwrap_or(0)));
+        let mut map = vec![0u16; n_vregs as usize];
+        let mut n_reg = 0u16;
+        let mut n_spill = 0u16;
+        for v in order {
+            if !force.contains(&v) && n_reg < cap && count.get(&v).copied().unwrap_or(0) > 0 {
+                map[v as usize] = n_reg;
+                n_reg += 1;
+            } else {
+                map[v as usize] = SPILL_BIT | n_spill;
+                n_spill += 1;
+            }
+        }
+        (map, n_reg, n_spill)
+    };
+
+    let (pmap, n_preg, n_pspill) = assign(
+        &pcount,
+        l.n_pvreg,
+        vm.profile.max_enreg_prim,
+        force_spill_p,
+    );
+    let empty = HashSet::new();
+    let (rmap, n_rreg, n_rspill) = assign(&rcount, l.n_rvreg, vm.profile.max_enreg_ref, &empty);
+
+    for inst in &mut l.code {
+        rewrite_slots(
+            inst,
+            &mut |v| pmap[v as usize],
+            &mut |v| rmap[v as usize],
+        );
+    }
+    let arg_locs = l
+        .arg_locs
+        .iter()
+        .map(|a| match a {
+            ArgSlot::P(t, v) => ArgSlot::P(*t, pmap[*v as usize]),
+            ArgSlot::R(v) => ArgSlot::R(rmap[*v as usize]),
+        })
+        .collect();
+    let eh_exc_slots = l
+        .eh_exc_vregs
+        .iter()
+        .map(|&v| if v == u16::MAX { u16::MAX } else { rmap[v as usize] })
+        .collect();
+
+    RirMethod {
+        method,
+        code: l.code,
+        eh: l.eh,
+        eh_exc_slots,
+        arg_locs,
+        n_preg,
+        n_pspill,
+        n_rreg,
+        n_rspill,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::declare_prelude;
+    use crate::profile::VmProfile;
+    use crate::rir::{print_rir, RInst};
+    use crate::Vm;
+    use hpcnet_cil::{BinOp, CilType, CmpOp, MethodKind, ModuleBuilder};
+
+    /// Build `static int F(int n)` with the given body emitter and return
+    /// the RIR text per profile.
+    fn rir_for(
+        profile: VmProfile,
+        build: impl FnOnce(&mut hpcnet_cil::MethodBuilder),
+    ) -> (String, Vec<RInst>) {
+        let mut mb = ModuleBuilder::new();
+        declare_prelude(&mut mb);
+        let c = mb.declare_class("P", None);
+        let mut f = mb.method(c, "F", vec![CilType::I4], CilType::I4, MethodKind::Static);
+        build(&mut f);
+        f.finish();
+        let m = mb.finish();
+        let vm = Vm::new(m, profile).unwrap();
+        let id = vm.module.find_method("P.F").unwrap();
+        let rir = vm.compiled(id).unwrap();
+        (print_rir(&rir), rir.code.clone())
+    }
+
+    fn const_times_eight(f: &mut hpcnet_cil::MethodBuilder) {
+        f.ld_arg(0);
+        f.ldc_i4(8);
+        f.bin(BinOp::Mul);
+        f.ret();
+    }
+
+    #[test]
+    fn strength_reduction_turns_const_mul_into_shift() {
+        // CLR reduces ×8 to <<3; IBM (no SR) keeps the multiply.
+        let (clr, _) = rir_for(VmProfile::clr11(), const_times_eight);
+        assert!(clr.contains("shl"), "{clr}");
+        let (ibm, _) = rir_for(VmProfile::jvm_ibm131(), const_times_eight);
+        assert!(!ibm.contains("shl"), "{ibm}");
+        assert!(ibm.contains("mul"), "{ibm}");
+    }
+
+    #[test]
+    fn imm_fusion_is_ibm_only() {
+        let add_const = |f: &mut hpcnet_cil::MethodBuilder| {
+            f.ld_arg(0);
+            f.ldc_i4(7);
+            f.bin(BinOp::Add);
+            f.ret();
+        };
+        let (ibm, _) = rir_for(VmProfile::jvm_ibm131(), add_const);
+        assert!(ibm.contains("#0x7"), "IBM should fuse the constant:\n{ibm}");
+        let (mono, _) = rir_for(VmProfile::mono023(), add_const);
+        assert!(
+            !mono.lines().any(|l| l.contains("add") && l.contains('#')),
+            "Mono must not fuse immediates:\n{mono}"
+        );
+    }
+
+    #[test]
+    fn dce_erases_stack_shuffles_on_optimizing_tiers() {
+        let body = |f: &mut hpcnet_cil::MethodBuilder| {
+            let x = f.local(CilType::I4);
+            f.ld_arg(0);
+            f.st_loc(x);
+            f.ld_loc(x);
+            f.ld_loc(x);
+            f.bin(BinOp::Add);
+            f.ret();
+        };
+        let (_, clr) = rir_for(VmProfile::clr11(), body);
+        let (_, mono) = rir_for(VmProfile::mono023(), body);
+        assert!(clr.len() < mono.len(), "CLR {} vs Mono {}", clr.len(), mono.len());
+        // Neither contains nops after compaction.
+        assert!(!clr.iter().any(|i| matches!(i, RInst::Nop)));
+        assert!(!mono.iter().any(|i| matches!(i, RInst::Nop)));
+    }
+
+    #[test]
+    fn constant_folding_collapses_pure_subexpressions() {
+        let body = |f: &mut hpcnet_cil::MethodBuilder| {
+            // return n + (6 * 7 - 2);
+            f.ld_arg(0);
+            f.ldc_i4(6);
+            f.ldc_i4(7);
+            f.bin(BinOp::Mul);
+            f.ldc_i4(2);
+            f.bin(BinOp::Sub);
+            f.bin(BinOp::Add);
+            f.ret();
+        };
+        let (text, code) = rir_for(VmProfile::jvm_ibm131(), body);
+        // The folded 40 appears as an immediate; no mul/sub survives.
+        assert!(text.contains("#0x28"), "{text}");
+        assert!(
+            !code.iter().any(|i| matches!(i, RInst::Bin { op: BinOp::Mul | BinOp::Sub, .. })),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn enregistration_cap_forces_spills() {
+        // 40 live locals under a cap of 24 (Sun) must produce spill slots;
+        // under 64 (CLR) none.
+        let body = |f: &mut hpcnet_cil::MethodBuilder| {
+            let locals: Vec<u16> = (0..40).map(|_| f.local(CilType::I4)).collect();
+            for (k, &l) in locals.iter().enumerate() {
+                f.ld_arg(0);
+                f.ldc_i4(k as i32);
+                f.bin(BinOp::Add);
+                f.st_loc(l);
+            }
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_arg(0);
+            f.ldc_i4(0);
+            f.br_cmp(CmpOp::Le, exit);
+            // keep everything live across the loop
+            for &l in &locals {
+                f.ld_loc(l);
+                f.ldc_i4(1);
+                f.bin(BinOp::Add);
+                f.st_loc(l);
+            }
+            f.ld_arg(0);
+            f.ldc_i4(1);
+            f.bin(BinOp::Sub);
+            f.st_arg(0);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(locals[39]);
+            f.ret();
+        };
+        let (sun, _) = rir_for(VmProfile::jvm_sun14(), body);
+        assert!(sun.contains("[psp"), "Sun's 24-reg cap must spill:\n{sun}");
+        let (clr, _) = rir_for(VmProfile::clr11(), body);
+        assert!(!clr.contains("[psp"), "CLR's 64-reg cap fits 40 locals:\n{clr}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Run the complete Java Grande micro suite (Table 1) on one engine and
+//! print a JGF-style report with validation status for every entry.
+//!
+//! ```text
+//! cargo run --release --example grande_report [profile]
+//!     profile: clr | ibm | mono | rotor (default clr)
+//! ```
+
+use hpcnet::{registry, run_entry, vm_for, Suite, VmProfile};
+use std::time::Instant;
+
+fn main() {
+    let profile = match std::env::args().nth(1).as_deref() {
+        Some("ibm") => VmProfile::jvm_ibm131(),
+        Some("mono") => VmProfile::mono023(),
+        Some("rotor") => VmProfile::sscli10(),
+        _ => VmProfile::clr11(),
+    };
+    println!("Java Grande section 1 on {}\n", profile.name);
+    println!("{:22} {:>14} {:>10}  check", "benchmark", "rate/sec", "runs(ms)");
+
+    for group in registry() {
+        if group.suite != Suite::MicroJG1 {
+            continue;
+        }
+        let vm = vm_for(&group, profile);
+        for entry in &group.entries {
+            // A tenth of the paper's small size keeps the full sweep fast.
+            let n = (entry.small_n / 10).max(1);
+            run_entry(&vm, entry, n).expect("warmup");
+            let start = Instant::now();
+            let checksum = run_entry(&vm, entry, n).expect("run");
+            let secs = start.elapsed().as_secs_f64();
+            let rate = (entry.ops)(n) / secs;
+            let ok = (entry.validate)(n, checksum).is_ok();
+            println!(
+                "{:22} {:>14.3e} {:>10.1}  {}",
+                entry.id,
+                rate,
+                secs * 1e3,
+                if ok { "ok" } else { "FAILED" }
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! SciMark shootout: the paper's Graph 9/10 in miniature — all five
+//! kernels across the full platform lineup, MFlops per cell, native
+//! baseline included.
+//!
+//! ```text
+//! cargo run --release --example scimark_shootout [--large]
+//! ```
+
+use hpcnet::{registry, run_entry, vm_for, VmProfile};
+use std::time::Instant;
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let group = registry()
+        .into_iter()
+        .find(|g| g.id == "scimark")
+        .expect("scimark group");
+    let profiles = VmProfile::scimark_lineup();
+
+    println!(
+        "SciMark kernels, {} memory model (MFlops; native baseline in \
+         crates/grande/src/native)",
+        if large { "large" } else { "small" }
+    );
+    print!("{:12}", "");
+    for p in &profiles {
+        print!("  {:>14}", p.name);
+    }
+    println!();
+
+    for entry in &group.entries {
+        let n = if large { entry.large_n } else { entry.small_n };
+        print!("{:12}", entry.id.trim_start_matches("scimark."));
+        for p in &profiles {
+            let vm = vm_for(&group, *p);
+            // Warm-up translates; the timed run measures steady state.
+            run_entry(&vm, entry, n).expect("warmup");
+            let start = Instant::now();
+            let checksum = run_entry(&vm, entry, n).expect("kernel");
+            (entry.validate)(n, checksum).expect("validation");
+            let mflops = (entry.ops)(n) / start.elapsed().as_secs_f64() / 1e6;
+            print!("  {mflops:>14.2}");
+        }
+        println!();
+    }
+    println!(
+        "\nEvery cell above ran the same CIL image; the spread is purely \
+         the translation tier (see `cargo run -p hpcnet-harness --bin \
+         hpcnet-report -- g9 g10` for the full protocol)."
+    );
+}

@@ -1,0 +1,13 @@
+//! # hpcnet — HPC.NET reproduction (workspace facade)
+//!
+//! Root crate re-exporting the public API from `hpcnet-core` so that the
+//! repository-level examples and integration tests have a single import
+//! surface. See `crates/core` for the facade itself and `DESIGN.md` for the
+//! system inventory.
+
+pub use hpcnet_cil as cil;
+pub use hpcnet_core::*;
+pub use hpcnet_grande as grande;
+pub use hpcnet_minics as minics;
+pub use hpcnet_runtime as runtime;
+pub use hpcnet_vm as vm;

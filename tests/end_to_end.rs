@@ -1,0 +1,177 @@
+//! Cross-crate integration: source → compiler → verifier → engines →
+//! runtime services, exercised through the public facade the way a
+//! downstream user would.
+
+use hpcnet::{compile_and_load, registry, run_entry, vm_for, Suite, Value, VmError, VmProfile};
+
+#[test]
+fn a_complete_program_runs_on_every_profile() {
+    // Touches most of the language: classes, inheritance, virtual calls,
+    // arrays (jagged + multidim), exceptions, math, strings, statics.
+    let src = r#"
+        class Shape {
+            double scale;
+            virtual double Area() { return 0.0; }
+            double Scaled() { return Area() * scale; }
+        }
+        class Circle : Shape {
+            double r;
+            Circle(double radius) { r = radius; scale = 2.0; }
+            override double Area() { return Math.PI * r * r; }
+        }
+        class App {
+            static double[,] grid;
+            static double Run(int n) {
+                grid = new double[n, n];
+                double[][] jagged = new double[n][];
+                double total = 0.0;
+                for (int i = 0; i < n; i++) {
+                    jagged[i] = new double[n];
+                    for (int j = 0; j < n; j++) {
+                        grid[i, j] = i * n + j;
+                        jagged[i][j] = grid[i, j];
+                    }
+                }
+                for (int i = 0; i < n; i++) {
+                    double[] row = jagged[i];
+                    for (int j = 0; j < row.Length; j++) total += row[j];
+                }
+                Shape s = new Circle(2.0);
+                total += s.Scaled();
+                try {
+                    int zero = n - n;
+                    total += 1 / zero;
+                } catch (DivideByZeroException e) {
+                    total += 1000.0;
+                }
+                string banner = "n=" + n;
+                total += banner.Length;
+                return total;
+            }
+        }"#;
+    let mut expected: Option<f64> = None;
+    for p in [
+        VmProfile::clr11(),
+        VmProfile::jsharp11(),
+        VmProfile::mono023(),
+        VmProfile::sscli10(),
+        VmProfile::jvm_ibm131(),
+        VmProfile::jvm_bea81(),
+        VmProfile::jvm_sun14(),
+    ] {
+        let vm = compile_and_load(src, p).unwrap();
+        let r = vm
+            .invoke_by_name("App.Run", vec![Value::I4(8)])
+            .unwrap()
+            .unwrap()
+            .as_r8();
+        match expected {
+            None => expected = Some(r),
+            Some(w) => assert!((r - w).abs() < 1e-9, "{}: {r} vs {w}", p.name),
+        }
+    }
+    // Independent check of the arithmetic part.
+    let _n = 8.0f64;
+    let sum = (0..64).map(|k| k as f64).sum::<f64>();
+    let want = sum + std::f64::consts::PI * 4.0 * 2.0 + 1000.0 + 3.0;
+    assert!((expected.unwrap() - want).abs() < 1e-9);
+}
+
+#[test]
+fn engine_counters_reflect_execution() {
+    let src = r#"
+        class C {
+            static int F(int n) {
+                int hits = 0;
+                for (int i = 0; i < n; i++) {
+                    try { throw new Exception(); } catch (Exception e) { hits++; }
+                }
+                return hits;
+            }
+        }"#;
+    let vm = compile_and_load(src, VmProfile::clr11()).unwrap();
+    vm.invoke_by_name("C.F", vec![Value::I4(25)]).unwrap();
+    assert_eq!(
+        vm.counters.throws.load(std::sync::atomic::Ordering::Relaxed),
+        25
+    );
+    assert!(vm.counters.jit_compiles.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn benchmark_registry_runs_through_the_facade() {
+    // One representative entry per suite at tiny sizes.
+    let picks = [
+        ("loop.for", 1_000),
+        ("barrier.simple", 20),
+        ("boxing.explicit", 1_000),
+        ("scimark.lu", 16),
+        ("app.sieve", 1_000),
+    ];
+    for (id, n) in picks {
+        let (group, entry) = hpcnet::find_entry(id).expect(id);
+        let vm = vm_for(&group, VmProfile::clr11());
+        let r = run_entry(&vm, &entry, n).unwrap();
+        (entry.validate)(n, r).unwrap_or_else(|e| panic!("{id}: {e}"));
+        vm.join_all_threads();
+    }
+}
+
+#[test]
+fn suites_cover_all_five_categories() {
+    let reg = registry();
+    for s in [
+        Suite::MicroJG1,
+        Suite::MicroJGMT,
+        Suite::MicroCli,
+        Suite::SciMark,
+        Suite::Apps,
+    ] {
+        let n: usize = reg
+            .iter()
+            .filter(|g| g.suite == s)
+            .map(|g| g.entries.len())
+            .sum();
+        assert!(n >= 1, "suite {s:?} is empty");
+    }
+    let total: usize = reg.iter().map(|g| g.entries.len()).sum();
+    assert!(total >= 60, "expected a full Tables-1..4 inventory, got {total}");
+}
+
+#[test]
+fn unhandled_managed_exceptions_surface_as_errors() {
+    let src = "class C { static void F() { object o = null; Monitor.Enter(o); } }";
+    let vm = compile_and_load(src, VmProfile::mono023()).unwrap();
+    let e = vm.invoke_by_name("C.F", vec![]).unwrap_err();
+    assert!(matches!(e, VmError::Exception(_)), "{e}");
+}
+
+#[test]
+fn gc_cycle_collection_through_managed_graphs() {
+    use hpcnet::runtime::gc;
+    // Build a cyclic managed structure, drop the host handle, collect.
+    let src = r#"
+        class Node { Node next; }
+        class C {
+            static object Make() {
+                Node a = new Node();
+                a.next = new Node();
+                a.next.next = a;
+                return a;
+            }
+        }"#;
+    let vm = compile_and_load(src, VmProfile::clr11()).unwrap();
+    vm.heap.set_tracking(true);
+    let root = vm.invoke_by_name("C.Make", vec![]).unwrap().unwrap();
+    let obj = match root {
+        Value::Ref(o) => o,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(vm.heap.live_tracked().len(), 2);
+    drop(obj);
+    // Cycle keeps itself alive until the collector breaks it.
+    assert_eq!(vm.heap.live_tracked().len(), 2);
+    let stats = gc::collect(&vm.heap, &[]);
+    assert_eq!(stats.cycles_broken, 2);
+    assert_eq!(vm.heap.live_tracked().len(), 0);
+}
