@@ -6,7 +6,7 @@
 //! * pick an engine with [`VmProfile`] (each models one of the paper's
 //!   runtimes — CLR 1.1, Mono 0.23, SSCLI 1.0 "Rotor", IBM/Sun/BEA JVMs);
 //! * run methods via [`Vm`], inspect generated code via [`print_rir`];
-//! * access the full benchmark registry ([`registry`]) with its native
+//! * access the full benchmark registry ([`registry()`]) with its native
 //!   baselines ([`native`]).
 //!
 //! ```

@@ -9,7 +9,7 @@
 //!
 //! [`native`] carries structurally identical native-Rust implementations:
 //! the "C" baseline of Graphs 9–11 and the validation oracles.
-//! [`registry`] maps every entry to its source, entry point, operation
+//! [`registry()`] maps every entry to its source, entry point, operation
 //! accounting and validator.
 
 pub mod native;

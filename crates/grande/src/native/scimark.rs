@@ -304,7 +304,7 @@ pub fn lu_factor(a: &mut [Vec<f64>], pivot: &mut [usize]) {
 }
 
 /// The benchmark: factor an LCG-filled matrix; checksum = Σ|diag(U)|^(1/n)
-/// surrogate — we use the sum of |a[i][i]| which is stable across engines.
+/// surrogate — we use the sum of `|a[i][i]|` which is stable across engines.
 pub fn lu_run(n: usize) -> f64 {
     let mut rng = JRandom::new(SEED);
     let mut a: Vec<Vec<f64>> = (0..n)

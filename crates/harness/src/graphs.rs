@@ -446,6 +446,74 @@ pub fn ablation(cfg: &Config) -> Table {
     table
 }
 
+/// Optimization-pass observability: compile each SciMark kernel under
+/// every profile and report how many array bounds checks the JIT removed
+/// (the Section 5 "eliminating array bounds checking" mechanism —
+/// docs/OPTIMIZATIONS.md maps every mechanism to its `PassConfig` knob).
+///
+/// Side effect: writes `BENCH_opt.json` to the working directory with the
+/// per-kernel timings and the full counter set (natural loops found,
+/// checks eliminated, LICM hoists, JIT compiles) per profile.
+pub fn opt_counters(cfg: &Config) -> Table {
+    use std::sync::atomic::Ordering::Relaxed;
+    let g = group("scimark");
+    let profiles = VmProfile::scimark_lineup();
+    let mut table = Table::new(
+        "Optimization: array bounds checks eliminated at JIT time (SciMark)",
+        "checks eliminated (static count per kernel)",
+    );
+    for p in &profiles {
+        table.add_column(p.name);
+    }
+    // One fresh VM per (kernel, profile) cell so the counters are
+    // attributable to a single kernel's compilation.
+    let mut per_profile: Vec<Vec<String>> = vec![Vec::new(); profiles.len()];
+    for (label, eid) in SCIMARK_ENTRIES {
+        let e = entry(&g, eid);
+        let n = cfg.n_for(e);
+        let mut cells = Vec::new();
+        for (pi, p) in profiles.iter().enumerate() {
+            let vm = vm_for(&g, *p);
+            let m = time_entry(&vm, e, n, cfg.min_time);
+            let loops = vm.counters.loops_found.load(Relaxed);
+            let bce = vm.counters.bounds_checks_eliminated.load(Relaxed);
+            let licm = vm.counters.licm_hoisted.load(Relaxed);
+            let jits = vm.counters.jit_compiles.load(Relaxed);
+            cells.push(bce as f64);
+            per_profile[pi].push(format!(
+                "{{\"id\":\"{eid}\",\"label\":\"{label}\",\"mflops\":{:.6},\
+                 \"loops_found\":{loops},\"bounds_checks_eliminated\":{bce},\
+                 \"licm_hoisted\":{licm},\"jit_compiles\":{jits}}}",
+                m.rate / 1e6
+            ));
+        }
+        table.add_row(label, cells);
+    }
+    let mut json = String::from("{\n  \"suite\": \"scimark\",\n");
+    json.push_str(&format!(
+        "  \"large\": {},\n  \"min_time_ms\": {},\n  \"profiles\": [\n",
+        cfg.large,
+        cfg.min_time.as_millis()
+    ));
+    for (pi, p) in profiles.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"profile\": \"{}\",\n     \"passes\": {{\"bce\": {}, \"abce\": {}, \"licm\": {}}},\n     \"kernels\": [\n      ",
+            p.name, p.passes.bce, p.passes.abce, p.passes.licm
+        ));
+        json.push_str(&per_profile[pi].join(",\n      "));
+        json.push_str(&format!(
+            "\n    ]}}{}\n",
+            if pi + 1 < profiles.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_opt.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_opt.json"),
+        Err(e) => eprintln!("could not write BENCH_opt.json: {e}"),
+    }
+    table
+}
+
 /// All graph generators keyed by CLI name.
 pub fn all_reports() -> Vec<(&'static str, fn(&Config) -> Table)> {
     vec![
@@ -462,5 +530,40 @@ pub fn all_reports() -> Vec<(&'static str, fn(&Config) -> Table)> {
         ("t2", t2_threads),
         ("t4", t4_apps),
         ("ablation", ablation),
+        ("opt", opt_counters),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_core::run_entry;
+
+    /// The acceptance check for the loop-aware tier: the optimizing CLR
+    /// drops bounds checks in the SciMark SOR sweep and the sparse
+    /// matmult, while Mono (no loop passes) keeps every check.
+    #[test]
+    fn clr_eliminates_scimark_bounds_checks_and_mono_does_not() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let g = group("scimark");
+        for eid in ["scimark.sor", "scimark.sparse"] {
+            let e = entry(&g, eid);
+            let n = e.small_n;
+            let clr = vm_for(&g, VmProfile::clr11());
+            run_entry(&clr, e, n).unwrap();
+            assert!(
+                clr.counters.bounds_checks_eliminated.load(Relaxed) > 0,
+                "{eid}: CLR 1.1 should eliminate bounds checks"
+            );
+            assert!(clr.counters.loops_found.load(Relaxed) > 0, "{eid}");
+
+            let mono = vm_for(&g, VmProfile::mono023());
+            run_entry(&mono, e, n).unwrap();
+            assert_eq!(
+                mono.counters.bounds_checks_eliminated.load(Relaxed),
+                0,
+                "{eid}: Mono 0.23 has no BCE at all"
+            );
+        }
+    }
 }

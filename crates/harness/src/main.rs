@@ -76,7 +76,8 @@ fn print_help() {
         "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
          usage: hpcnet-report <graph ...|all> [--large] [--quick] \n\
                 [--min-time-ms N] [--csv DIR] [--relative]\n\
-         graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4\n\
-         (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2)"
+         graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4 ablation opt\n\
+         (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2;\n\
+          opt prints per-profile JIT pass counters and writes BENCH_opt.json)"
     );
 }

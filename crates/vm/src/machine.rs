@@ -70,6 +70,14 @@ pub struct Counters {
     pub throws: AtomicU64,
     /// Methods translated to RIR.
     pub jit_compiles: AtomicU64,
+    /// Natural loops discovered by the loop-aware optimizer (counted once
+    /// per compiled method, only when a loop pass is enabled).
+    pub loops_found: AtomicU64,
+    /// Array bounds checks removed at compile time (structural BCE plus
+    /// the loop-aware ABCE pass).
+    pub bounds_checks_eliminated: AtomicU64,
+    /// Instructions hoisted out of loops by LICM.
+    pub licm_hoisted: AtomicU64,
 }
 
 /// A module bound to an execution profile.

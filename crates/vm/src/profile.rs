@@ -13,10 +13,17 @@
 //! | CLR 1.1: "something weird by temporarily storing the constant" in the division loop | `div_const_temp_quirk` |
 //! | IBM JVM: "registers and constants throughout the loop" | `imm_fusion` |
 //! | CLR: faster multiplication (Graph 1) | `mul_strength_reduction` |
-//! | CLR: bounds check eliminated when the bound is `arr.Length` (+15 % on Sparse) | `bce` |
+//! | CLR: bounds check eliminated when the bound is `arr.Length` (+15 % on Sparse) | `bce` (structural), `abce` (loop-aware) |
+//! | Optimizing JITs keep loop-invariant work out of the body | `licm` |
 //! | CLI exceptions ≫ JVM exceptions (Graph 5) | `exception_cost_units` |
 //! | CLR math library faster than JVM's (Graphs 6–8) | `math` |
 //! | True multidim accessors miss the optimizations even on CLR (Graph 12) | `multidim` (`FlatOffset` kept for ablation) |
+//!
+//! docs/OPTIMIZATIONS.md expands this table into a mechanism-by-mechanism
+//! map with the RIR listings each knob produces; the `opt` report
+//! (`hpcnet-report opt`) prints the per-profile pass counters these knobs
+//! gate. Profiles feed the pipeline described in [`crate::rir`]: CIL →
+//! lower → scalar passes → loop-aware tier → allocate → execute.
 
 /// Which execution tier runs the code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,8 +71,16 @@ pub struct PassConfig {
     /// temporary before `idiv` (Table 6).
     pub div_const_temp_quirk: bool,
     /// Eliminate array bounds checks when the loop bound is provably the
-    /// array's length (`for (i = 0; i < a.Length; i++)`).
+    /// array's length (`for (i = 0; i < a.Length; i++)`). This is the
+    /// structural (block-local) matcher.
     pub bce: bool,
+    /// Loop-aware bounds-check elimination: natural-loop detection over
+    /// the RIR CFG proves counted-loop indices in range and drops the
+    /// checks the structural matcher cannot (see `rir::opt`).
+    pub abce: bool,
+    /// Loop-invariant code motion: hoist invariant arithmetic and the
+    /// guard's `ldlen` out of natural loops into the preheader.
+    pub licm: bool,
     /// Inline small static/final callees.
     pub inline: bool,
     /// Maximum callee size (in RIR instructions) considered for inlining.
@@ -83,6 +98,8 @@ impl PassConfig {
             mul_strength_reduction: false,
             div_const_temp_quirk: false,
             bce: false,
+            abce: false,
+            licm: false,
             inline: false,
             inline_max_ops: 0,
         }
@@ -98,6 +115,8 @@ impl PassConfig {
             mul_strength_reduction: true,
             div_const_temp_quirk: false,
             bce: true,
+            abce: true,
+            licm: true,
             inline: true,
             inline_max_ops: 24,
         }
@@ -234,6 +253,7 @@ impl VmProfile {
         p.mul_strength_reduction = false;
         p.imm_fusion = false;
         p.bce = false;
+        p.abce = false;
         VmProfile {
             name: "Java BEA JRockit 8.1",
             tier: Tier::Rir,
@@ -254,6 +274,7 @@ impl VmProfile {
         p.mul_strength_reduction = false;
         p.imm_fusion = false;
         p.bce = false;
+        p.abce = false;
         p.inline = false;
         VmProfile {
             name: "Java Sun 1.4",

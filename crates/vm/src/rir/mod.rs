@@ -3,18 +3,39 @@
 //!
 //! Stack CIL is translated into three-address code over virtual registers
 //! (one primitive file, one reference file), the form every JIT in the
-//! paper lowers to before emitting machine code. Per-profile optimization
-//! passes then transform it ([`crate::rir::opt`]), and register allocation
-//! splits virtual registers into an *enregistered* file (direct array
-//! access at run time) and a *spill* frame (volatile memory traffic) under
-//! the profile's enregistration cap — the mechanism Section 5 of the paper
-//! identifies as dominating low-level benchmark performance.
+//! paper lowers to before emitting machine code. The pipeline, start to
+//! finish:
+//!
+//! 1. **Lower** ([`crate::rir::lower`]): verified stack CIL → naive
+//!    three-address code. Every stack push/pop becomes a virtual-register
+//!    move; this is the code Mono 0.23 runs as-is.
+//! 2. **Scalar passes** ([`crate::rir::opt`]): constant/copy propagation,
+//!    strength reduction, the structural bounds-check matcher, dead-code
+//!    elimination — each gated by a [`crate::profile::PassConfig`] flag.
+//! 3. **Loop-aware tier** (`rir::loops` + [`crate::rir::opt`]):
+//!    basic blocks, dominators and natural loops are recovered from the
+//!    compacted code; ABCE proves counted-loop indices in range and drops
+//!    their checks, LICM hoists invariant arithmetic and the guard's
+//!    `ldlen` into the preheader. Per-method results are tallied on
+//!    [`crate::machine::Counters`].
+//! 4. **Allocate** ([`crate::rir::opt`]): virtual registers are ranked by
+//!    static use count and the top `max_enreg` live in the register file
+//!    (plain array access at run time); the rest spill to a frame arena
+//!    (volatile memory traffic) — the enregistration mechanism Section 5
+//!    of the paper identifies as dominating low-level performance.
+//! 5. **Execute** ([`crate::exec`]): the allocated code runs; an
+//!    "unchecked" element access that is out of range is an engine error,
+//!    so unsound eliminations fail loudly in differential tests.
 //!
 //! [`print_rir`] renders the allocated code in an assembly-like listing;
 //! `examples/jit_compare.rs` uses it to reproduce the paper's Tables 6–8
-//! (the same division loop as compiled by each engine).
+//! (the same division loop as compiled by each engine) and
+//! `examples/loop_opt_compare.rs` shows the loop-aware tier's effect on a
+//! length-bounded loop. docs/OPTIMIZATIONS.md maps every optimization
+//! mechanism to its profile knob.
 
 pub mod lower;
+pub(crate) mod loops;
 pub mod opt;
 
 use hpcnet_cil::module::{EhRegion, MethodId};

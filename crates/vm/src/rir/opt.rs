@@ -14,11 +14,13 @@
 
 use crate::machine::Vm;
 use crate::profile::PassConfig;
+use crate::rir::loops::{find_loops, Cfg, NaturalLoop};
 use crate::rir::lower::{rewrite_slots, Lowered};
 use crate::rir::{ArgSlot, DstSlot, Operand, RInst, RirMethod, SPILL_BIT};
 use hpcnet_cil::module::MethodId;
-use hpcnet_cil::{BinOp, NumTy, UnOp};
+use hpcnet_cil::{BinOp, CmpOp, NumTy, UnOp};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Run the profile's passes over lowered code and allocate registers.
@@ -39,12 +41,35 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
         strength_reduce(&mut l);
     }
     if passes.bce {
-        eliminate_bounds_checks(&mut l);
+        let n = eliminate_bounds_checks(&mut l);
+        vm.counters
+            .bounds_checks_eliminated
+            .fetch_add(n, Ordering::Relaxed);
     }
     if passes.dce {
         dead_code_elim(&mut l);
     }
     compact(&mut l);
+    // The loop-aware tier runs on compacted code (shuffle moves already
+    // erased by copy-prop + DCE), where the guard compare reads the named
+    // locals directly.
+    if (passes.abce || passes.licm) && !l.code.is_empty() {
+        let cfg = Cfg::build(&l);
+        let loops = find_loops(&l, &cfg);
+        vm.counters
+            .loops_found
+            .fetch_add(loops.len() as u64, Ordering::Relaxed);
+        if passes.abce {
+            let n = loop_aware_bce(&mut l, &cfg, &loops);
+            vm.counters
+                .bounds_checks_eliminated
+                .fetch_add(n, Ordering::Relaxed);
+        }
+        if passes.licm {
+            let n = loop_invariant_code_motion(&mut l);
+            vm.counters.licm_hoisted.fetch_add(n, Ordering::Relaxed);
+        }
+    }
     let force_spill_p = if passes.div_const_temp_quirk {
         apply_div_const_quirk(&mut l)
     } else {
@@ -55,7 +80,7 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
 
 /// Basic-block leader set: entry, branch targets, post-terminator
 /// instructions, and EH boundaries.
-fn leaders(l: &Lowered) -> HashSet<u32> {
+pub(crate) fn leaders(l: &Lowered) -> HashSet<u32> {
     let mut set = HashSet::new();
     set.insert(0);
     for (i, inst) in l.code.iter().enumerate() {
@@ -426,7 +451,7 @@ fn strength_reduce(l: &mut Lowered) {
 /// stack-shuffle lowering. The execution engine keeps a safety net: an
 /// "unchecked" access that does go out of range is an engine error, so a
 /// differential test would expose an unsound match.
-fn eliminate_bounds_checks(l: &mut Lowered) {
+fn eliminate_bounds_checks(l: &mut Lowered) -> u64 {
     let heads = leaders(l);
 
     // Global def counts: array origins must be written at most once for
@@ -608,14 +633,678 @@ fn eliminate_bounds_checks(l: &mut Lowered) {
         .filter(|(_, c)| c.zero && c.inc && !c.tainted)
         .map(|(v, _)| *v)
         .collect();
+    let mut eliminated = 0u64;
     for (i, idx_o, arr_o) in accesses {
         if induction.contains(&idx_o) && guards.contains(&(idx_o, arr_o)) {
             match &mut l.code[i] {
                 RInst::LdElem { checked, .. } | RInst::StElem { checked, .. } => {
-                    *checked = false;
+                    if *checked {
+                        *checked = false;
+                        eliminated += 1;
+                    }
                 }
                 _ => unreachable!(),
             }
+        }
+    }
+    eliminated
+}
+
+// ---------------------------------------------------------------------------
+// Loop-aware tier: ABCE + LICM over natural loops (see `rir::loops`).
+// ---------------------------------------------------------------------------
+
+/// Guard operands of an I4 fused compare-branch, resolved through the
+/// block-local fact maps.
+struct GuardFacts {
+    op: CmpOp,
+    /// Resolved origin of the left operand.
+    a: u16,
+    /// Resolved origin of the right operand, when it is a slot.
+    b: Option<u16>,
+    /// `(array origin, fact_is_global)` when the left operand holds that
+    /// array's length. Block-local facts come from an `ldlen` in the same
+    /// block (re-derived every iteration); global facts are the
+    /// hand-hoisted `int len = arr.Length;` idiom (single-definition
+    /// locals only).
+    a_len: Option<(u16, bool)>,
+    /// Same for the right operand.
+    b_len: Option<(u16, bool)>,
+}
+
+/// Classification of a primitive definition site.
+enum DefKind {
+    /// `x = x + k` with constant `k > 0` — a counted-loop increment
+    /// (directly, or through the stack-cell `mov x, <x+k>` shape).
+    Increment,
+    Other,
+}
+
+/// Per-instruction facts for the loop-aware passes, resolved with the same
+/// block-local machinery the structural BCE matcher uses.
+struct LoopFacts {
+    /// pc of an element access -> (index origin, array origin).
+    access: HashMap<usize, (u16, u16)>,
+    /// pc of an I4 `BrCmp` -> resolved guard operands.
+    guard: HashMap<usize, GuardFacts>,
+    /// pc with a primitive def -> classification.
+    defs: HashMap<usize, DefKind>,
+    /// Block leader -> constants known at the end of that block (for the
+    /// induction variable's entry value).
+    end_consts: HashMap<u32, HashMap<u16, u64>>,
+}
+
+/// One forward scan computing [`LoopFacts`]. Facts reset at block leaders;
+/// the global `len` idiom is promoted exactly as in
+/// [`eliminate_bounds_checks`].
+fn collect_loop_facts(l: &Lowered) -> LoopFacts {
+    let heads = leaders(l);
+    let mut rdef_count: HashMap<u16, u32> = HashMap::new();
+    let mut real_pdefs: HashMap<u16, u32> = HashMap::new();
+    for inst in &l.code {
+        if let Some(d) = def_p(inst) {
+            if !matches!(inst, RInst::ConstP { bits: 0, .. }) {
+                *real_pdefs.entry(d).or_default() += 1;
+            }
+        }
+        if let Some(d) = def_r(inst) {
+            if !matches!(inst, RInst::ConstNull { .. }) {
+                *rdef_count.entry(d).or_default() += 1;
+            }
+        }
+    }
+
+    let mut facts = LoopFacts {
+        access: HashMap::new(),
+        guard: HashMap::new(),
+        defs: HashMap::new(),
+        end_consts: HashMap::new(),
+    };
+    let mut copies: HashMap<u16, u16> = HashMap::new();
+    let mut rcopies: HashMap<u16, u16> = HashMap::new();
+    let mut consts: HashMap<u16, u64> = HashMap::new();
+    let mut incof: HashMap<u16, u16> = HashMap::new();
+    let mut lenof: HashMap<u16, u16> = HashMap::new();
+    let mut global_lenof: HashMap<u16, u16> = HashMap::new();
+    let mut cur_leader = 0u32;
+
+    for i in 0..l.code.len() {
+        if i > 0 && heads.contains(&(i as u32)) {
+            facts.end_consts.insert(cur_leader, consts.clone());
+            cur_leader = i as u32;
+            copies.clear();
+            rcopies.clear();
+            consts.clear();
+            incof.clear();
+            lenof.clear();
+        }
+        let presolve = |v: u16, copies: &HashMap<u16, u16>| *copies.get(&v).unwrap_or(&v);
+        let rresolve = |v: u16, rcopies: &HashMap<u16, u16>| *rcopies.get(&v).unwrap_or(&v);
+
+        // Read-side facts (pre-instruction state).
+        match &l.code[i] {
+            RInst::BrCmp { op, ty: NumTy::I4, a, b, .. } => {
+                let a_res = presolve(*a, &copies);
+                let b_res = match b {
+                    Operand::Slot(s) => Some(presolve(*s, &copies)),
+                    Operand::Imm(_) => None,
+                };
+                let len_fact = |raw: u16, res: u16| -> Option<(u16, bool)> {
+                    lenof
+                        .get(&raw)
+                        .or_else(|| lenof.get(&res))
+                        .map(|&arr| (arr, false))
+                        .or_else(|| {
+                            global_lenof
+                                .get(&raw)
+                                .or_else(|| global_lenof.get(&res))
+                                .map(|&arr| (arr, true))
+                        })
+                };
+                let a_len = len_fact(*a, a_res);
+                let b_len = match b {
+                    Operand::Slot(s) => len_fact(*s, b_res.unwrap()),
+                    Operand::Imm(_) => None,
+                };
+                facts.guard.insert(
+                    i,
+                    GuardFacts { op: *op, a: a_res, b: b_res, a_len, b_len },
+                );
+            }
+            RInst::LdElem { arr, idx, .. } | RInst::StElem { arr, idx, .. } => {
+                facts
+                    .access
+                    .insert(i, (presolve(*idx, &copies), rresolve(*arr, &rcopies)));
+            }
+            _ => {}
+        }
+
+        let dp = def_p(&l.code[i]);
+        let dr = def_r(&l.code[i]);
+        enum NewFact {
+            Const(u64),
+            Copy(u16),
+            IncOf(u16),
+            LenOf(u16),
+            None,
+        }
+        let mut fact = NewFact::None;
+        match &l.code[i] {
+            RInst::ConstP { bits, .. } => fact = NewFact::Const(*bits),
+            RInst::MovP { dst, src } => {
+                if incof.get(src).copied() == Some(*dst) {
+                    facts.defs.insert(i, DefKind::Increment);
+                } else {
+                    fact = NewFact::Copy(presolve(*src, &copies));
+                    if let Some(&arr) = lenof.get(src) {
+                        if real_pdefs.get(dst).copied().unwrap_or(0) == 1 {
+                            global_lenof.insert(*dst, arr);
+                        }
+                    }
+                }
+            }
+            RInst::MovR { src, .. } => {
+                fact = NewFact::Copy(rresolve(*src, &rcopies));
+            }
+            RInst::Bin { op: BinOp::Add, ty: NumTy::I4, dst, a, b } => {
+                let k = match b {
+                    Operand::Imm(k) => Some(*k),
+                    Operand::Slot(s) => consts.get(s).copied(),
+                };
+                if let Some(k) = k {
+                    if (k as u32 as i32) > 0 {
+                        let a_res = presolve(*a, &copies);
+                        if a_res == *dst {
+                            // `i = i + k` in one instruction.
+                            facts.defs.insert(i, DefKind::Increment);
+                        } else {
+                            fact = NewFact::IncOf(a_res);
+                        }
+                    }
+                }
+            }
+            RInst::LdLen { arr, .. } => {
+                let ao = rresolve(*arr, &rcopies);
+                if rdef_count.get(&ao).copied().unwrap_or(0) <= 1 {
+                    fact = NewFact::LenOf(ao);
+                }
+            }
+            _ => {}
+        }
+        if let Some(d) = dp {
+            facts.defs.entry(i).or_insert(DefKind::Other);
+            let _ = d;
+        }
+        if let Some(d) = dp {
+            copies.remove(&d);
+            consts.remove(&d);
+            incof.remove(&d);
+            lenof.remove(&d);
+            copies.retain(|_, o| *o != d);
+            incof.retain(|_, o| *o != d);
+        }
+        if let Some(d) = dr {
+            rcopies.remove(&d);
+            rcopies.retain(|_, o| *o != d);
+            lenof.retain(|_, o| *o != d);
+        }
+        match (fact, dp, dr) {
+            (NewFact::Const(c), Some(d), _) => {
+                consts.insert(d, c);
+            }
+            (NewFact::Copy(o), Some(d), _) if o != d => {
+                copies.insert(d, o);
+                if let Some(&c) = consts.get(&o) {
+                    consts.insert(d, c);
+                }
+            }
+            (NewFact::Copy(o), _, Some(d)) if o != d => {
+                rcopies.insert(d, o);
+            }
+            (NewFact::IncOf(o), Some(d), _) if o != d => {
+                incof.insert(d, o);
+            }
+            (NewFact::LenOf(a), Some(d), _) => {
+                lenof.insert(d, a);
+            }
+            _ => {}
+        }
+    }
+    facts.end_consts.insert(cur_leader, consts);
+    facts
+}
+
+/// Loop-aware array-bounds-check elimination.
+///
+/// For each clean natural loop whose header terminator compares an
+/// induction variable against an invariant array's length (staying in the
+/// loop exactly when `i < arr.Length`), accesses `arr[i]` inside the loop
+/// are provably in range and lose their checks — provided:
+///
+/// * the induction variable's only in-loop definitions are positive
+///   constant increments;
+/// * every loop entry reaches the header with the variable a known
+///   non-negative constant;
+/// * the array (and, for the hand-hoisted `len` idiom, the bound local)
+///   is not written inside the loop;
+/// * the access is outside the header block (which executes before the
+///   guard decides) and not downstream of an increment within the same
+///   iteration.
+///
+/// The execution engine keeps its safety net: an unchecked access that
+/// does go out of range is an engine error, so the differential suite
+/// would expose an unsound match.
+fn loop_aware_bce(l: &mut Lowered, cfg: &Cfg, loops: &[NaturalLoop]) -> u64 {
+    let facts = collect_loop_facts(l);
+    let mut flips: Vec<usize> = Vec::new();
+    for lp in loops.iter().filter(|lp| lp.clean) {
+        // In-loop definition sites.
+        let mut pdefs: HashMap<u16, Vec<usize>> = HashMap::new();
+        let mut rdefs: HashSet<u16> = HashSet::new();
+        for &b in &lp.body {
+            let (s, e) = cfg.ranges[b];
+            for pc in s..e {
+                if let Some(d) = def_p(&l.code[pc]) {
+                    pdefs.entry(d).or_default().push(pc);
+                }
+                if let Some(d) = def_r(&l.code[pc]) {
+                    rdefs.insert(d);
+                }
+            }
+        }
+        let (_, he) = cfg.ranges[lp.header];
+        let term = he - 1;
+        let Some(g) = facts.guard.get(&term) else { continue };
+        let RInst::BrCmp { t, .. } = l.code[term] else { continue };
+        let tgt_in = lp.body.contains(&cfg.block_of(t));
+        let fall_in = he < l.code.len() && lp.body.contains(&cfg.block_of(he as u32));
+        if tgt_in == fall_in {
+            continue;
+        }
+        // The predicate that holds on the edge that stays in the loop.
+        let stay = if fall_in { g.op.negate() } else { g.op };
+        // Which side is the bound? The staying predicate must imply
+        // `ivar < len` (strictly).
+        let (ivar, arr, bound_slot, bound_global) = if let Some((arr, glob)) = g.b_len {
+            if stay != CmpOp::Lt {
+                continue;
+            }
+            (g.a, arr, g.b, glob)
+        } else if let Some((arr, glob)) = g.a_len {
+            if stay != CmpOp::Gt {
+                continue;
+            }
+            let Some(bv) = g.b else { continue };
+            (bv, arr, Some(g.a), glob)
+        } else {
+            continue;
+        };
+        // A header `ldlen` bound re-derives every iteration; the global
+        // `len` local must not be written inside the loop.
+        if bound_global {
+            if let Some(bs) = bound_slot {
+                if pdefs.contains_key(&bs) {
+                    continue;
+                }
+            }
+        }
+        // Array invariance inside the loop.
+        if rdefs.contains(&arr) {
+            continue;
+        }
+        // Induction: every in-loop def is a positive increment.
+        let ivar_defs: &[usize] = pdefs.get(&ivar).map(|v| v.as_slice()).unwrap_or(&[]);
+        if ivar_defs
+            .iter()
+            .any(|pc| !matches!(facts.defs.get(pc), Some(DefKind::Increment)))
+        {
+            continue;
+        }
+        // Entry value: every edge entering the header from outside must
+        // carry a known non-negative constant for the induction variable.
+        let entry_preds: Vec<usize> = cfg.preds[lp.header]
+            .iter()
+            .copied()
+            .filter(|p| !lp.body.contains(p))
+            .collect();
+        if entry_preds.is_empty() {
+            continue;
+        }
+        let entry_ok = entry_preds.iter().all(|&p| {
+            facts
+                .end_consts
+                .get(&cfg.heads[p])
+                .and_then(|m| m.get(&ivar))
+                .map_or(false, |&v| v as u32 as i32 >= 0)
+        });
+        if !entry_ok {
+            continue;
+        }
+        // Everything downstream of an increment (without re-passing the
+        // guard) is no longer covered by it.
+        let mut post_pcs: HashSet<usize> = HashSet::new();
+        let mut post_blocks: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for &ipc in ivar_defs {
+            let b = cfg.block_of(ipc as u32);
+            post_pcs.extend(ipc + 1..cfg.ranges[b].1);
+            stack.extend(
+                cfg.succs[b]
+                    .iter()
+                    .copied()
+                    .filter(|s| lp.body.contains(s) && *s != lp.header),
+            );
+        }
+        while let Some(b) = stack.pop() {
+            if post_blocks.insert(b) {
+                stack.extend(
+                    cfg.succs[b]
+                        .iter()
+                        .copied()
+                        .filter(|s| lp.body.contains(s) && *s != lp.header),
+                );
+            }
+        }
+        for &b in &lp.body {
+            if b == lp.header || post_blocks.contains(&b) {
+                continue;
+            }
+            let (s, e) = cfg.ranges[b];
+            for pc in s..e {
+                if post_pcs.contains(&pc) {
+                    continue;
+                }
+                if facts.access.get(&pc) == Some(&(ivar, arr)) {
+                    flips.push(pc);
+                }
+            }
+        }
+    }
+    let mut count = 0u64;
+    for pc in flips {
+        match &mut l.code[pc] {
+            RInst::LdElem { checked, .. } | RInst::StElem { checked, .. } if *checked => {
+                *checked = false;
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Loop-invariant code motion.
+///
+/// Pure arithmetic whose operands have no definition inside the loop
+/// computes the same value every iteration; it is recomputed once in front
+/// of the header into a fresh virtual register, and the original
+/// instruction becomes a register move. Constant materializations count
+/// too (the profiles without immediate fusion re-load every literal each
+/// iteration), and a candidate may use the value of an *earlier candidate
+/// in the same block* — the chain hoists together, reading the fresh
+/// registers. The guard's `ldlen` is hoisted the same way when it sits in
+/// the header with nothing effectful before it (the null-pointer trap
+/// then fires one instruction earlier, which is unobservable in an
+/// EH-free loop — and loops overlapping EH regions are skipped entirely).
+///
+/// Each round hoists one loop's candidates and re-analyzes; hoisted code
+/// lands outside the loop, so nested invariants migrate outward one level
+/// per round until a fixpoint.
+fn loop_invariant_code_motion(l: &mut Lowered) -> u64 {
+    let mut total = 0u64;
+    'rounds: for _ in 0..64 {
+        // Leave ample headroom below the spill-bit encoding for the fresh
+        // registers hoisting allocates.
+        if l.n_pvreg as u32 >= 0x4000 {
+            break;
+        }
+        let cfg = Cfg::build(l);
+        let loops = find_loops(l, &cfg);
+        for lp in loops.iter().filter(|lp| lp.clean) {
+            let plans = plan_hoists(l, &cfg, lp);
+            if !plans.is_empty() {
+                total += plans.len() as u64;
+                hoist(l, &cfg, lp, plans);
+                continue 'rounds;
+            }
+        }
+        break;
+    }
+    total
+}
+
+/// May this instruction precede a hoisted `ldlen` in the header? Only
+/// trap-free register arithmetic (plus other `ldlen`s — reordering two
+/// null traps of the same exception class is unobservable without EH).
+fn effect_free(inst: &RInst) -> bool {
+    matches!(
+        inst,
+        RInst::Nop
+            | RInst::MovP { .. }
+            | RInst::MovR { .. }
+            | RInst::ConstP { .. }
+            | RInst::ConstNull { .. }
+            | RInst::Un { .. }
+            | RInst::Conv { .. }
+            | RInst::Cmp { .. }
+            | RInst::CmpRef { .. }
+            | RInst::LdLen { .. }
+    ) || matches!(inst, RInst::Bin { op, .. } if !matches!(op, BinOp::Div | BinOp::Rem))
+}
+
+/// Select the instructions of `lp` that compute loop-invariant values and
+/// prepare their hoisted clones.
+///
+/// An operand is invariant when it has no definition anywhere in the loop
+/// — or when its *most recent same-block definition* is an earlier
+/// candidate: straight-line execution guarantees that definition reaches
+/// this use, so the clone reads the earlier candidate's fresh register.
+/// Fresh registers are numbered from `l.n_pvreg`; [`hoist`] commits the
+/// allocation.
+fn plan_hoists(l: &Lowered, cfg: &Cfg, lp: &NaturalLoop) -> Vec<(usize, RInst)> {
+    let mut pdefs: HashSet<u16> = HashSet::new();
+    let mut rdefs: HashSet<u16> = HashSet::new();
+    for &b in &lp.body {
+        let (s, e) = cfg.ranges[b];
+        for pc in s..e {
+            if let Some(d) = def_p(&l.code[pc]) {
+                pdefs.insert(d);
+            }
+            if let Some(d) = def_r(&l.code[pc]) {
+                rdefs.insert(d);
+            }
+        }
+    }
+    let (hs, _) = cfg.ranges[lp.header];
+    let mut plans: Vec<(usize, RInst)> = Vec::new();
+    let mut next_fresh = l.n_pvreg;
+    for &b in &lp.body {
+        // Slot -> fresh register of the candidate that is the slot's most
+        // recent definition in this block.
+        let mut cur_fresh: HashMap<u16, u16> = HashMap::new();
+        let (s, e) = cfg.ranges[b];
+        for pc in s..e {
+            let inst = &l.code[pc];
+            let inv = |s: u16| !pdefs.contains(&s) || cur_fresh.contains_key(&s);
+            let inv_op = |o: &Operand| match o {
+                Operand::Imm(_) => true,
+                Operand::Slot(s) => inv(*s),
+            };
+            let ok = match inst {
+                RInst::ConstP { .. } => true,
+                RInst::Bin { op, a, b, .. } if !matches!(op, BinOp::Div | BinOp::Rem) => {
+                    inv(*a) && inv_op(b)
+                }
+                RInst::Un { a, .. } => inv(*a),
+                RInst::Conv { src, .. } => inv(*src),
+                RInst::Cmp { a, b, .. } => inv(*a) && inv_op(b),
+                RInst::LdLen { arr, .. } => {
+                    b == lp.header
+                        && !rdefs.contains(arr)
+                        && l.code[hs..pc].iter().all(effect_free)
+                }
+                _ => false,
+            };
+            let d = def_p(inst);
+            if ok {
+                let mut clone = inst.clone();
+                // Redirect operands defined by earlier candidates to the
+                // fresh registers (at the hoist point the original slots
+                // still hold their pre-loop values).
+                let sub = |s: &mut u16, cf: &HashMap<u16, u16>| {
+                    if let Some(&f) = cf.get(s) {
+                        *s = f;
+                    }
+                };
+                match &mut clone {
+                    RInst::Bin { a, b, .. } => {
+                        sub(a, &cur_fresh);
+                        if let Operand::Slot(s) = b {
+                            sub(s, &cur_fresh);
+                        }
+                    }
+                    RInst::Un { a, .. } => sub(a, &cur_fresh),
+                    RInst::Conv { src, .. } => sub(src, &cur_fresh),
+                    RInst::Cmp { a, b, .. } => {
+                        sub(a, &cur_fresh);
+                        if let Operand::Slot(s) = b {
+                            sub(s, &cur_fresh);
+                        }
+                    }
+                    _ => {}
+                }
+                let fresh = next_fresh;
+                next_fresh += 1;
+                restore_def_p(&mut clone, fresh);
+                plans.push((pc, clone));
+                if let Some(d) = d {
+                    cur_fresh.insert(d, fresh);
+                }
+            } else if let Some(d) = d {
+                cur_fresh.remove(&d);
+            }
+        }
+    }
+    // A hoisted constant is live across the whole loop and costs a
+    // register, while rematerializing it in the body is free — keep a
+    // `ConstP` plan only when a hoisted computation consumes its value.
+    let base = l.n_pvreg;
+    let mut needed: HashSet<u16> = HashSet::new();
+    let mut keep = vec![false; plans.len()];
+    for i in (0..plans.len()).rev() {
+        let clone = &plans[i].1;
+        let fresh = def_p(clone).expect("LICM candidates define a primitive");
+        if !matches!(clone, RInst::ConstP { .. }) || needed.contains(&fresh) {
+            keep[i] = true;
+            let mut mark = |s: u16| {
+                if s >= base {
+                    needed.insert(s);
+                }
+            };
+            match clone {
+                RInst::Bin { a, b, .. } | RInst::Cmp { a, b, .. } => {
+                    mark(*a);
+                    if let Operand::Slot(s) = b {
+                        mark(*s);
+                    }
+                }
+                RInst::Un { a, .. } => mark(*a),
+                RInst::Conv { src, .. } => mark(*src),
+                _ => {}
+            }
+        }
+    }
+    // Renumber the survivors contiguously so the allocator never sees
+    // holes in the vreg space.
+    let mut remap: HashMap<u16, u16> = HashMap::new();
+    let mut next = base;
+    let mut out = Vec::with_capacity(plans.len());
+    for (i, (pc, mut clone)) in plans.into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let re = |s: &mut u16, remap: &HashMap<u16, u16>| {
+            if let Some(&n) = remap.get(s) {
+                *s = n;
+            }
+        };
+        match &mut clone {
+            RInst::Bin { a, b, .. } | RInst::Cmp { a, b, .. } => {
+                re(a, &remap);
+                if let Operand::Slot(s) = b {
+                    re(s, &remap);
+                }
+            }
+            RInst::Un { a, .. } => re(a, &remap),
+            RInst::Conv { src, .. } => re(src, &remap),
+            _ => {}
+        }
+        let old = def_p(&clone).expect("LICM candidates define a primitive");
+        restore_def_p(&mut clone, next);
+        remap.insert(old, next);
+        next += 1;
+        out.push((pc, clone));
+    }
+    out
+}
+
+/// Insert the planned clones in front of the loop header, turn the
+/// originals into register moves, and remap branches and EH ranges.
+/// Entry edges fall into (or retarget to) the hoisted block; back edges
+/// retarget past it.
+fn hoist(l: &mut Lowered, cfg: &Cfg, lp: &NaturalLoop, plans: Vec<(usize, RInst)>) {
+    let h = cfg.ranges[lp.header].0;
+    let k = plans.len();
+    let mut hoisted = Vec::with_capacity(k);
+    for (pc, clone) in plans {
+        let fresh = def_p(&clone).expect("LICM candidates define a primitive");
+        l.n_pvreg = l.n_pvreg.max(fresh + 1);
+        let dst = def_p(&l.code[pc]).expect("LICM candidates define a primitive");
+        hoisted.push(clone);
+        l.code[pc] = RInst::MovP { dst, src: fresh };
+    }
+    let in_body = |pc: usize| lp.body.contains(&cfg.block_of(pc as u32));
+    let old = std::mem::take(&mut l.code);
+    let mut code: Vec<RInst> = Vec::with_capacity(old.len() + k);
+    let mut iter = old.into_iter();
+    code.extend(iter.by_ref().take(h));
+    code.extend(hoisted);
+    code.extend(iter);
+    for np in 0..code.len() {
+        if np >= h && np < h + k {
+            continue; // hoisted instructions never branch
+        }
+        let old_pc = if np < h { np } else { np - k };
+        if let Some(t) = code[np].target() {
+            let nt = if (t as usize) < h {
+                t
+            } else if (t as usize) == h {
+                // Entry edges execute the hoisted code; back edges from
+                // inside the body skip it.
+                if in_body(old_pc) { (h + k) as u32 } else { h as u32 }
+            } else {
+                t + k as u32
+            };
+            code[np].set_target(nt);
+        }
+    }
+    l.code = code;
+    // Hoisting never targets loops overlapping EH, so no region boundary
+    // can fall strictly inside the insertion point's block; inclusive
+    // starts shift when at-or-after `h`, exclusive ends when after `h`.
+    let k32 = k as u32;
+    for r in &mut l.eh {
+        if r.try_start >= h as u32 {
+            r.try_start += k32;
+        }
+        if r.try_end > h as u32 {
+            r.try_end += k32;
+        }
+        if r.handler_start >= h as u32 {
+            r.handler_start += k32;
+        }
+        if r.handler_end > h as u32 {
+            r.handler_end += k32;
         }
     }
 }
@@ -1033,6 +1722,16 @@ mod tests {
         profile: VmProfile,
         build: impl FnOnce(&mut hpcnet_cil::MethodBuilder),
     ) -> (String, Vec<RInst>) {
+        let (text, code, _) = rir_and_vm(profile, build);
+        (text, code)
+    }
+
+    /// Like [`rir_for`] but also hands back the `Vm` so tests can inspect
+    /// the optimization counters the compile incremented.
+    fn rir_and_vm(
+        profile: VmProfile,
+        build: impl FnOnce(&mut hpcnet_cil::MethodBuilder),
+    ) -> (String, Vec<RInst>, std::sync::Arc<Vm>) {
         let mut mb = ModuleBuilder::new();
         declare_prelude(&mut mb);
         let c = mb.declare_class("P", None);
@@ -1043,7 +1742,7 @@ mod tests {
         let vm = Vm::new(m, profile).unwrap();
         let id = vm.module.find_method("P.F").unwrap();
         let rir = vm.compiled(id).unwrap();
-        (print_rir(&rir), rir.code.clone())
+        (print_rir(&rir), rir.code.clone(), vm)
     }
 
     fn const_times_eight(f: &mut hpcnet_cil::MethodBuilder) {
@@ -1159,5 +1858,203 @@ mod tests {
         assert!(sun.contains("[psp"), "Sun's 24-reg cap must spill:\n{sun}");
         let (clr, _) = rir_for(VmProfile::clr11(), body);
         assert!(!clr.contains("[psp"), "CLR's 64-reg cap fits 40 locals:\n{clr}");
+    }
+
+    // -- loop-aware tier --------------------------------------------------
+
+    /// `int s = 0; for (int j = 0; j < a.Length; j++) s += a[j];` over a
+    /// freshly allocated `int[n]`.
+    fn sum_over_length_loop(f: &mut hpcnet_cil::MethodBuilder) {
+        use hpcnet_cil::{ElemKind, Op};
+        let arr = f.local(CilType::Array(Box::new(CilType::I4)));
+        let s = f.local(CilType::I4);
+        let j = f.local(CilType::I4);
+        f.ld_arg(0);
+        f.emit(Op::NewArr(ElemKind::I4));
+        f.st_loc(arr);
+        f.ldc_i4(0);
+        f.st_loc(s);
+        f.ldc_i4(0);
+        f.st_loc(j);
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.place(head);
+        f.ld_loc(j);
+        f.ld_loc(arr);
+        f.emit(Op::LdLen);
+        f.br_cmp(CmpOp::Ge, exit);
+        f.ld_loc(s);
+        f.ld_loc(arr);
+        f.ld_loc(j);
+        f.emit(Op::LdElem(ElemKind::I4));
+        f.bin(BinOp::Add);
+        f.st_loc(s);
+        f.ld_loc(j);
+        f.ldc_i4(1);
+        f.bin(BinOp::Add);
+        f.st_loc(j);
+        f.br(head);
+        f.place(exit);
+        f.ld_loc(s);
+        f.ret();
+    }
+
+    #[test]
+    fn abce_unchecks_length_guarded_access() {
+        let (clr, _, vm) = rir_and_vm(VmProfile::clr11(), sum_over_length_loop);
+        assert!(clr.contains(".nobound"), "CLR must drop the in-range check:\n{clr}");
+        assert!(
+            vm.counters.bounds_checks_eliminated.load(std::sync::atomic::Ordering::Relaxed) > 0
+        );
+        assert!(vm.counters.loops_found.load(std::sync::atomic::Ordering::Relaxed) > 0);
+
+        let (mono, _, vm) = rir_and_vm(VmProfile::mono023(), sum_over_length_loop);
+        assert!(!mono.contains(".nobound"), "Mono has no ABCE:\n{mono}");
+        assert_eq!(
+            vm.counters.bounds_checks_eliminated.load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+    }
+
+    /// Same loop, but the hoisted bound local is decremented inside the
+    /// body: `int len = a.Length; for (j = 0; j < len; j++) { s += a[j];
+    /// len = len - 1; }`. The bound is no longer the array's length on
+    /// every iteration, so ABCE must leave the check in place.
+    fn mutated_bound_loop(f: &mut hpcnet_cil::MethodBuilder) {
+        use hpcnet_cil::{ElemKind, Op};
+        let arr = f.local(CilType::Array(Box::new(CilType::I4)));
+        let len = f.local(CilType::I4);
+        let s = f.local(CilType::I4);
+        let j = f.local(CilType::I4);
+        f.ld_arg(0);
+        f.emit(Op::NewArr(ElemKind::I4));
+        f.st_loc(arr);
+        f.ld_loc(arr);
+        f.emit(Op::LdLen);
+        f.st_loc(len);
+        f.ldc_i4(0);
+        f.st_loc(s);
+        f.ldc_i4(0);
+        f.st_loc(j);
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.place(head);
+        f.ld_loc(j);
+        f.ld_loc(len);
+        f.br_cmp(CmpOp::Ge, exit);
+        f.ld_loc(s);
+        f.ld_loc(arr);
+        f.ld_loc(j);
+        f.emit(Op::LdElem(ElemKind::I4));
+        f.bin(BinOp::Add);
+        f.st_loc(s);
+        f.ld_loc(len);
+        f.ldc_i4(1);
+        f.bin(BinOp::Sub);
+        f.st_loc(len);
+        f.ld_loc(j);
+        f.ldc_i4(1);
+        f.bin(BinOp::Add);
+        f.st_loc(j);
+        f.br(head);
+        f.place(exit);
+        f.ld_loc(s);
+        f.ret();
+    }
+
+    #[test]
+    fn abce_keeps_checks_when_bound_is_mutated() {
+        let (clr, _, vm) = rir_and_vm(VmProfile::clr11(), mutated_bound_loop);
+        assert!(!clr.contains(".nobound"), "mutated bound must stay checked:\n{clr}");
+        assert_eq!(
+            vm.counters.bounds_checks_eliminated.load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+    }
+
+    /// The single-definition `int len = a.Length;` idiom (no mutation)
+    /// must be recognized through the global fact.
+    fn hoisted_len_loop(f: &mut hpcnet_cil::MethodBuilder) {
+        use hpcnet_cil::{ElemKind, Op};
+        let arr = f.local(CilType::Array(Box::new(CilType::I4)));
+        let len = f.local(CilType::I4);
+        let s = f.local(CilType::I4);
+        let j = f.local(CilType::I4);
+        f.ld_arg(0);
+        f.emit(Op::NewArr(ElemKind::I4));
+        f.st_loc(arr);
+        f.ld_loc(arr);
+        f.emit(Op::LdLen);
+        f.st_loc(len);
+        f.ldc_i4(0);
+        f.st_loc(s);
+        f.ldc_i4(0);
+        f.st_loc(j);
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.place(head);
+        f.ld_loc(j);
+        f.ld_loc(len);
+        f.br_cmp(CmpOp::Ge, exit);
+        f.ld_loc(s);
+        f.ld_loc(arr);
+        f.ld_loc(j);
+        f.emit(Op::LdElem(ElemKind::I4));
+        f.bin(BinOp::Add);
+        f.st_loc(s);
+        f.ld_loc(j);
+        f.ldc_i4(1);
+        f.bin(BinOp::Add);
+        f.st_loc(j);
+        f.br(head);
+        f.place(exit);
+        f.ld_loc(s);
+        f.ret();
+    }
+
+    #[test]
+    fn abce_sees_through_hoisted_length_local() {
+        let (clr, _, _) = rir_and_vm(VmProfile::clr11(), hoisted_len_loop);
+        assert!(clr.contains(".nobound"), "single-def len local is the array length:\n{clr}");
+    }
+
+    #[test]
+    fn licm_hoists_invariant_multiply() {
+        // for (j = 0; j < n; j++) s += n * 3;  — the multiply is invariant.
+        let body = |f: &mut hpcnet_cil::MethodBuilder| {
+            let s = f.local(CilType::I4);
+            let j = f.local(CilType::I4);
+            f.ldc_i4(0);
+            f.st_loc(s);
+            f.ldc_i4(0);
+            f.st_loc(j);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_loc(j);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(s);
+            f.ld_arg(0);
+            f.ldc_i4(3);
+            f.bin(BinOp::Mul);
+            f.bin(BinOp::Add);
+            f.st_loc(s);
+            f.ld_loc(j);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(j);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(s);
+            f.ret();
+        };
+        let (clr, _, vm) = rir_and_vm(VmProfile::clr11(), body);
+        assert!(
+            vm.counters.licm_hoisted.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "CLR should hoist n*3 out of the loop:\n{clr}"
+        );
+        let (_, _, vm) = rir_and_vm(VmProfile::mono023(), body);
+        assert_eq!(vm.counters.licm_hoisted.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 }
