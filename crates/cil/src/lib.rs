@@ -37,7 +37,7 @@ pub use module::{
     ClassDef, ClassId, EhKind, EhRegion, FieldDef, FieldId, MethodBody, MethodDef, MethodId,
     Module, StrId,
 };
-pub use op::{BinOp, CmpOp, ElemKind, Intrinsic, Op, UnOp};
+pub use op::{BinOp, CmpOp, ElemKind, Intrinsic, Op, UnOp, OP_KIND_NAMES};
 pub use prelude::declare_prelude;
 pub use types::{CilType, NumTy};
 pub use verify::{verify_method, verify_module, VerifyError};

@@ -402,7 +402,119 @@ pub enum Op {
     EndFinally,
 }
 
+/// Stable names of every [`Op`] kind, indexed by [`Op::kind_index`].
+///
+/// The conformance fuzzer keys its emitted/executed opcode coverage on
+/// this table; keep it in the same order as the enum declaration.
+pub const OP_KIND_NAMES: [&str; Op::KIND_COUNT] = [
+    "nop",
+    "ldc.i4",
+    "ldc.i8",
+    "ldc.r4",
+    "ldc.r8",
+    "ldnull",
+    "ldstr",
+    "ldloc",
+    "stloc",
+    "ldarg",
+    "starg",
+    "dup",
+    "pop",
+    "bin",
+    "un",
+    "cmp",
+    "conv",
+    "br",
+    "brtrue",
+    "brfalse",
+    "brcmp",
+    "call",
+    "callvirt",
+    "callintrinsic",
+    "ret",
+    "newobj",
+    "ldfld",
+    "stfld",
+    "ldsfld",
+    "stsfld",
+    "isinst",
+    "castclass",
+    "newarr",
+    "ldlen",
+    "ldelem",
+    "stelem",
+    "newmultiarr",
+    "ldelem.multi",
+    "stelem.multi",
+    "ldlen.multi",
+    "box",
+    "unbox",
+    "throw",
+    "leave",
+    "endfinally",
+];
+
 impl Op {
+    /// Number of distinct instruction kinds (enum variants).
+    pub const KIND_COUNT: usize = 45;
+
+    /// Dense index of this instruction's kind, for coverage tables.
+    /// Operands are ignored: every `ldc.i4` maps to the same slot.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Op::Nop => 0,
+            Op::LdcI4(_) => 1,
+            Op::LdcI8(_) => 2,
+            Op::LdcR4(_) => 3,
+            Op::LdcR8(_) => 4,
+            Op::LdNull => 5,
+            Op::LdStr(_) => 6,
+            Op::LdLoc(_) => 7,
+            Op::StLoc(_) => 8,
+            Op::LdArg(_) => 9,
+            Op::StArg(_) => 10,
+            Op::Dup => 11,
+            Op::Pop => 12,
+            Op::Bin(_) => 13,
+            Op::Un(_) => 14,
+            Op::Cmp(_) => 15,
+            Op::Conv(_) => 16,
+            Op::Br(_) => 17,
+            Op::BrTrue(_) => 18,
+            Op::BrFalse(_) => 19,
+            Op::BrCmp(..) => 20,
+            Op::Call(_) => 21,
+            Op::CallVirt(_) => 22,
+            Op::CallIntrinsic(_) => 23,
+            Op::Ret => 24,
+            Op::NewObj(_) => 25,
+            Op::LdFld(_) => 26,
+            Op::StFld(_) => 27,
+            Op::LdSFld(_) => 28,
+            Op::StSFld(_) => 29,
+            Op::IsInst(_) => 30,
+            Op::CastClass(_) => 31,
+            Op::NewArr(_) => 32,
+            Op::LdLen => 33,
+            Op::LdElem(_) => 34,
+            Op::StElem(_) => 35,
+            Op::NewMultiArr { .. } => 36,
+            Op::LdElemMulti { .. } => 37,
+            Op::StElemMulti { .. } => 38,
+            Op::LdMultiLen { .. } => 39,
+            Op::BoxVal(_) => 40,
+            Op::UnboxVal(_) => 41,
+            Op::Throw => 42,
+            Op::Leave(_) => 43,
+            Op::EndFinally => 44,
+        }
+    }
+
+    /// Stable display name of this instruction's kind.
+    pub fn kind_name(&self) -> &'static str {
+        OP_KIND_NAMES[self.kind_index()]
+    }
+
     /// Whether this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
         matches!(
@@ -493,6 +605,64 @@ mod tests {
         assert_eq!(Intrinsic::Atan2.arg_count(), 2);
         assert_eq!(Intrinsic::MaxI4.arg_count(), 2);
         assert_eq!(Intrinsic::MonitorEnter.arg_count(), 1);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_named() {
+        let samples: Vec<Op> = vec![
+            Op::Nop,
+            Op::LdcI4(0),
+            Op::LdcI8(0),
+            Op::LdcR4(0.0),
+            Op::LdcR8(0.0),
+            Op::LdNull,
+            Op::LdStr(StrId(0)),
+            Op::LdLoc(0),
+            Op::StLoc(0),
+            Op::LdArg(0),
+            Op::StArg(0),
+            Op::Dup,
+            Op::Pop,
+            Op::Bin(BinOp::Add),
+            Op::Un(UnOp::Neg),
+            Op::Cmp(CmpOp::Eq),
+            Op::Conv(NumTy::I4),
+            Op::Br(0),
+            Op::BrTrue(0),
+            Op::BrFalse(0),
+            Op::BrCmp(CmpOp::Lt, 0),
+            Op::Call(MethodId(0)),
+            Op::CallVirt(MethodId(0)),
+            Op::CallIntrinsic(Intrinsic::Sqrt),
+            Op::Ret,
+            Op::NewObj(MethodId(0)),
+            Op::LdFld(FieldId(0)),
+            Op::StFld(FieldId(0)),
+            Op::LdSFld(FieldId(0)),
+            Op::StSFld(FieldId(0)),
+            Op::IsInst(ClassId(0)),
+            Op::CastClass(ClassId(0)),
+            Op::NewArr(ElemKind::I4),
+            Op::LdLen,
+            Op::LdElem(ElemKind::I4),
+            Op::StElem(ElemKind::I4),
+            Op::NewMultiArr { kind: ElemKind::R8, rank: 2 },
+            Op::LdElemMulti { kind: ElemKind::R8, rank: 2 },
+            Op::StElemMulti { kind: ElemKind::R8, rank: 2 },
+            Op::LdMultiLen { dim: 0 },
+            Op::BoxVal(NumTy::I4),
+            Op::UnboxVal(NumTy::I4),
+            Op::Throw,
+            Op::Leave(0),
+            Op::EndFinally,
+        ];
+        assert_eq!(samples.len(), Op::KIND_COUNT);
+        for (i, op) in samples.iter().enumerate() {
+            assert_eq!(op.kind_index(), i, "{op:?}");
+            assert_eq!(op.kind_name(), OP_KIND_NAMES[i]);
+        }
+        // Operands never change the kind.
+        assert_eq!(Op::LdcI4(7).kind_index(), Op::LdcI4(-7).kind_index());
     }
 
     #[test]

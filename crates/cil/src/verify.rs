@@ -967,6 +967,73 @@ mod tests {
             Some(&[VerTy::Ref(CilType::Class(exc))][..])
         );
     }
+
+    // Rejection cases the conform generator is constrained to never
+    // produce; pinned here so the gate they rely on stays honest.
+
+    #[test]
+    fn rejects_branch_out_of_bounds() {
+        // The label-based builder cannot produce a wild target, so patch
+        // the body directly through the test-only escape hatch.
+        let mut mb = ModuleBuilder::new();
+        let c = mb.declare_class("P", None);
+        let mut f = mb.method(c, "F", vec![CilType::I4], CilType::I4, MethodKind::Static);
+        f.ldc_i4(0);
+        f.ret();
+        let id = f.finish();
+        mb.methods_mut_for_test(id).body.code = vec![Op::Br(999), Op::LdcI4(0), Op::Ret];
+        let m = mb.finish();
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn rejects_store_of_wrong_type_to_local() {
+        let (m, id) = one_method(|f| {
+            let d = f.local(CilType::R8);
+            f.ldc_i4(1);
+            f.st_loc(d);
+            f.ldc_i4(0);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("cannot store"), "{e}");
+    }
+
+    #[test]
+    fn rejects_ldlen_on_non_array() {
+        // A string is a reference but not an array.
+        let (m, id) = one_method(|f| {
+            f.ld_str("x");
+            f.emit(Op::LdLen);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("ldlen on non-array"), "{e}");
+    }
+
+    #[test]
+    fn rejects_shift_on_float() {
+        let (m, id) = one_method(|f| {
+            f.ldc_r8(1.0);
+            f.ldc_i4(2);
+            f.bin(BinOp::Shl);
+            f.conv(NumTy::I4);
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("shift"), "{e}");
+    }
+
+    #[test]
+    fn rejects_local_index_out_of_range() {
+        let (m, id) = one_method(|f| {
+            f.emit(Op::LdLoc(9));
+            f.ret();
+        });
+        let e = verify_method(&m, id).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
 }
 
 #[cfg(test)]

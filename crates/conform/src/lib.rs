@@ -1,0 +1,247 @@
+//! # conform — differential conformance fuzzing for the HPC.NET VMs
+//!
+//! The paper's methodology (Section 5) attributes every timing difference
+//! to JIT quality, which is only sound if every runtime computes the *same
+//! answers* from the same CIL. This crate turns that invariant into a
+//! generative test:
+//!
+//! 1. **Generate** ([`gen`]): a seeded, deterministic MiniC# program —
+//!    typed expression/statement trees over ints, longs, doubles, bools,
+//!    1-D/jagged/rectangular arrays, `arr.Length` loops with mutated
+//!    bounds, helper calls and bounded recursion, div/rem edge cases, and
+//!    try/catch/finally regions.
+//! 2. **Gate** ([`matrix::compile_verified`]): the program compiles
+//!    through `minics` and must pass `verify_module`. Rejection is a
+//!    generator bug, never a test case.
+//! 3. **Execute** ([`matrix::run_matrix`]): the verified module runs under
+//!    every [`hpcnet_vm::VmProfile`] of the paper's lineup, each
+//!    register-tier profile expanded over all four `abce`/`licm` pass
+//!    combinations, plus a clean direct-interpretation oracle — asserting
+//!    bitwise-identical results (floats compare by bit pattern) or
+//!    identical traps (by exception class), console output included.
+//! 4. **Shrink** ([`shrink`]): any diverging program is greedily minimized
+//!    and written to `conform/corpus/` with the divergence report and a
+//!    disassembly, ready to replay.
+//!
+//! Bounded mode (`cargo test -q -p conform`) runs a fixed seed range as
+//! part of tier-1; `hpcnet-report conform` runs the same sweep from the
+//! command line and prints per-opcode emitted/executed coverage.
+
+pub mod gen;
+pub mod matrix;
+pub mod shrink;
+
+use gen::{generate, render, Program};
+use matrix::{compile_verified, run_matrix, Coverage, Divergence};
+use std::path::{Path, PathBuf};
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct ConformConfig {
+    /// Number of programs (seeds `start_seed..start_seed + programs`).
+    pub programs: u64,
+    pub start_seed: u64,
+    /// Where minimized reproducers are written; `None` disables writing.
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for ConformConfig {
+    fn default() -> Self {
+        ConformConfig {
+            programs: 200,
+            start_seed: 1,
+            corpus_dir: Some(default_corpus_dir()),
+        }
+    }
+}
+
+/// `conform/corpus/` at the repository root.
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../conform/corpus")
+}
+
+/// A divergence, after minimization, as recorded in the report.
+#[derive(Clone, Debug)]
+pub struct DivergenceRecord {
+    pub seed: u64,
+    /// First divergence of the minimized program.
+    pub detail: Divergence,
+    /// Where the reproducer was written (if a corpus dir was configured).
+    pub reproducer: Option<PathBuf>,
+    /// Candidate evaluations the shrinker spent.
+    pub shrink_attempts: usize,
+}
+
+/// Aggregate result of a conformance sweep.
+#[derive(Clone, Debug, Default)]
+pub struct ConformReport {
+    pub programs: u64,
+    pub engines: usize,
+    /// Total program-input-engine executions.
+    pub runs: usize,
+    /// Programs the front end rejected (generator bugs — must be zero).
+    pub rejected: Vec<String>,
+    pub divergent: Vec<DivergenceRecord>,
+    pub coverage: Coverage,
+}
+
+impl ConformReport {
+    /// Human-readable report: summary, divergences, per-opcode coverage.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "conform: {} programs x {} engines = {} executions\n",
+            self.programs, self.engines, self.runs
+        ));
+        out.push_str(&format!(
+            "rejected by compiler/verifier: {}\n",
+            self.rejected.len()
+        ));
+        for r in &self.rejected {
+            out.push_str(&format!("  REJECT {r}\n"));
+        }
+        out.push_str(&format!("divergences: {}\n", self.divergent.len()));
+        for d in &self.divergent {
+            out.push_str(&format!(
+                "  DIVERGE seed {} input {:?} engine {}\n    oracle: {}\n    got:    {}\n",
+                d.seed, d.detail.input, d.detail.engine, d.detail.oracle.result, d.detail.got.result
+            ));
+            if let Some(p) = &d.reproducer {
+                out.push_str(&format!("    reproducer: {}\n", p.display()));
+            }
+        }
+        out.push_str("per-opcode coverage (emitted / executed):\n");
+        for (i, name) in hpcnet_cil::OP_KIND_NAMES.iter().enumerate() {
+            let (e, x) = (self.coverage.emitted[i], self.coverage.executed[i]);
+            if e > 0 || x > 0 {
+                let mark = if e > 0 && x == 0 { "  <-- NEVER EXECUTED" } else { "" };
+                out.push_str(&format!("  {name:<14} {e:>8} / {x:>8}{mark}\n"));
+            }
+        }
+        let missing = self.coverage.emitted_unexecuted();
+        if missing.is_empty() {
+            out.push_str("every generator-emitted opcode kind executed at least once\n");
+        } else {
+            out.push_str(&format!("UNEXECUTED emitted kinds: {missing:?}\n"));
+        }
+        out
+    }
+
+    /// True when the sweep is fully clean.
+    pub fn ok(&self) -> bool {
+        self.rejected.is_empty() && self.divergent.is_empty()
+    }
+}
+
+/// Write a minimized reproducer: header with the divergence, the MiniC#
+/// source, and an ILDASM-style disassembly of the generated class.
+fn write_reproducer(dir: &Path, seed: u64, p: &Program, d: &Divergence) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let src = render(p);
+    let mut text = String::new();
+    text.push_str(&format!(
+        "// conform reproducer — seed {seed}\n\
+         // replay: see docs/TESTING.md (\"Replaying a corpus reproducer\")\n\
+         // input: Gen.Run({}, {})\n\
+         // engine: {}\n\
+         // oracle result: {}\n\
+         // diverging result: {}\n",
+        d.input.0, d.input.1, d.engine, d.oracle.result, d.got.result
+    ));
+    if d.oracle.console != d.got.console {
+        text.push_str(&format!(
+            "// oracle console: {:?}\n// diverging console: {:?}\n",
+            d.oracle.console, d.got.console
+        ));
+    }
+    text.push('\n');
+    text.push_str(&src);
+    if let Ok(module) = compile_verified(&src) {
+        text.push_str("\n/* disassembly\n");
+        if let Some(run) = module.find_method("Gen.Run") {
+            text.push_str(&hpcnet_cil::disasm::disassemble(&module, run));
+        }
+        text.push_str("*/\n");
+    }
+    let path = dir.join(format!("seed-{seed}.cs"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Run a conformance sweep: generate → gate → execute everywhere →
+/// shrink + persist anything that diverges.
+pub fn run_conformance(cfg: &ConformConfig) -> ConformReport {
+    let mut report = ConformReport {
+        programs: cfg.programs,
+        engines: matrix::engine_matrix().len(),
+        ..Default::default()
+    };
+    for seed in cfg.start_seed..cfg.start_seed + cfg.programs {
+        let p = generate(seed);
+        let src = render(&p);
+        let module = match compile_verified(&src) {
+            Ok(m) => m,
+            Err(e) => {
+                report.rejected.push(format!("seed {seed}: {e}"));
+                continue;
+            }
+        };
+        let res = run_matrix(&module, &p.inputs);
+        report.runs += res.runs;
+        report.coverage.merge(&res.coverage);
+        if res.divergences.is_empty() {
+            continue;
+        }
+        let (small, attempts) = shrink::shrink(p);
+        // Re-derive the divergence from the minimized program (fall back
+        // to the original's if shrinking somehow lost it).
+        let detail = match compile_verified(&render(&small)) {
+            Ok(m) => run_matrix(&m, &small.inputs)
+                .divergences
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| res.divergences[0].clone()),
+            Err(_) => res.divergences[0].clone(),
+        };
+        let reproducer = cfg
+            .corpus_dir
+            .as_deref()
+            .and_then(|dir| write_reproducer(dir, seed, &small, &detail).ok());
+        report.divergent.push(DivergenceRecord {
+            seed,
+            detail,
+            reproducer,
+            shrink_attempts: attempts,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_clean() {
+        let report = run_conformance(&ConformConfig {
+            programs: 5,
+            start_seed: 900,
+            corpus_dir: None,
+        });
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.engines, 26);
+        assert_eq!(report.runs, 5 * 3 * 26);
+    }
+
+    #[test]
+    fn report_renders_coverage_table() {
+        let report = run_conformance(&ConformConfig {
+            programs: 2,
+            start_seed: 50,
+            corpus_dir: None,
+        });
+        let text = report.render();
+        assert!(text.contains("per-opcode coverage"));
+        assert!(text.contains("ldc.i4"), "{text}");
+    }
+}

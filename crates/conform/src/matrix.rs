@@ -1,0 +1,290 @@
+//! The execution matrix: one verified module, every engine.
+//!
+//! A generated program is compiled **once** through `minics`, gated on
+//! [`verify_module`] (an unverifiable program is a generator bug, never a
+//! test case), then executed under every [`VmProfile`] in the paper's
+//! lineup — with each register-tier profile additionally expanded over the
+//! four `abce`/`licm` pass combinations — plus a clean direct-interpretation
+//! oracle. Results are normalized to strings that preserve bit identity
+//! (`f64` results compare by bit pattern, traps by exception class name)
+//! and every engine is compared against the oracle.
+
+use crate::gen::{generate, render, Program};
+use hpcnet_cil::{verify_module, Module, Op};
+use hpcnet_minics::{compile, STARTUP_INIT};
+use hpcnet_runtime::Value;
+use hpcnet_vm::{Tier, Vm, VmError, VmProfile};
+use std::sync::Arc;
+
+/// A labeled engine configuration. The label extends the profile name with
+/// the pass-combination suffix so divergence reports are unambiguous.
+#[derive(Clone)]
+pub struct Engine {
+    pub label: String,
+    pub profile: VmProfile,
+}
+
+/// The direct-interpretation oracle: the stack interpreter with every
+/// quirk knob off. Index 0 of [`engine_matrix`]; everything else is
+/// compared against it.
+pub fn oracle_profile() -> VmProfile {
+    let mut p = VmProfile::sscli10();
+    p.name = "oracle";
+    p.emulate_cdq = false;
+    p.portability_shim = false;
+    p.exception_cost_units = 0;
+    p
+}
+
+/// Every profile × every `abce`/`licm` combination, oracle first.
+///
+/// Interpreter-tier profiles have no optimization passes, so they appear
+/// once; each register-tier profile of the SciMark lineup is expanded into
+/// the four loop-pass combinations.
+pub fn engine_matrix() -> Vec<Engine> {
+    let mut out = vec![Engine { label: "oracle".into(), profile: oracle_profile() }];
+    for base in VmProfile::scimark_lineup() {
+        match base.tier {
+            Tier::Interpreter => out.push(Engine { label: base.name.to_string(), profile: base }),
+            Tier::Rir => {
+                for (abce, licm) in [(false, false), (true, false), (false, true), (true, true)] {
+                    let mut p = base;
+                    p.passes.abce = abce;
+                    p.passes.licm = licm;
+                    out.push(Engine {
+                        label: format!("{} [abce={} licm={}]", base.name, abce as u8, licm as u8),
+                        profile: p,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One engine's normalized observable behavior for one input: the result
+/// string plus everything the program printed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    pub result: String,
+    pub console: Vec<String>,
+}
+
+fn norm_value(v: &Value) -> String {
+    match v {
+        Value::I4(x) => format!("i4:{x}"),
+        Value::I8(x) => format!("i8:{x}"),
+        Value::R4(x) => format!("r4:{:08x}", x.to_bits()),
+        Value::R8(x) => format!("r8:{:016x}", x.to_bits()),
+        Value::Ref(_) => "ref".into(),
+        Value::Null => "null".into(),
+    }
+}
+
+fn norm_result(vm: &Arc<Vm>, r: Result<Option<Value>, VmError>) -> String {
+    match r {
+        Ok(None) => "void".into(),
+        Ok(Some(v)) => norm_value(&v),
+        Err(VmError::Exception(obj)) => {
+            let class = obj
+                .class_id()
+                .map(|c| vm.module.class(c).name.clone())
+                .unwrap_or_else(|| "<classless>".into());
+            format!("trap:{class}")
+        }
+        Err(VmError::Limit(_)) => "limit".into(),
+        Err(VmError::Internal(msg)) => format!("internal:{msg}"),
+    }
+}
+
+/// One engine disagreeing with the oracle on one input.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    pub input: (i32, i32),
+    pub engine: String,
+    pub oracle: RunOutcome,
+    pub got: RunOutcome,
+}
+
+/// Aggregated per-opcode coverage: how many instructions of each kind the
+/// generated modules contain, and how many the interpreter tier executed.
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    pub emitted: Vec<u64>,
+    pub executed: Vec<u64>,
+}
+
+impl Default for Coverage {
+    fn default() -> Self {
+        Coverage { emitted: vec![0; Op::KIND_COUNT], executed: vec![0; Op::KIND_COUNT] }
+    }
+}
+
+impl Coverage {
+    pub fn merge(&mut self, other: &Coverage) {
+        for i in 0..Op::KIND_COUNT {
+            self.emitted[i] += other.emitted[i];
+            self.executed[i] += other.executed[i];
+        }
+    }
+
+    /// Kind names emitted by the generator but never executed anywhere.
+    pub fn emitted_unexecuted(&self) -> Vec<&'static str> {
+        (0..Op::KIND_COUNT)
+            .filter(|&i| self.emitted[i] > 0 && self.executed[i] == 0)
+            .map(|i| hpcnet_cil::OP_KIND_NAMES[i])
+            .collect()
+    }
+}
+
+/// What happened when one program was pushed through the whole matrix.
+#[derive(Clone, Debug)]
+pub struct ProgramResult {
+    /// Engine executions performed (inputs × engines).
+    pub runs: usize,
+    pub divergences: Vec<Divergence>,
+    pub coverage: Coverage,
+}
+
+/// Compile + verify, or explain why not. Both failure modes mean the
+/// generator (or a shrink candidate) produced an invalid program.
+pub fn compile_verified(src: &str) -> Result<Module, String> {
+    let mut module = compile(src).map_err(|e| format!("compile: {e}"))?;
+    verify_module(&mut module).map_err(|e| format!("verify: {e}"))?;
+    Ok(module)
+}
+
+/// Scan the instruction stream of the generated classes (`Gen` and the
+/// synthesized `$Startup`) and count opcode kinds. Prelude bodies are
+/// excluded: they are not generator-emitted code.
+fn scan_emitted(module: &Module, cov: &mut Coverage) {
+    for (ci, class) in module.classes.iter().enumerate() {
+        if class.name != "Gen" && class.name != "$Startup" {
+            continue;
+        }
+        for mid in module.methods_of(hpcnet_cil::ClassId(ci as u32)) {
+            for op in &module.method(mid).body.code {
+                cov.emitted[op.kind_index()] += 1;
+            }
+        }
+    }
+}
+
+/// Execute a *verified* module under every engine for every input pair and
+/// compare each engine's observable behavior against the oracle's.
+pub fn run_matrix(module: &Module, inputs: &[(i32, i32)]) -> ProgramResult {
+    let engines = engine_matrix();
+    let mut coverage = Coverage::default();
+    scan_emitted(module, &mut coverage);
+
+    // outcome[engine][input]
+    let mut outcomes: Vec<Vec<RunOutcome>> = Vec::with_capacity(engines.len());
+    let mut runs = 0usize;
+    for (ei, eng) in engines.iter().enumerate() {
+        let vm = Vm::new_unverified(module.clone(), eng.profile);
+        if ei == 0 {
+            vm.set_op_coverage(true);
+        }
+        // Statics are per-VM: run the synthesized initializer once.
+        let init = if vm.module.find_method(STARTUP_INIT).is_some() {
+            vm.invoke_by_name(STARTUP_INIT, vec![]).map(|_| ())
+        } else {
+            Ok(())
+        };
+        let mut per_input = Vec::with_capacity(inputs.len());
+        for &(a, b) in inputs {
+            runs += 1;
+            let result = match &init {
+                Ok(()) => {
+                    let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(a), Value::I4(b)]);
+                    norm_result(&vm, r)
+                }
+                Err(e) => format!("init-{}", norm_result(&vm, Err(e.clone()))),
+            };
+            per_input.push(RunOutcome { result, console: vm.take_console() });
+        }
+        if ei == 0 {
+            for (i, n) in vm.op_coverage_counts().into_iter().enumerate() {
+                coverage.executed[i] += n;
+            }
+        }
+        outcomes.push(per_input);
+    }
+
+    let mut divergences = Vec::new();
+    for (ei, eng) in engines.iter().enumerate().skip(1) {
+        for (ii, &input) in inputs.iter().enumerate() {
+            if outcomes[ei][ii] != outcomes[0][ii] {
+                divergences.push(Divergence {
+                    input,
+                    engine: eng.label.clone(),
+                    oracle: outcomes[0][ii].clone(),
+                    got: outcomes[ei][ii].clone(),
+                });
+            }
+        }
+    }
+    ProgramResult { runs, divergences, coverage }
+}
+
+/// Convenience used by the shrinker: does this program (still) diverge?
+/// Invalid candidates (that no longer compile or verify) count as "no".
+pub fn program_diverges(p: &Program) -> bool {
+    match compile_verified(&render(p)) {
+        Ok(module) => !run_matrix(&module, &p.inputs).divergences.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Run one seed end to end. `Err` means the generator produced a program
+/// the front end rejected — a bug in `gen`, surfaced loudly.
+pub fn run_seed(seed: u64) -> Result<(Program, ProgramResult), String> {
+    let p = generate(seed);
+    let module = compile_verified(&render(&p)).map_err(|e| format!("seed {seed}: {e}"))?;
+    let res = run_matrix(&module, &p.inputs);
+    Ok((p, res))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_oracle_plus_expanded_lineup() {
+        let m = engine_matrix();
+        // oracle + Rotor + 6 Rir profiles × 4 pass combos
+        assert_eq!(m.len(), 1 + 1 + 6 * 4);
+        assert_eq!(m[0].label, "oracle");
+        assert_eq!(m[0].profile.tier, Tier::Interpreter);
+        assert!(!m[0].profile.emulate_cdq);
+        let labels: Vec<&str> = m.iter().map(|e| e.label.as_str()).collect();
+        assert!(labels.contains(&"C# .NET 1.1 [abce=1 licm=1]"), "{labels:?}");
+        assert!(labels.contains(&"Java Sun 1.4 [abce=0 licm=0]"));
+        assert!(labels.contains(&"Rotor 1.0"));
+    }
+
+    #[test]
+    fn trap_outcomes_normalize_to_class_names() {
+        let module = compile_verified(
+            "class Gen { static long Run(int a, int b) { int z = 0; return (long)(a / z); } }",
+        )
+        .unwrap();
+        let res = run_matrix(&module, &[(1, 0)]);
+        assert!(res.divergences.is_empty(), "{:?}", res.divergences);
+        // Re-run one engine directly to check the normalized string.
+        let vm = Vm::new_unverified(module.clone(), oracle_profile());
+        let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(1), Value::I4(0)]);
+        assert_eq!(norm_result(&vm, r), "trap:DivideByZeroException");
+    }
+
+    #[test]
+    fn float_results_compare_bitwise() {
+        let module = compile_verified(
+            "class Gen { static double Run(int a, int b) { return ((double)a / (double)b); } }",
+        )
+        .unwrap();
+        let res = run_matrix(&module, &[(0, 0), (1, 0), (-1, 0)]);
+        // NaN, +inf, -inf: all engines must produce identical bit patterns.
+        assert!(res.divergences.is_empty(), "{:?}", res.divergences);
+    }
+}

@@ -7,6 +7,8 @@
 //! hpcnet-report all --quick        # smoke-test timings (short runs)
 //! hpcnet-report all --csv out/     # also write CSV per graph
 //! hpcnet-report all --relative     # extra baseline-normalized views
+//! hpcnet-report conform            # differential conformance sweep
+//! hpcnet-report conform --programs 50 --seed 1000
 //! ```
 
 use hpcnet_harness::{all_reports, Config};
@@ -16,6 +18,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();
+        return;
+    }
+    // `conform` is not a timing report: it runs the differential
+    // conformance fuzzer (crates/conform) and exits non-zero on any
+    // divergence, so CI can gate on it directly.
+    if args.first().map(String::as_str) == Some("conform") {
+        run_conform(&args[1..]);
         return;
     }
     let mut cfg = Config::default();
@@ -71,6 +80,37 @@ fn main() {
     }
 }
 
+fn run_conform(args: &[String]) {
+    let mut cfg = conform::ConformConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--programs" => {
+                cfg.programs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--programs needs a number");
+            }
+            "--seed" => {
+                cfg.start_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--no-corpus" => cfg.corpus_dir = None,
+            other => {
+                eprintln!("unknown conform flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = conform::run_conformance(&cfg);
+    println!("{}", report.render());
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}
+
 fn print_help() {
     println!(
         "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
@@ -78,6 +118,9 @@ fn print_help() {
                 [--min-time-ms N] [--csv DIR] [--relative]\n\
          graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4 ablation opt\n\
          (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2;\n\
-          opt prints per-profile JIT pass counters and writes BENCH_opt.json)"
+          opt prints per-profile JIT pass counters and writes BENCH_opt.json)\n\
+         conformance: hpcnet-report conform [--programs N] [--seed S] [--no-corpus]\n\
+          (differential fuzz sweep over every profile and pass combination;\n\
+           prints per-opcode coverage, exits non-zero on divergence)"
     );
 }

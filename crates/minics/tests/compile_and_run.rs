@@ -488,3 +488,36 @@ fn while_with_complex_condition() {
     assert_eq!(run_i4(src, "P.Test", vec![Value::I4(10)]), 5);
     assert_eq!(run_i4(src, "P.Test", vec![Value::I4(1000)]), 100);
 }
+
+/// Regression for a bug the conform fuzzer found (seed 144): an exception
+/// thrown *inside a finally handler* must abandon the in-flight leave and
+/// dispatch to the enclosing catch, identically on every profile. The
+/// broken dispatch executed the outer catch while still inside the finally
+/// sub-run and died with an internal "return inside finally" error.
+#[test]
+fn exception_in_finally_reaches_enclosing_catch() {
+    let src = r#"
+        class P {
+            static int F(int d) {
+                int r = 0;
+                try {
+                    try {
+                        r = (r + 1);
+                    } catch (IndexOutOfRangeException e) {
+                        r = 100;
+                    } finally {
+                        r = (r + (10 / d));
+                    }
+                    r = (r + 7);
+                } catch (Exception e2) {
+                    r = (r + 40);
+                }
+                return r;
+            }
+        }"#;
+    // d = 10: finally runs cleanly; 1 + 1 + 7.
+    assert_eq!(run_i4(src, "P.F", vec![Value::I4(10)]), 9);
+    // d = 0: the finally itself traps; the enclosing catch sees it with the
+    // partial state from before the trap (r == 1), so 1 + 40.
+    assert_eq!(run_i4(src, "P.F", vec![Value::I4(0)]), 41);
+}

@@ -38,7 +38,7 @@ pub(crate) fn call(
         fr,
         depth,
     };
-    match ex.run(0, false)? {
+    match ex.run(0, None)? {
         RunEnd::Return(v) => Ok(v),
         RunEnd::EndFinally => Err(VmError::Internal("endfinally outside handler".into())),
     }
@@ -184,7 +184,24 @@ struct Exec<'v> {
 }
 
 impl<'v> Exec<'v> {
-    fn run(&mut self, entry: u32, finally_mode: bool) -> VmResult<RunEnd> {
+    fn internal<T>(&self, msg: &str) -> VmResult<T> {
+        // Same shape as the stack interpreter's internal errors: both tiers
+        // must render an identical string for an identical failure.
+        Err(VmError::Internal(format!(
+            "{} in {}",
+            msg,
+            self.vm.module.method(self.rir.method).name
+        )))
+    }
+
+    /// Execute starting at `entry`. With `finally_bound = Some(handler
+    /// range)`, the run is executing a finally handler in-frame: an
+    /// `endfinally` terminates it, and exception dispatch is restricted to
+    /// regions nested inside the handler — anything else propagates out so
+    /// the *enclosing* run performs the dispatch (otherwise an enclosing
+    /// catch would execute inside the finally sub-run and a later `ret`
+    /// would falsely read as "return inside finally").
+    fn run(&mut self, entry: u32, finally_bound: Option<(u32, u32)>) -> VmResult<RunEnd> {
         let mut pc = entry;
         loop {
             match self.step(pc) {
@@ -192,25 +209,37 @@ impl<'v> Exec<'v> {
                 Ok(Flow::Jump(t)) => pc = t,
                 Ok(Flow::Return(v)) => return Ok(RunEnd::Return(v)),
                 Ok(Flow::EndFinally) => {
-                    if finally_mode {
+                    if finally_bound.is_some() {
                         return Ok(RunEnd::EndFinally);
                     }
-                    return Err(VmError::Internal("endfinally outside handler".into()));
+                    return self.internal("endfinally outside handler");
                 }
                 Ok(Flow::Leave(target)) => {
-                    self.run_leave_finallys(pc, target)?;
-                    pc = target;
+                    match self.run_leave_finallys(pc, target, finally_bound)? {
+                        Some(handler_pc) => pc = handler_pc,
+                        None => pc = target,
+                    }
                 }
                 Err(VmError::Exception(exc)) => {
-                    pc = self.dispatch_exception(pc, exc)?;
+                    pc = self.dispatch_exception(pc, exc, finally_bound)?;
                 }
                 Err(other) => return Err(other),
             }
         }
     }
 
-    fn run_leave_finallys(&mut self, pc: u32, target: u32) -> VmResult<()> {
-        let handlers: Vec<u32> = self
+    /// Run the finally handlers exited by `leave pc -> target`. Returns
+    /// `Some(handler_pc)` when a finally threw and an enclosing catch takes
+    /// over (the exception search restarts from the faulting handler, per
+    /// CLI semantics: it replaces the leave, and outer finallys between the
+    /// handler and the catch still run as part of that dispatch).
+    fn run_leave_finallys(
+        &mut self,
+        pc: u32,
+        target: u32,
+        bound: Option<(u32, u32)>,
+    ) -> VmResult<Option<u32>> {
+        let regions: Vec<(u32, u32)> = self
             .rir
             .eh
             .iter()
@@ -219,23 +248,39 @@ impl<'v> Exec<'v> {
                     && r.covers(pc)
                     && !(r.try_start <= target && target < r.try_end)
             })
-            .map(|r| r.handler_start)
+            .map(|r| (r.handler_start, r.handler_end))
             .collect();
-        for h in handlers {
-            match self.run(h, true)? {
-                RunEnd::EndFinally => {}
-                RunEnd::Return(_) => {
-                    return Err(VmError::Internal("return inside finally".into()))
+        for (hs, he) in regions {
+            match self.run(hs, Some((hs, he))) {
+                Ok(RunEnd::EndFinally) => {}
+                Ok(RunEnd::Return(_)) => return self.internal("return inside finally"),
+                Err(VmError::Exception(exc)) => {
+                    return self.dispatch_exception(hs, exc, bound).map(Some)
                 }
+                Err(other) => return Err(other),
             }
         }
-        Ok(())
+        Ok(None)
     }
 
-    fn dispatch_exception(&mut self, pc: u32, mut exc: Obj) -> VmResult<u32> {
+    /// Find a handler for `exc` thrown at `pc`; runs intervening finallys.
+    /// With `bound`, only regions nested inside that handler range are
+    /// eligible (dispatch from inside a finally handler must not escape it —
+    /// the caller owns anything further out).
+    fn dispatch_exception(
+        &mut self,
+        pc: u32,
+        mut exc: Obj,
+        bound: Option<(u32, u32)>,
+    ) -> VmResult<u32> {
         for (i, r) in self.rir.eh.iter().enumerate() {
             if !r.covers(pc) {
                 continue;
+            }
+            if let Some((lo, hi)) = bound {
+                if r.try_start < lo || r.handler_end > hi {
+                    continue;
+                }
             }
             match r.kind {
                 EhKind::Catch(class) => {
@@ -245,14 +290,16 @@ impl<'v> Exec<'v> {
                         return Ok(r.handler_start);
                     }
                 }
-                EhKind::Finally => match self.run(r.handler_start, true) {
-                    Ok(RunEnd::EndFinally) => {}
-                    Ok(RunEnd::Return(_)) => {
-                        return Err(VmError::Internal("return inside finally".into()))
+                EhKind::Finally => {
+                    match self.run(r.handler_start, Some((r.handler_start, r.handler_end))) {
+                        Ok(RunEnd::EndFinally) => {}
+                        Ok(RunEnd::Return(_)) => return self.internal("return inside finally"),
+                        // An exception raised inside the finally replaces
+                        // the one in flight (CLI semantics).
+                        Err(VmError::Exception(newer)) => exc = newer,
+                        Err(other) => return Err(other),
                     }
-                    Err(VmError::Exception(newer)) => exc = newer,
-                    Err(other) => return Err(other),
-                },
+                }
             }
         }
         Err(VmError::Exception(exc))

@@ -46,7 +46,7 @@ pub(crate) fn call(
         stack: Vec::with_capacity(m.body.max_stack as usize),
         depth,
     };
-    match frame.run(0, false)? {
+    match frame.run(0, None)? {
         RunEnd::Return(v) => Ok(v),
         RunEnd::EndFinally => Err(VmError::Internal("endfinally outside handler".into())),
     }
@@ -75,9 +75,14 @@ impl<'v> Interp<'v> {
         )))
     }
 
-    /// Execute starting at `entry`. With `finally_mode`, an `endfinally`
-    /// terminates the run (used to execute finally handlers in-frame).
-    fn run(&mut self, entry: u32, finally_mode: bool) -> VmResult<RunEnd> {
+    /// Execute starting at `entry`. With `finally_bound = Some(handler
+    /// range)`, the run is executing a finally handler in-frame: an
+    /// `endfinally` terminates it, and exception dispatch is restricted to
+    /// regions nested inside the handler — anything else propagates out so
+    /// the *enclosing* run performs the dispatch (otherwise an enclosing
+    /// catch would execute inside the finally sub-run and a later `ret`
+    /// would falsely read as "return inside finally").
+    fn run(&mut self, entry: u32, finally_bound: Option<(u32, u32)>) -> VmResult<RunEnd> {
         let mut pc = entry;
         loop {
             match self.step(pc) {
@@ -85,30 +90,42 @@ impl<'v> Interp<'v> {
                 Ok(Flow::Jump(t)) => pc = t,
                 Ok(Flow::Return(v)) => return Ok(RunEnd::Return(v)),
                 Ok(Flow::EndFinally) => {
-                    if finally_mode {
+                    if finally_bound.is_some() {
                         return Ok(RunEnd::EndFinally);
                     }
                     return self.internal("endfinally outside handler");
                 }
                 Ok(Flow::Leave(target)) => {
-                    self.run_leave_finallys(pc, target)?;
-                    self.stack.clear();
-                    pc = target;
+                    match self.run_leave_finallys(pc, target, finally_bound)? {
+                        Some(handler_pc) => pc = handler_pc,
+                        None => {
+                            self.stack.clear();
+                            pc = target;
+                        }
+                    }
                 }
-                Err(VmError::Exception(exc)) => match self.dispatch_exception(pc, exc)? {
-                    Some(handler_pc) => pc = handler_pc,
-                    None => unreachable!("dispatch returns pc or propagates"),
-                },
+                Err(VmError::Exception(exc)) => {
+                    pc = self.dispatch_exception(pc, exc, finally_bound)?;
+                }
                 Err(other) => return Err(other),
             }
         }
     }
 
-    /// Run the finally handlers exited by `leave pc -> target`.
-    fn run_leave_finallys(&mut self, pc: u32, target: u32) -> VmResult<()> {
+    /// Run the finally handlers exited by `leave pc -> target`. Returns
+    /// `Some(handler_pc)` when a finally threw and an enclosing catch takes
+    /// over (the exception search restarts from the faulting handler, per
+    /// CLI semantics: it replaces the leave, and outer finallys between the
+    /// handler and the catch still run as part of that dispatch).
+    fn run_leave_finallys(
+        &mut self,
+        pc: u32,
+        target: u32,
+        bound: Option<(u32, u32)>,
+    ) -> VmResult<Option<u32>> {
         // Regions are ordered innermost-first by construction.
         let method = self.vm.module.method(self.method);
-        let regions: Vec<(u32, u32, u32)> = method
+        let regions: Vec<(u32, u32)> = method
             .body
             .eh
             .iter()
@@ -117,42 +134,55 @@ impl<'v> Interp<'v> {
                     && r.covers(pc)
                     && !(r.try_start <= target && target < r.try_end)
             })
-            .map(|r| (r.handler_start, r.try_start, r.try_end))
+            .map(|r| (r.handler_start, r.handler_end))
             .collect();
-        for (handler, _, _) in regions {
+        for (hs, he) in regions {
             self.stack.clear();
-            match self.run(handler, true)? {
-                RunEnd::EndFinally => {}
-                RunEnd::Return(_) => return self.internal("return inside finally"),
+            match self.run(hs, Some((hs, he))) {
+                Ok(RunEnd::EndFinally) => {}
+                Ok(RunEnd::Return(_)) => return self.internal("return inside finally"),
+                Err(VmError::Exception(exc)) => {
+                    return self.dispatch_exception(hs, exc, bound).map(Some)
+                }
+                Err(other) => return Err(other),
             }
         }
-        Ok(())
+        Ok(None)
     }
 
     /// Find a handler for `exc` thrown at `pc`; runs intervening finallys.
-    /// Returns the handler pc, or propagates the exception.
+    /// Returns the handler pc, or propagates the exception. With `bound`,
+    /// only regions nested inside that handler range are eligible (dispatch
+    /// from inside a finally handler must not escape it — the caller owns
+    /// anything further out).
     fn dispatch_exception(
         &mut self,
         pc: u32,
         mut exc: hpcnet_runtime::Obj,
-    ) -> VmResult<Option<u32>> {
+        bound: Option<(u32, u32)>,
+    ) -> VmResult<u32> {
         let method = self.vm.module.method(self.method);
         let regions = method.body.eh.clone();
         for r in &regions {
             if !r.covers(pc) {
                 continue;
             }
+            if let Some((lo, hi)) = bound {
+                if r.try_start < lo || r.handler_end > hi {
+                    continue;
+                }
+            }
             match r.kind {
                 EhKind::Catch(class) => {
                     if self.vm.instance_of(&exc, class) {
                         self.stack.clear();
                         self.stack.push(Value::Ref(exc));
-                        return Ok(Some(r.handler_start));
+                        return Ok(r.handler_start);
                     }
                 }
                 EhKind::Finally => {
                     self.stack.clear();
-                    match self.run(r.handler_start, true) {
+                    match self.run(r.handler_start, Some((r.handler_start, r.handler_end))) {
                         Ok(RunEnd::EndFinally) => {}
                         Ok(RunEnd::Return(_)) => return self.internal("return inside finally"),
                         // An exception raised inside the finally replaces
@@ -183,6 +213,7 @@ impl<'v> Interp<'v> {
         }
         let module = &vm.module;
         let op = &module.method(self.method).body.code[pc as usize];
+        vm.record_op(op);
         match op {
             Op::Nop => {}
             Op::LdcI4(v) => self.push(Value::I4(*v)),

@@ -840,4 +840,195 @@ mod tests {
             assert_eq!(r.as_i4(), 2000, "profile {}", p.name);
         }
     }
+
+    /// Invoke and require a trap; returns the exception class name.
+    fn trap_class(
+        module: &hpcnet_cil::Module,
+        profile: VmProfile,
+        name: &str,
+        args: Vec<Value>,
+    ) -> String {
+        let vm = Vm::new(module.clone(), profile).unwrap();
+        match vm.invoke_by_name(name, args) {
+            Err(VmError::Exception(obj)) => {
+                let cid = obj.class_id().expect("classless exception");
+                vm.module.class(cid).name.clone()
+            }
+            other => panic!("{name} on {}: expected trap, got {other:?}", profile.name),
+        }
+    }
+
+    #[test]
+    fn div_rem_by_zero_traps_uniformly() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            for (name, op) in [("Div", BinOp::Div), ("Rem", BinOp::Rem)] {
+                let mut f = mb.method(
+                    c,
+                    name,
+                    vec![CilType::I4, CilType::I4],
+                    CilType::I4,
+                    MethodKind::Static,
+                );
+                f.ld_arg(0);
+                f.ld_arg(1);
+                f.bin(op);
+                f.ret();
+                f.finish();
+                let mut g = mb.method(
+                    c,
+                    &format!("{name}L"),
+                    vec![CilType::I8, CilType::I8],
+                    CilType::I8,
+                    MethodKind::Static,
+                );
+                g.ld_arg(0);
+                g.ld_arg(1);
+                g.bin(op);
+                g.ret();
+                g.finish();
+            }
+        });
+        for p in all_profiles() {
+            for entry in ["P.Div", "P.Rem"] {
+                assert_eq!(
+                    trap_class(&m, p, entry, vec![Value::I4(7), Value::I4(0)]),
+                    "DivideByZeroException",
+                    "{entry} on {}",
+                    p.name
+                );
+                assert_eq!(
+                    trap_class(&m, p, &format!("{entry}L"), vec![Value::I8(7), Value::I8(0)]),
+                    "DivideByZeroException",
+                    "{entry}L on {}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    /// `MIN / -1` (and `MIN % -1`) overflow in two's complement. Every
+    /// profile uses the shared wrapping semantics — `MIN / -1 == MIN`,
+    /// `MIN % -1 == 0` — rather than some tiers trapping and others not.
+    #[test]
+    fn div_rem_min_by_minus_one_wraps_uniformly() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            for (name, op) in [("Div", BinOp::Div), ("Rem", BinOp::Rem)] {
+                let mut f = mb.method(
+                    c,
+                    name,
+                    vec![CilType::I4, CilType::I4],
+                    CilType::I4,
+                    MethodKind::Static,
+                );
+                f.ld_arg(0);
+                f.ld_arg(1);
+                f.bin(op);
+                f.ret();
+                f.finish();
+                let mut g = mb.method(
+                    c,
+                    &format!("{name}L"),
+                    vec![CilType::I8, CilType::I8],
+                    CilType::I8,
+                    MethodKind::Static,
+                );
+                g.ld_arg(0);
+                g.ld_arg(1);
+                g.bin(op);
+                g.ret();
+                g.finish();
+            }
+        });
+        for p in all_profiles() {
+            let vm = Vm::new(m.clone(), p).unwrap();
+            let div = vm
+                .invoke_by_name("P.Div", vec![Value::I4(i32::MIN), Value::I4(-1)])
+                .unwrap()
+                .unwrap();
+            assert_eq!(div.as_i4(), i32::MIN, "profile {}", p.name);
+            let rem = vm
+                .invoke_by_name("P.Rem", vec![Value::I4(i32::MIN), Value::I4(-1)])
+                .unwrap()
+                .unwrap();
+            assert_eq!(rem.as_i4(), 0, "profile {}", p.name);
+            let divl = vm
+                .invoke_by_name("P.DivL", vec![Value::I8(i64::MIN), Value::I8(-1)])
+                .unwrap()
+                .unwrap();
+            assert_eq!(divl.as_i8(), i64::MIN, "profile {}", p.name);
+            let reml = vm
+                .invoke_by_name("P.RemL", vec![Value::I8(i64::MIN), Value::I8(-1)])
+                .unwrap()
+                .unwrap();
+            assert_eq!(reml.as_i8(), 0, "profile {}", p.name);
+        }
+    }
+
+    /// Regression for a bug the conform fuzzer found (seed 144): an
+    /// exception raised *inside a finally handler* must abandon the leave,
+    /// replace the in-flight exception, and dispatch to the *enclosing*
+    /// catch — on every tier. The broken behavior dispatched to the outer
+    /// catch while still inside the finally sub-run, then failed with an
+    /// internal "return inside finally" error when the method returned.
+    #[test]
+    fn exception_in_finally_dispatches_to_enclosing_catch() {
+        let m = build_module(|mb| {
+            let exception = mb.class_id("Exception").expect("prelude class");
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "F", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let r = f.local(CilType::I4);
+            let t0s = f.new_label();
+            let t0e = f.new_label();
+            let h0s = f.new_label();
+            let h0e = f.new_label();
+            let t1s = f.new_label();
+            let t1e = f.new_label();
+            let f1s = f.new_label();
+            let f1e = f.new_label();
+            let after_inner = f.new_label();
+            let done = f.new_label();
+            // outer try {
+            f.place(t0s);
+            //   inner try { } ...
+            f.place(t1s);
+            f.leave(after_inner);
+            f.place(t1e);
+            //   ... finally { 1 / arg; }  -- traps when arg == 0
+            f.place(f1s);
+            f.ldc_i4(1);
+            f.ld_arg(0);
+            f.bin(BinOp::Div);
+            f.emit(Op::Pop);
+            f.emit(Op::EndFinally);
+            f.place(f1e);
+            f.place(after_inner);
+            f.ldc_i4(7);
+            f.st_loc(r);
+            f.leave(done);
+            f.place(t0e);
+            // } catch (Exception) { r = 42; }
+            f.place(h0s);
+            f.emit(Op::Pop);
+            f.ldc_i4(42);
+            f.st_loc(r);
+            f.leave(done);
+            f.place(h0e);
+            f.place(done);
+            f.ld_loc(r);
+            f.ret();
+            // Innermost region first, as the compiler emits them.
+            f.eh_finally(t1s, t1e, f1s, f1e);
+            f.eh_catch(t0s, t0e, h0s, h0e, exception);
+            f.finish();
+        });
+        for p in all_profiles() {
+            let vm = Vm::new(m.clone(), p).unwrap();
+            let ok = vm.invoke_by_name("P.F", vec![Value::I4(1)]).unwrap().unwrap();
+            assert_eq!(ok.as_i4(), 7, "no-trap path on {}", p.name);
+            let caught = vm.invoke_by_name("P.F", vec![Value::I4(0)]).unwrap().unwrap();
+            assert_eq!(caught.as_i4(), 42, "trap-in-finally path on {}", p.name);
+        }
+    }
 }

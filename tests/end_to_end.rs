@@ -1,6 +1,11 @@
 //! Cross-crate integration: source → compiler → verifier → engines →
 //! runtime services, exercised through the public facade the way a
 //! downstream user would.
+//!
+//! Status: every case in this file runs un-ignored and passes. Generative
+//! cross-engine conformance (every profile × every pass combination, with
+//! automatic shrinking of failures) is `crates/conform` — see
+//! `docs/TESTING.md`.
 
 use hpcnet::{compile_and_load, registry, run_entry, vm_for, Suite, Value, VmError, VmProfile};
 
