@@ -8,24 +8,18 @@
 //! paper's tables; these benches give Criterion-grade statistics per cell.
 
 use criterion::Criterion;
-use hpcnet_core::{registry, run_entry, vm_for, BenchGroup, Entry, Vm, VmProfile};
+use hpcnet_core::{lookup_entry, lookup_group, run_entry, vm_for, BenchGroup, Entry, Vm, VmProfile};
 use std::sync::Arc;
 
-/// Look up a benchmark group by id (panics on unknown id — bench setup).
+/// Look up a benchmark group by id (panics on unknown id — bench setup;
+/// the message lists the known ids via [`hpcnet_core::lookup_group`]).
 pub fn group(id: &str) -> BenchGroup {
-    registry()
-        .into_iter()
-        .find(|g| g.id == id)
-        .unwrap_or_else(|| panic!("no benchmark group {id}"))
+    lookup_group(id).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Look up an entry inside a group.
 pub fn entry(g: &BenchGroup, id: &str) -> Entry {
-    g.entries
-        .iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("no entry {id}"))
-        .clone()
+    lookup_entry(g, id).unwrap_or_else(|e| panic!("{e}")).clone()
 }
 
 /// Bench one entry at size `n` on a prepared VM.

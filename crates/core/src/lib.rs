@@ -30,11 +30,62 @@ pub use hpcnet_grande::native;
 pub use hpcnet_minics::{compile, CompileError, STARTUP_INIT};
 pub use hpcnet_runtime::{Heap, JRandom, Obj, Value};
 pub use hpcnet_vm::machine::run_on_big_stack;
-pub use hpcnet_vm::{print_rir, PassConfig, Tier, Vm, VmError, VmProfile};
+pub use hpcnet_vm::{print_rir, Counters, CountersSnapshot, PassConfig, Tier, Vm, VmError, VmProfile};
 
 /// An empty optimization pipeline (for ablation studies).
 pub fn vm_profile_pass_none() -> PassConfig {
     PassConfig::none()
+}
+
+/// A registry lookup that failed — the one place the "no benchmark group"
+/// error lives, instead of ad-hoc `panic!`s copied across harness crates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    UnknownGroup { id: String, known: Vec<String> },
+    UnknownEntry { group: String, id: String, known: Vec<String> },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownGroup { id, known } => {
+                write!(f, "no benchmark group {id}; known groups: {}", known.join(" "))
+            }
+            RegistryError::UnknownEntry { group, id, known } => write!(
+                f,
+                "no entry {id} in benchmark group {group}; known entries: {}",
+                known.join(" ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Find a benchmark group by id.
+pub fn lookup_group(id: &str) -> Result<BenchGroup, RegistryError> {
+    let groups = registry();
+    if let Some(g) = groups.iter().position(|g| g.id == id) {
+        let mut groups = groups;
+        return Ok(groups.swap_remove(g));
+    }
+    Err(RegistryError::UnknownGroup {
+        id: id.to_string(),
+        known: groups.iter().map(|g| g.id.to_string()).collect(),
+    })
+}
+
+/// Find an entry inside a group.
+pub fn lookup_entry<'g>(group: &'g BenchGroup, id: &str) -> Result<&'g Entry, RegistryError> {
+    group
+        .entries
+        .iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| RegistryError::UnknownEntry {
+            group: group.id.to_string(),
+            id: id.to_string(),
+            known: group.entries.iter().map(|e| e.id.to_string()).collect(),
+        })
 }
 
 /// Compile MiniC# source and bind it to an engine profile, running the
@@ -86,5 +137,20 @@ mod tests {
     fn registry_reachable_through_facade() {
         assert!(registry().len() >= 15);
         assert!(find_entry("scimark.fft").is_some());
+    }
+
+    #[test]
+    fn fallible_lookups_find_and_report() {
+        let g = lookup_group("scimark").unwrap();
+        assert_eq!(g.id, "scimark");
+        assert_eq!(lookup_entry(&g, "scimark.lu").unwrap().id, "scimark.lu");
+
+        let e = lookup_group("no-such-group").err().unwrap();
+        assert!(matches!(e, RegistryError::UnknownGroup { .. }));
+        assert!(e.to_string().contains("no benchmark group no-such-group"), "{e}");
+        assert!(e.to_string().contains("scimark"), "should list known groups: {e}");
+
+        let e = lookup_entry(&g, "scimark.nope").err().unwrap();
+        assert!(e.to_string().contains("no entry scimark.nope"), "{e}");
     }
 }

@@ -1,0 +1,467 @@
+//! The `hpcnet-report bench` artifact: a schema'd JSON dump of the full
+//! measurement protocol.
+//!
+//! For every `(entry, profile)` cell over the covered groups this records
+//! the complete per-iteration wall-time series, its steady-state
+//! classification, the bootstrap confidence interval, and a
+//! [`hpcnet_core::CountersSnapshot`] of the VM that ran the cell (one
+//! fresh VM per cell, so JIT counters are attributable to a single
+//! kernel's compilation). The document schema is specified in
+//! docs/MEASUREMENT.md and enforced by [`validate`]; `hpcnet-report bench`
+//! re-parses and re-validates what it wrote before declaring success, and
+//! `hpcnet-report bench --check FILE` validates an existing artifact
+//! (the CI smoke job does both).
+
+use crate::graphs::Config;
+use crate::json::Json;
+use crate::measure::{
+    time_entry, MeasureError, Measurement, MAX_SAMPLES, MIN_SAMPLES, TARGET_SAMPLES,
+};
+use crate::report::Table;
+use crate::stats::Classification;
+use hpcnet_core::{lookup_group, vm_for, Unit, VmProfile};
+
+/// Document format version (bump on breaking schema changes).
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// Benchmark groups covered by the default `bench` artifact: the loop
+/// suite (the cheapest micro group, exercises the loop-aware JIT tier)
+/// and the SciMark kernels (the paper's headline numbers).
+pub const BENCH_GROUPS: &[&str] = &["loop", "scimark"];
+
+/// A completed bench sweep: the JSON document plus per-group summary
+/// tables (rate `±CI%` and classification markers as cell notes).
+pub struct BenchRun {
+    pub doc: Json,
+    pub tables: Vec<Table>,
+}
+
+fn unit_str(u: Unit) -> &'static str {
+    match u {
+        Unit::OpsPerSec => "ops/sec",
+        Unit::CallsPerSec => "calls/sec",
+        Unit::MFlops => "mflops",
+        Unit::EventsPerSec => "events/sec",
+    }
+}
+
+fn environment() -> Json {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Json::obj(vec![
+        ("os", Json::Str(std::env::consts::OS.to_string())),
+        ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("cpus", Json::num(cpus as f64)),
+        (
+            "package_version",
+            Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        ("debug_assertions", Json::Bool(cfg!(debug_assertions))),
+    ])
+}
+
+fn counters_json(c: hpcnet_core::CountersSnapshot) -> Json {
+    Json::obj(vec![
+        ("jit_compiles", Json::num(c.jit_compiles as f64)),
+        ("loops_found", Json::num(c.loops_found as f64)),
+        (
+            "bounds_checks_eliminated",
+            Json::num(c.bounds_checks_eliminated as f64),
+        ),
+        ("licm_hoisted", Json::num(c.licm_hoisted as f64)),
+        ("calls", Json::num(c.calls as f64)),
+        ("throws", Json::num(c.throws as f64)),
+    ])
+}
+
+fn measurement_json(profile: &str, m: &Measurement, counters: Json) -> Json {
+    let iter_secs: Vec<Json> = m.series.iter().map(|s| Json::num(s.secs)).collect();
+    let iter_batch: Vec<Json> = m.series.iter().map(|s| Json::num(s.batch as f64)).collect();
+    Json::obj(vec![
+        ("profile", Json::Str(profile.to_string())),
+        ("rate", Json::num(m.rate)),
+        (
+            "ci",
+            Json::Arr(vec![Json::num(m.rate_ci.0), Json::num(m.rate_ci.1)]),
+        ),
+        (
+            "classification",
+            Json::Str(m.stats.classification.as_str().to_string()),
+        ),
+        ("steady_start", Json::num(m.stats.steady_start as f64)),
+        ("outliers", Json::num(m.stats.outliers as f64)),
+        ("runs", Json::num(m.runs as f64)),
+        ("secs", Json::num(m.secs)),
+        ("checksum", Json::num(m.checksum)),
+        ("iter_secs", Json::Arr(iter_secs)),
+        ("iter_batch", Json::Arr(iter_batch)),
+        ("counters", counters),
+    ])
+}
+
+/// The note rendered next to a table cell: CI half-width percent plus the
+/// classification marker (nothing for the boring flat case).
+pub fn cell_note(m: &Measurement) -> String {
+    let mut note = format!("±{:.0}%", m.ci_half_width_pct());
+    let marker = m.stats.classification.marker();
+    if !marker.is_empty() {
+        note.push(' ');
+        note.push_str(marker);
+    }
+    note
+}
+
+/// Run the default bench sweep ([`BENCH_GROUPS`] × the CLI lineup).
+pub fn run_bench(cfg: &Config) -> Result<BenchRun, MeasureError> {
+    run_bench_groups(cfg, BENCH_GROUPS)
+}
+
+/// Run the bench sweep over an explicit group list.
+pub fn run_bench_groups(cfg: &Config, group_ids: &[&str]) -> Result<BenchRun, MeasureError> {
+    let profiles = VmProfile::cli_lineup();
+    let mut group_docs = Vec::new();
+    let mut tables = Vec::new();
+    for gid in group_ids {
+        let g = lookup_group(gid).unwrap_or_else(|e| panic!("{e}"));
+        let mut table = Table::new(&format!("bench: {gid}"), "work units/sec");
+        for p in &profiles {
+            table.add_column(p.name);
+        }
+        let mut entry_docs = Vec::new();
+        for e in g.entries.iter().filter(|e| !e.threaded) {
+            let n = cfg.n_for(e);
+            let mut profile_docs = Vec::new();
+            let mut cells = Vec::new();
+            let mut notes = Vec::new();
+            for p in &profiles {
+                // Fresh VM per cell: counters attribute to this kernel.
+                let vm = vm_for(&g, *p);
+                let m = time_entry(&vm, e, n, cfg.min_time)?;
+                let counters = counters_json(vm.counters.snapshot());
+                cells.push(m.rate);
+                notes.push(cell_note(&m));
+                profile_docs.push(measurement_json(p.name, &m, counters));
+            }
+            table.add_row_noted(e.id, cells, notes);
+            entry_docs.push(Json::obj(vec![
+                ("id", Json::Str(e.id.to_string())),
+                ("entry", Json::Str(e.entry.to_string())),
+                ("n", Json::num(n as f64)),
+                ("unit", Json::Str(unit_str(e.unit).to_string())),
+                ("profiles", Json::Arr(profile_docs)),
+            ]));
+        }
+        group_docs.push(Json::obj(vec![
+            ("group", Json::Str(gid.to_string())),
+            ("entries", Json::Arr(entry_docs)),
+        ]));
+        tables.push(table);
+    }
+    let doc = Json::obj(vec![
+        ("schema_version", Json::num(SCHEMA_VERSION)),
+        ("suite", Json::Str("grande".to_string())),
+        ("environment", environment()),
+        (
+            "config",
+            Json::obj(vec![
+                ("min_time_ms", Json::num(cfg.min_time.as_millis() as f64)),
+                ("large", Json::Bool(cfg.large)),
+                ("min_samples", Json::num(MIN_SAMPLES as f64)),
+                ("target_samples", Json::num(TARGET_SAMPLES as f64)),
+                ("max_samples", Json::num(MAX_SAMPLES as f64)),
+            ]),
+        ),
+        ("groups", Json::Arr(group_docs)),
+    ]);
+    Ok(BenchRun { doc, tables })
+}
+
+// ---- schema validation ----
+
+struct Check {
+    problems: Vec<String>,
+}
+
+impl Check {
+    fn fail(&mut self, path: &str, what: &str) {
+        self.problems.push(format!("{path}: {what}"));
+    }
+
+    fn num(&mut self, v: &Json, path: &str, key: &str) -> Option<f64> {
+        match v.get(key).and_then(Json::as_f64) {
+            Some(n) => Some(n),
+            None => {
+                self.fail(path, &format!("missing or non-numeric field '{key}'"));
+                None
+            }
+        }
+    }
+
+    fn str_field(&mut self, v: &Json, path: &str, key: &str) -> Option<String> {
+        match v.get(key).and_then(Json::as_str) {
+            Some(s) => Some(s.to_string()),
+            None => {
+                self.fail(path, &format!("missing or non-string field '{key}'"));
+                None
+            }
+        }
+    }
+
+    fn bool_field(&mut self, v: &Json, path: &str, key: &str) {
+        if v.get(key).and_then(Json::as_bool).is_none() {
+            self.fail(path, &format!("missing or non-boolean field '{key}'"));
+        }
+    }
+
+    fn arr<'j>(&mut self, v: &'j Json, path: &str, key: &str) -> &'j [Json] {
+        match v.get(key).and_then(Json::as_arr) {
+            Some(a) => a,
+            None => {
+                self.fail(path, &format!("missing or non-array field '{key}'"));
+                &[]
+            }
+        }
+    }
+}
+
+/// Validate a parsed bench document against the schema in
+/// docs/MEASUREMENT.md. Returns every problem found, not just the first.
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    let mut c = Check { problems: Vec::new() };
+    match doc.get("schema_version").and_then(Json::as_f64) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => c.fail("$", &format!("unsupported schema_version {v}")),
+        None => c.fail("$", "missing numeric schema_version"),
+    }
+    c.str_field(doc, "$", "suite");
+
+    if let Some(env) = doc.get("environment") {
+        c.str_field(env, "$.environment", "os");
+        c.str_field(env, "$.environment", "arch");
+        c.num(env, "$.environment", "cpus");
+        c.str_field(env, "$.environment", "package_version");
+        c.bool_field(env, "$.environment", "debug_assertions");
+    } else {
+        c.fail("$", "missing environment object");
+    }
+
+    if let Some(cfg) = doc.get("config") {
+        c.num(cfg, "$.config", "min_time_ms");
+        c.bool_field(cfg, "$.config", "large");
+        c.num(cfg, "$.config", "min_samples");
+        c.num(cfg, "$.config", "target_samples");
+        c.num(cfg, "$.config", "max_samples");
+    } else {
+        c.fail("$", "missing config object");
+    }
+
+    let groups = c.arr(doc, "$", "groups");
+    if groups.is_empty() {
+        c.fail("$.groups", "no benchmark groups recorded");
+    }
+    for (gi, g) in groups.iter().enumerate() {
+        let gpath = format!("$.groups[{gi}]");
+        c.str_field(g, &gpath, "group");
+        let entries = c.arr(g, &gpath, "entries");
+        if entries.is_empty() {
+            c.fail(&gpath, "group has no entries");
+        }
+        for (ei, e) in entries.iter().enumerate() {
+            let epath = format!("{gpath}.entries[{ei}]");
+            c.str_field(e, &epath, "id");
+            c.str_field(e, &epath, "entry");
+            c.num(e, &epath, "n");
+            match c.str_field(e, &epath, "unit").as_deref() {
+                None => {}
+                Some("ops/sec" | "calls/sec" | "mflops" | "events/sec") => {}
+                Some(u) => c.fail(&epath, &format!("unknown unit '{u}'")),
+            }
+            let profiles = c.arr(e, &epath, "profiles");
+            if profiles.len() < 2 {
+                c.fail(&epath, "fewer than 2 profiles measured");
+            }
+            for (pi, p) in profiles.iter().enumerate() {
+                validate_measurement(&mut c, p, &format!("{epath}.profiles[{pi}]"));
+            }
+        }
+    }
+    if c.problems.is_empty() {
+        Ok(())
+    } else {
+        Err(c.problems)
+    }
+}
+
+fn validate_measurement(c: &mut Check, p: &Json, path: &str) {
+    c.str_field(p, path, "profile");
+    let rate = c.num(p, path, "rate");
+    if let Some(r) = rate {
+        if r <= 0.0 {
+            c.fail(path, &format!("non-positive rate {r}"));
+        }
+    }
+    match p.get("ci").and_then(Json::as_arr) {
+        Some([lo, hi]) => match (lo.as_f64(), hi.as_f64(), rate) {
+            (Some(lo), Some(hi), Some(rate)) => {
+                if !(lo <= rate && rate <= hi) {
+                    c.fail(path, &format!("ci [{lo}, {hi}] does not bracket rate {rate}"));
+                }
+            }
+            _ => c.fail(path, "ci endpoints must be numbers"),
+        },
+        _ => c.fail(path, "ci must be a 2-element array"),
+    }
+    match c.str_field(p, path, "classification") {
+        Some(s) if Classification::from_str(&s).is_none() => {
+            c.fail(path, &format!("unknown classification '{s}'"))
+        }
+        _ => {}
+    }
+    c.num(p, path, "steady_start");
+    c.num(p, path, "outliers");
+    c.num(p, path, "runs");
+    c.num(p, path, "secs");
+    c.num(p, path, "checksum");
+    let secs_len = c.arr(p, path, "iter_secs").len();
+    let batch_len = c.arr(p, path, "iter_batch").len();
+    if secs_len == 0 {
+        c.fail(path, "empty iter_secs series");
+    }
+    if secs_len != batch_len {
+        c.fail(
+            path,
+            &format!("iter_secs ({secs_len}) and iter_batch ({batch_len}) lengths differ"),
+        );
+    }
+    if let Some(counters) = p.get("counters") {
+        for key in [
+            "jit_compiles",
+            "loops_found",
+            "bounds_checks_eliminated",
+            "licm_hoisted",
+            "calls",
+            "throws",
+        ] {
+            c.num(counters, &format!("{path}.counters"), key);
+        }
+    } else {
+        c.fail(path, "missing counters object");
+    }
+}
+
+/// Parse and validate a bench document from its JSON text.
+pub fn check_document(text: &str) -> Result<(), Vec<String>> {
+    let doc = Json::parse(text).map_err(|e| vec![e.to_string()])?;
+    validate(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quick() -> Config {
+        Config {
+            min_time: Duration::from_millis(5),
+            ..Config::default()
+        }
+    }
+
+    /// One shared sweep for all document tests: the dominant cost is the
+    /// interpreter profile's probe invocations, so generate once.
+    fn shared_run() -> &'static BenchRun {
+        static RUN: std::sync::OnceLock<BenchRun> = std::sync::OnceLock::new();
+        RUN.get_or_init(|| run_bench_groups(&quick(), &["loop"]).unwrap())
+    }
+
+    #[test]
+    fn loop_bench_document_is_schema_valid_and_roundtrips() {
+        let run = shared_run();
+        validate(&run.doc).unwrap_or_else(|p| panic!("invalid document: {p:#?}"));
+        // Text round-trip: render → parse → validate → identical render.
+        let text = run.doc.render();
+        check_document(&text).unwrap();
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+        // The summary table carries a ±CI note on every cell.
+        assert_eq!(run.tables.len(), 1);
+        assert!(run.tables[0].render().contains('±'), "{}", run.tables[0].render());
+    }
+
+    #[test]
+    fn bench_document_records_full_series_and_counters() {
+        let run = shared_run();
+        let groups = run.doc.get("groups").unwrap().as_arr().unwrap();
+        let entries = groups[0].get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 3, "loop group has 3 entries");
+        for e in entries {
+            let profiles = e.get("profiles").unwrap().as_arr().unwrap();
+            assert_eq!(profiles.len(), 3, "cli lineup");
+            for p in profiles {
+                let secs = p.get("iter_secs").unwrap().as_arr().unwrap();
+                // At least the two unbatched probes (slow debug cells may
+                // stop at the wall-time hard cap before MIN_SAMPLES).
+                assert!(secs.len() >= 2);
+                let counter = |key: &str| {
+                    p.get("counters").unwrap().get(key).unwrap().as_f64().unwrap()
+                };
+                // Managed calls happen on every tier; JIT compiles only
+                // on register-tier profiles (SSCLI Rotor interprets).
+                assert!(counter("calls") > 0.0, "no calls recorded");
+                if p.get("profile").unwrap().as_str() == Some("C# .NET 1.1") {
+                    assert!(counter("jit_compiles") > 0.0, "CLR did not JIT");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let run = shared_run();
+        // Knock out required pieces one at a time.
+        let mut no_version = run.doc.clone();
+        if let Json::Obj(fields) = &mut no_version {
+            fields.retain(|(k, _)| k != "schema_version");
+        }
+        assert!(validate(&no_version).is_err());
+
+        let mut bad_class = run.doc.clone();
+        fn first_profile(doc: &mut Json) -> &mut Json {
+            let groups = match doc {
+                Json::Obj(f) => &mut f.iter_mut().find(|(k, _)| k == "groups").unwrap().1,
+                _ => unreachable!(),
+            };
+            let entry = match groups {
+                Json::Arr(gs) => match &mut gs[0] {
+                    Json::Obj(f) => match &mut f.iter_mut().find(|(k, _)| k == "entries").unwrap().1
+                    {
+                        Json::Arr(es) => &mut es[0],
+                        _ => unreachable!(),
+                    },
+                    _ => unreachable!(),
+                },
+                _ => unreachable!(),
+            };
+            match entry {
+                Json::Obj(f) => match &mut f.iter_mut().find(|(k, _)| k == "profiles").unwrap().1 {
+                    Json::Arr(ps) => &mut ps[0],
+                    _ => unreachable!(),
+                },
+                _ => unreachable!(),
+            }
+        }
+        if let Json::Obj(f) = first_profile(&mut bad_class) {
+            f.iter_mut()
+                .find(|(k, _)| k == "classification")
+                .unwrap()
+                .1 = Json::Str("sideways".into());
+        }
+        let problems = validate(&bad_class).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("unknown classification")),
+            "{problems:#?}"
+        );
+
+        assert!(check_document("{not json").is_err());
+    }
+}

@@ -5,9 +5,11 @@
 //! for the experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured comparisons.
 
-use crate::measure::{native_baseline, time_entry, time_native};
+use crate::bench::cell_note;
+use crate::json::Json;
+use crate::measure::{native_baseline, time_entry, time_native, Measurement};
 use crate::report::Table;
-use hpcnet_core::{registry, vm_for, BenchGroup, Entry, Vm, VmProfile};
+use hpcnet_core::{lookup_entry, lookup_group, vm_for, BenchGroup, Entry, Vm, VmProfile};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,7 +40,8 @@ impl Config {
         }
     }
 
-    fn n_for(&self, e: &Entry) -> i32 {
+    /// Problem size for an entry under this configuration's memory model.
+    pub fn n_for(&self, e: &Entry) -> i32 {
         if self.large {
             e.large_n
         } else {
@@ -48,17 +51,22 @@ impl Config {
 }
 
 fn group(id: &str) -> BenchGroup {
-    registry()
-        .into_iter()
-        .find(|g| g.id == id)
-        .unwrap_or_else(|| panic!("no benchmark group {id}"))
+    lookup_group(id).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn entry<'g>(g: &'g BenchGroup, id: &str) -> &'g Entry {
-    g.entries
-        .iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("no entry {id}"))
+    lookup_entry(g, id).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Time a managed entry, aborting the report on measurement failure
+/// (kernel traps and nondeterministic checksums are bugs, not data).
+fn timed(vm: &Arc<Vm>, e: &Entry, n: i32, min_time: Duration) -> Measurement {
+    time_entry(vm, e, n, min_time).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Time a native baseline under the same protocol and failure policy.
+fn timed_native(f: impl FnMut() -> f64, ops: f64, min_time: Duration) -> Measurement {
+    time_native(f, ops, min_time).unwrap_or_else(|err| panic!("{err}"))
 }
 
 /// Measure a list of entries (rows) across profiles (columns).
@@ -80,10 +88,13 @@ fn sweep(
         let e = entry(&g, eid);
         let n = cfg.n_for(e);
         let mut cells = Vec::new();
+        let mut notes = Vec::new();
         for vm in &vms {
-            cells.push(time_entry(vm, e, n, cfg.min_time).rate);
+            let m = timed(vm, e, n, cfg.min_time);
+            cells.push(m.rate);
+            notes.push(cell_note(&m));
         }
-        table.add_row(label, cells);
+        table.add_row_noted(label, cells, notes);
     }
     for vm in vms {
         vm.join_all_threads();
@@ -259,11 +270,15 @@ pub fn g10_scimark_kernels(cfg: &Config) -> Table {
         let n = cfg.n_for(e);
         let ops = (e.ops)(n);
         let nat = native_baseline(eid, n).expect("scimark baseline");
-        let mut cells = vec![time_native(nat, ops, cfg.min_time).rate / 1e6];
+        let m = timed_native(nat, ops, cfg.min_time);
+        let mut cells = vec![m.rate / 1e6];
+        let mut notes = vec![cell_note(&m)];
         for vm in &vms {
-            cells.push(time_entry(vm, e, n, cfg.min_time).rate / 1e6);
+            let m = timed(vm, e, n, cfg.min_time);
+            cells.push(m.rate / 1e6);
+            notes.push(cell_note(&m));
         }
-        table.add_row(label, cells);
+        table.add_row_noted(label, cells, notes);
     }
     table
 }
@@ -291,7 +306,7 @@ pub fn g9_scimark_composite(cfg: &Config) -> Table {
             let n = sub.n_for(e);
             let ops = (e.ops)(n);
             let nat = native_baseline(eid, n).unwrap();
-            total += time_native(nat, ops, cfg.min_time).rate / 1e6;
+            total += timed_native(nat, ops, cfg.min_time).rate / 1e6;
         }
         native_cells.push(total / SCIMARK_ENTRIES.len() as f64);
     }
@@ -306,7 +321,7 @@ pub fn g9_scimark_composite(cfg: &Config) -> Table {
             for (_, eid) in SCIMARK_ENTRIES {
                 let e = entry(&g, eid);
                 let n = sub.n_for(e);
-                total += time_entry(&vm, e, n, cfg.min_time).rate / 1e6;
+                total += timed(&vm, e, n, cfg.min_time).rate / 1e6;
             }
             cells.push(total / SCIMARK_ENTRIES.len() as f64);
         }
@@ -354,12 +369,15 @@ pub fn t2_threads(cfg: &Config) -> Table {
         let e = entry(&g, eid);
         let n = cfg.n_for(e);
         let mut cells = Vec::new();
+        let mut notes = Vec::new();
         for p in &profiles {
             let vm = vm_for(&g, *p);
-            cells.push(time_entry(&vm, e, n, cfg.min_time).rate);
+            let m = timed(&vm, e, n, cfg.min_time);
+            cells.push(m.rate);
+            notes.push(cell_note(&m));
             vm.join_all_threads();
         }
-        table.add_row(label, cells);
+        table.add_row_noted(label, cells, notes);
     }
     table
 }
@@ -391,12 +409,16 @@ pub fn t4_apps(cfg: &Config) -> Table {
         let n = cfg.n_for(e);
         let ops = (e.ops)(n);
         let nat = native_baseline(eid, n).expect("app baseline");
-        let mut cells = vec![time_native(nat, ops, cfg.min_time).rate];
+        let m = timed_native(nat, ops, cfg.min_time);
+        let mut cells = vec![m.rate];
+        let mut notes = vec![cell_note(&m)];
         for p in &profiles {
             let vm = vm_for(&g, *p);
-            cells.push(time_entry(&vm, e, n, cfg.min_time).rate);
+            let m = timed(&vm, e, n, cfg.min_time);
+            cells.push(m.rate);
+            notes.push(cell_note(&m));
         }
-        table.add_row(label, cells);
+        table.add_row_noted(label, cells, notes);
     }
     table
 }
@@ -437,11 +459,14 @@ pub fn ablation(cfg: &Config) -> Table {
         let e = entry(&g, eid);
         let n = cfg.n_for(e);
         let mut cells = Vec::new();
+        let mut notes = Vec::new();
         for p in &profiles {
             let vm = vm_for(&g, *p);
-            cells.push(time_entry(&vm, e, n, cfg.min_time).rate / 1e6);
+            let m = timed(&vm, e, n, cfg.min_time);
+            cells.push(m.rate / 1e6);
+            notes.push(cell_note(&m));
         }
-        table.add_row(label, cells);
+        table.add_row_noted(label, cells, notes);
     }
     table
 }
@@ -455,7 +480,6 @@ pub fn ablation(cfg: &Config) -> Table {
 /// per-kernel timings and the full counter set (natural loops found,
 /// checks eliminated, LICM hoists, JIT compiles) per profile.
 pub fn opt_counters(cfg: &Config) -> Table {
-    use std::sync::atomic::Ordering::Relaxed;
     let g = group("scimark");
     let profiles = VmProfile::scimark_lineup();
     let mut table = Table::new(
@@ -467,47 +491,60 @@ pub fn opt_counters(cfg: &Config) -> Table {
     }
     // One fresh VM per (kernel, profile) cell so the counters are
     // attributable to a single kernel's compilation.
-    let mut per_profile: Vec<Vec<String>> = vec![Vec::new(); profiles.len()];
+    let mut per_profile: Vec<Vec<Json>> = vec![Vec::new(); profiles.len()];
     for (label, eid) in SCIMARK_ENTRIES {
         let e = entry(&g, eid);
         let n = cfg.n_for(e);
         let mut cells = Vec::new();
         for (pi, p) in profiles.iter().enumerate() {
             let vm = vm_for(&g, *p);
-            let m = time_entry(&vm, e, n, cfg.min_time);
-            let loops = vm.counters.loops_found.load(Relaxed);
-            let bce = vm.counters.bounds_checks_eliminated.load(Relaxed);
-            let licm = vm.counters.licm_hoisted.load(Relaxed);
-            let jits = vm.counters.jit_compiles.load(Relaxed);
-            cells.push(bce as f64);
-            per_profile[pi].push(format!(
-                "{{\"id\":\"{eid}\",\"label\":\"{label}\",\"mflops\":{:.6},\
-                 \"loops_found\":{loops},\"bounds_checks_eliminated\":{bce},\
-                 \"licm_hoisted\":{licm},\"jit_compiles\":{jits}}}",
-                m.rate / 1e6
-            ));
+            let m = timed(&vm, e, n, cfg.min_time);
+            let c = vm.counters.snapshot();
+            cells.push(c.bounds_checks_eliminated as f64);
+            per_profile[pi].push(Json::obj(vec![
+                ("id", Json::Str(eid.to_string())),
+                ("label", Json::Str(label.to_string())),
+                ("mflops", Json::num(m.rate / 1e6)),
+                (
+                    "classification",
+                    Json::Str(m.stats.classification.as_str().to_string()),
+                ),
+                ("loops_found", Json::num(c.loops_found as f64)),
+                (
+                    "bounds_checks_eliminated",
+                    Json::num(c.bounds_checks_eliminated as f64),
+                ),
+                ("licm_hoisted", Json::num(c.licm_hoisted as f64)),
+                ("jit_compiles", Json::num(c.jit_compiles as f64)),
+            ]));
         }
         table.add_row(label, cells);
     }
-    let mut json = String::from("{\n  \"suite\": \"scimark\",\n");
-    json.push_str(&format!(
-        "  \"large\": {},\n  \"min_time_ms\": {},\n  \"profiles\": [\n",
-        cfg.large,
-        cfg.min_time.as_millis()
-    ));
-    for (pi, p) in profiles.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"profile\": \"{}\",\n     \"passes\": {{\"bce\": {}, \"abce\": {}, \"licm\": {}}},\n     \"kernels\": [\n      ",
-            p.name, p.passes.bce, p.passes.abce, p.passes.licm
-        ));
-        json.push_str(&per_profile[pi].join(",\n      "));
-        json.push_str(&format!(
-            "\n    ]}}{}\n",
-            if pi + 1 < profiles.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_opt.json", &json) {
+    let profile_docs: Vec<Json> = profiles
+        .iter()
+        .zip(per_profile)
+        .map(|(p, kernels)| {
+            Json::obj(vec![
+                ("profile", Json::Str(p.name.to_string())),
+                (
+                    "passes",
+                    Json::obj(vec![
+                        ("bce", Json::Bool(p.passes.bce)),
+                        ("abce", Json::Bool(p.passes.abce)),
+                        ("licm", Json::Bool(p.passes.licm)),
+                    ]),
+                ),
+                ("kernels", Json::Arr(kernels)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("suite", Json::Str("scimark".to_string())),
+        ("large", Json::Bool(cfg.large)),
+        ("min_time_ms", Json::num(cfg.min_time.as_millis() as f64)),
+        ("profiles", Json::Arr(profile_docs)),
+    ]);
+    match std::fs::write("BENCH_opt.json", doc.render()) {
         Ok(()) => eprintln!("wrote BENCH_opt.json"),
         Err(e) => eprintln!("could not write BENCH_opt.json: {e}"),
     }

@@ -1,20 +1,27 @@
 //! # hpcnet-harness — the experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation section:
-//! one generator per graph ([`graphs`]), a JGF-style timing protocol
-//! ([`measure`]) applied uniformly to all engine profiles and the native
-//! baseline, and text/CSV rendering ([`report`]).
+//! one generator per graph ([`graphs`]), a warmup-aware statistical
+//! timing protocol ([`measure`] + [`stats`], docs/MEASUREMENT.md) applied
+//! uniformly to all engine profiles and the native baseline, text/CSV
+//! rendering ([`report`]), and the schema'd `BENCH_grande.json` artifact
+//! ([`mod@bench`], emitted via the dependency-free [`json`] writer).
 //!
 //! Run `cargo run --release -p hpcnet-harness --bin hpcnet-report -- all`
-//! to reproduce the full set; see EXPERIMENTS.md for recorded results.
+//! to reproduce the full set (`-- bench` for the JSON artifact); see
+//! EXPERIMENTS.md for recorded results.
 
+pub mod bench;
 pub mod graphs;
+pub mod json;
 pub mod measure;
 pub mod report;
+pub mod stats;
 
 pub use graphs::{all_reports, Config};
-pub use measure::{native_baseline, time_entry, time_native, Measurement};
+pub use measure::{native_baseline, time_entry, time_native, MeasureError, Measurement};
 pub use report::Table;
+pub use stats::{Classification, SeriesStats};
 
 #[cfg(test)]
 mod tests {

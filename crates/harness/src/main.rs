@@ -9,6 +9,8 @@
 //! hpcnet-report all --relative     # extra baseline-normalized views
 //! hpcnet-report conform            # differential conformance sweep
 //! hpcnet-report conform --programs 50 --seed 1000
+//! hpcnet-report bench --quick      # statistical artifact (BENCH_grande.json)
+//! hpcnet-report bench --check BENCH_grande.json
 //! ```
 
 use hpcnet_harness::{all_reports, Config};
@@ -25,6 +27,12 @@ fn main() {
     // divergence, so CI can gate on it directly.
     if args.first().map(String::as_str) == Some("conform") {
         run_conform(&args[1..]);
+        return;
+    }
+    // `bench` runs the full statistical measurement protocol and emits a
+    // schema'd JSON artifact (docs/MEASUREMENT.md).
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
         return;
     }
     let mut cfg = Config::default();
@@ -58,7 +66,9 @@ fn main() {
         let table = gen(&cfg);
         println!("{}", table.render());
         if relative && table.columns.len() > 1 {
-            println!("{}", table.relative_to_first().render());
+            if let Some(rel) = table.relative_to_first() {
+                println!("{}", rel.render());
+            }
         }
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
@@ -78,6 +88,69 @@ fn main() {
         });
         std::process::exit(2);
     }
+}
+
+fn run_bench(args: &[String]) {
+    let mut cfg = Config::default();
+    let mut out = String::from("BENCH_grande.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.min_time = Duration::from_millis(30),
+            "--large" => cfg.large = true,
+            "--min-time-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-time-ms needs a number");
+                cfg.min_time = Duration::from_millis(ms);
+            }
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--check" => check = Some(it.next().expect("--check needs a path").clone()),
+            other => {
+                eprintln!("unknown bench flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Validation-only mode: parse + schema-check an existing artifact.
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match hpcnet_harness::bench::check_document(&text) {
+            Ok(()) => println!("{path}: schema-valid bench document"),
+            Err(problems) => {
+                eprintln!("{path}: INVALID bench document:");
+                for p in problems {
+                    eprintln!("  - {p}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let run = hpcnet_harness::bench::run_bench(&cfg).unwrap_or_else(|e| {
+        eprintln!("bench failed: {e}");
+        std::process::exit(1);
+    });
+    for t in &run.tables {
+        println!("{}", t.render());
+    }
+    let text = run.doc.render();
+    std::fs::write(&out, &text).expect("write bench json");
+    // Self-check: re-validate the exact bytes written before declaring
+    // success, so a schema regression can never ship a bad artifact.
+    if let Err(problems) = hpcnet_harness::bench::check_document(&text) {
+        eprintln!("{out}: emitted document FAILED schema validation:");
+        for p in problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out} ({} bytes, schema-valid)", text.len());
 }
 
 fn run_conform(args: &[String]) {
@@ -121,6 +194,12 @@ fn print_help() {
           opt prints per-profile JIT pass counters and writes BENCH_opt.json)\n\
          conformance: hpcnet-report conform [--programs N] [--seed S] [--no-corpus]\n\
           (differential fuzz sweep over every profile and pass combination;\n\
-           prints per-opcode coverage, exits non-zero on divergence)"
+           prints per-opcode coverage, exits non-zero on divergence)\n\
+         measurement: hpcnet-report bench [--quick] [--large] [--min-time-ms N]\n\
+                      [--out FILE] | bench --check FILE\n\
+          (full warmup-aware protocol over the loop + SciMark groups on the\n\
+           CLI lineup; writes a schema-validated BENCH_grande.json with\n\
+           per-iteration series, classification, CI and JIT counters —\n\
+           see docs/MEASUREMENT.md; --check validates an existing file)"
     );
 }

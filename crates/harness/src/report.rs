@@ -1,4 +1,13 @@
 //! Table rendering: aligned text for the terminal, CSV for plotting.
+//!
+//! Cells are numeric rates; each cell may also carry a *note* — the
+//! `±N%` confidence half-width and steady-state classification marker the
+//! measurement layer produces. Notes appear in the rendered text table
+//! but not in CSV (CSV stays numeric for plotting; the full statistics
+//! live in the `BENCH_*.json` artifacts, see docs/MEASUREMENT.md).
+//!
+//! A cell holding `f64::NAN` means *missing* and renders as an empty
+//! cell in both text and CSV (not the string `NaN`).
 
 use std::fmt::Write as _;
 
@@ -9,6 +18,9 @@ pub struct Table {
     pub unit: String,
     pub columns: Vec<String>,
     pub rows: Vec<(String, Vec<f64>)>,
+    /// Per-row, per-cell annotations (empty string = no note). Kept in
+    /// lockstep with `rows`.
+    pub notes: Vec<Vec<String>>,
 }
 
 impl Table {
@@ -18,6 +30,7 @@ impl Table {
             unit: unit.to_string(),
             columns: Vec::new(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -26,13 +39,25 @@ impl Table {
     }
 
     pub fn add_row(&mut self, label: &str, cells: Vec<f64>) {
+        let notes = vec![String::new(); cells.len()];
+        self.add_row_noted(label, cells, notes);
+    }
+
+    /// Add a row with a note per cell (`±CI%` / classification markers).
+    pub fn add_row_noted(&mut self, label: &str, cells: Vec<f64>, notes: Vec<String>) {
         assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        assert_eq!(notes.len(), cells.len(), "note width mismatch");
         self.rows.push((label.to_string(), cells));
+        self.notes.push(notes);
     }
 
     /// Engineering-notation cell (the paper's axes are log-scale, so a
-    /// compact mantissa+exponent reads best).
+    /// compact mantissa+exponent reads best). `NaN` marks a missing value
+    /// and renders empty.
     fn fmt_cell(v: f64) -> String {
+        if v.is_nan() {
+            return String::new();
+        }
         if v == 0.0 {
             return "0".into();
         }
@@ -48,6 +73,13 @@ impl Table {
         }
     }
 
+    /// Display width of a cell/label: characters, not bytes (`std::fmt`
+    /// pads by character count, so byte-length widths misalign any
+    /// non-ASCII label).
+    fn width(s: &str) -> usize {
+        s.chars().count()
+    }
+
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -55,14 +87,26 @@ impl Table {
         let label_w = self
             .rows
             .iter()
-            .map(|(l, _)| l.len())
+            .map(|(l, _)| Self::width(l))
             .chain(std::iter::once(4))
             .max()
             .unwrap();
         let cells: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|(_, r)| r.iter().map(|&v| Self::fmt_cell(v)).collect())
+            .zip(&self.notes)
+            .map(|((_, r), notes)| {
+                r.iter()
+                    .zip(notes)
+                    .map(|(&v, note)| {
+                        let mut c = Self::fmt_cell(v);
+                        if !note.is_empty() {
+                            let _ = write!(c, " {note}");
+                        }
+                        c
+                    })
+                    .collect()
+            })
             .collect();
         let col_ws: Vec<usize> = self
             .columns
@@ -71,8 +115,8 @@ impl Table {
             .map(|(i, c)| {
                 cells
                     .iter()
-                    .map(|r| r[i].len())
-                    .chain(std::iter::once(c.len()))
+                    .map(|r| Self::width(&r[i]))
+                    .chain(std::iter::once(Self::width(c)))
                     .max()
                     .unwrap()
             })
@@ -93,7 +137,8 @@ impl Table {
         out
     }
 
-    /// Render as CSV (header row then data rows).
+    /// Render as CSV (header row then data rows). Missing values (`NaN`)
+    /// become empty fields; notes are not exported (see module docs).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "benchmark");
@@ -104,7 +149,11 @@ impl Table {
         for (label, cells) in &self.rows {
             let _ = write!(out, "{label}");
             for v in cells {
-                let _ = write!(out, ",{v}");
+                if v.is_nan() {
+                    let _ = write!(out, ",");
+                } else {
+                    let _ = write!(out, ",{v}");
+                }
             }
             let _ = writeln!(out);
         }
@@ -113,22 +162,31 @@ impl Table {
 
     /// Ratio of a row's cell to the first column (baseline-relative view,
     /// the normalization Graphs 10–11 use).
-    pub fn relative_to_first(&self) -> Table {
-        let mut t = Table::new(&format!("{} — relative to {}", self.title, self.columns[0]), "ratio");
+    ///
+    /// Returns `None` when the table has no columns to normalize against.
+    /// Rows whose baseline is zero or missing get missing (empty) cells
+    /// rather than `NaN` text leaking into output.
+    pub fn relative_to_first(&self) -> Option<Table> {
+        let base_col = self.columns.first()?;
+        let mut t = Table::new(
+            &format!("{} — relative to {}", self.title, base_col),
+            "ratio",
+        );
         for c in &self.columns[1..] {
             t.add_column(c);
         }
         for (label, cells) in &self.rows {
             let base = cells[0];
+            let usable = base != 0.0 && base.is_finite();
             t.add_row(
                 label,
                 cells[1..]
                     .iter()
-                    .map(|&v| if base != 0.0 { v / base } else { f64::NAN })
+                    .map(|&v| if usable { v / base } else { f64::NAN })
                     .collect(),
             );
         }
-        t
+        Some(t)
     }
 }
 
@@ -154,6 +212,36 @@ mod tests {
         assert!(s.lines().count() >= 5);
     }
 
+    /// Regression: label/column widths were computed with byte length
+    /// (`str::len`), which over-pads any non-ASCII label because
+    /// `std::fmt` pads by character count. All data rows must line up.
+    #[test]
+    fn renders_aligned_with_non_ascii_labels() {
+        let mut t = Table::new("Unicode", "ops/sec");
+        t.add_column("naïve");
+        t.add_row("ascii-label", vec![1.0]);
+        t.add_row("μ-ops (×4)", vec![2.0]); // multi-byte chars
+        let s = t.render();
+        let rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("1.000") || l.contains("2.000"))
+            .collect();
+        assert_eq!(rows.len(), 2, "{s}");
+        let end0 = rows[0].chars().count();
+        let end1 = rows[1].chars().count();
+        assert_eq!(end0, end1, "misaligned columns:\n{s}");
+    }
+
+    #[test]
+    fn notes_appear_in_text_but_not_csv() {
+        let mut t = Table::new("Noted", "ops/sec");
+        t.add_column("clr");
+        t.add_row_noted("add", vec![100.0], vec!["±3% w".into()]);
+        assert!(t.render().contains("100.0 ±3% w"), "{}", t.render());
+        assert!(!t.to_csv().contains("±"), "{}", t.to_csv());
+        assert!(t.to_csv().contains("add,100"));
+    }
+
     #[test]
     fn csv_roundtrips_values() {
         let csv = sample().to_csv();
@@ -163,9 +251,26 @@ mod tests {
 
     #[test]
     fn relative_normalizes() {
-        let r = sample().relative_to_first();
+        let r = sample().relative_to_first().unwrap();
         assert_eq!(r.columns, vec!["clr"]);
         assert_eq!(r.rows[0].1[0], 0.5);
+    }
+
+    /// Regression: a zero baseline produced `NaN` cells that leaked into
+    /// CSV, and an empty table panicked on `columns[0]`.
+    #[test]
+    fn relative_handles_zero_baseline_and_empty_table() {
+        let mut t = Table::new("Zero base", "ops/sec");
+        t.add_column("native");
+        t.add_column("clr");
+        t.add_row("dead", vec![0.0, 50.0]);
+        let r = t.relative_to_first().unwrap();
+        assert!(r.rows[0].1[0].is_nan());
+        assert!(!r.render().contains("NaN"), "{}", r.render());
+        assert_eq!(r.to_csv(), "benchmark,clr\ndead,\n");
+
+        let empty = Table::new("empty", "u");
+        assert!(empty.relative_to_first().is_none());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod profile;
 pub mod rir;
 
 pub use error::{VmError, VmResult};
-pub use machine::{declare_prelude, Vm, WellKnown};
+pub use machine::{declare_prelude, Counters, CountersSnapshot, Vm, WellKnown};
 pub use profile::{MathKind, MultiDimStyle, PassConfig, Tier, VmProfile};
 pub use rir::{print_rir, RirMethod};
 

@@ -80,6 +80,33 @@ pub struct Counters {
     pub licm_hoisted: AtomicU64,
 }
 
+/// A point-in-time copy of [`Counters`] — the plain-value form reports
+/// and the `BENCH_*.json` artifacts embed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub calls: u64,
+    pub throws: u64,
+    pub jit_compiles: u64,
+    pub loops_found: u64,
+    pub bounds_checks_eliminated: u64,
+    pub licm_hoisted: u64,
+}
+
+impl Counters {
+    /// Snapshot every counter (relaxed loads; counters are monotonic
+    /// event counts, not synchronization).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            throws: self.throws.load(Ordering::Relaxed),
+            jit_compiles: self.jit_compiles.load(Ordering::Relaxed),
+            loops_found: self.loops_found.load(Ordering::Relaxed),
+            bounds_checks_eliminated: self.bounds_checks_eliminated.load(Ordering::Relaxed),
+            licm_hoisted: self.licm_hoisted.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A module bound to an execution profile.
 pub struct Vm {
     pub module: Arc<Module>,
