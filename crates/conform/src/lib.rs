@@ -32,7 +32,8 @@ pub mod matrix;
 pub mod shrink;
 
 use gen::{generate, render, Program};
-use matrix::{compile_verified, run_matrix, Coverage, Divergence};
+use hpcnet_vm::ObserveLevel;
+use matrix::{compile_verified, run_matrix_at, Coverage, Divergence};
 use std::path::{Path, PathBuf};
 
 /// Sweep configuration.
@@ -43,6 +44,10 @@ pub struct ConformConfig {
     pub start_seed: u64,
     /// Where minimized reproducers are written; `None` disables writing.
     pub corpus_dir: Option<PathBuf>,
+    /// Attribution-profiler level applied to every engine. `Off` for the
+    /// standard sweep; raising it proves observability is side-effect-free
+    /// (any behavioral change surfaces as a divergence).
+    pub observe: ObserveLevel,
 }
 
 impl Default for ConformConfig {
@@ -51,6 +56,7 @@ impl Default for ConformConfig {
             programs: 200,
             start_seed: 1,
             corpus_dir: Some(default_corpus_dir()),
+            observe: ObserveLevel::Off,
         }
     }
 }
@@ -186,7 +192,7 @@ pub fn run_conformance(cfg: &ConformConfig) -> ConformReport {
                 continue;
             }
         };
-        let res = run_matrix(&module, &p.inputs);
+        let res = run_matrix_at(&module, &p.inputs, cfg.observe);
         report.runs += res.runs;
         report.coverage.merge(&res.coverage);
         if res.divergences.is_empty() {
@@ -194,9 +200,10 @@ pub fn run_conformance(cfg: &ConformConfig) -> ConformReport {
         }
         let (small, attempts) = shrink::shrink(p);
         // Re-derive the divergence from the minimized program (fall back
-        // to the original's if shrinking somehow lost it).
+        // to the original's if shrinking somehow lost it). The shrinker
+        // itself runs unobserved; it only needs diverges-or-not.
         let detail = match compile_verified(&render(&small)) {
-            Ok(m) => run_matrix(&m, &small.inputs)
+            Ok(m) => run_matrix_at(&m, &small.inputs, cfg.observe)
                 .divergences
                 .into_iter()
                 .next()
@@ -227,6 +234,7 @@ mod tests {
             programs: 5,
             start_seed: 900,
             corpus_dir: None,
+            observe: ObserveLevel::Off,
         });
         assert!(report.ok(), "{}", report.render());
         assert_eq!(report.engines, 26);
@@ -239,9 +247,27 @@ mod tests {
             programs: 2,
             start_seed: 50,
             corpus_dir: None,
+            observe: ObserveLevel::Off,
         });
         let text = report.render();
         assert!(text.contains("per-opcode coverage"));
         assert!(text.contains("ldc.i4"), "{text}");
+    }
+
+    #[test]
+    fn observed_sweep_is_clean_and_matches_unobserved() {
+        // Full-trace observability must be invisible to program behavior:
+        // identical run counts, identical (empty) divergence sets.
+        let cfg = |observe| ConformConfig {
+            programs: 4,
+            start_seed: 700,
+            corpus_dir: None,
+            observe,
+        };
+        let off = run_conformance(&cfg(ObserveLevel::Off));
+        let traced = run_conformance(&cfg(ObserveLevel::Trace));
+        assert!(traced.ok(), "{}", traced.render());
+        assert_eq!(off.runs, traced.runs);
+        assert_eq!(off.coverage.executed, traced.coverage.executed);
     }
 }

@@ -13,7 +13,7 @@ use crate::gen::{generate, render, Program};
 use hpcnet_cil::{verify_module, Module, Op};
 use hpcnet_minics::{compile, STARTUP_INIT};
 use hpcnet_runtime::Value;
-use hpcnet_vm::{Tier, Vm, VmError, VmProfile};
+use hpcnet_vm::{ObserveLevel, Tier, Vm, VmError, VmProfile};
 use std::sync::Arc;
 
 /// A labeled engine configuration. The label extends the profile name with
@@ -173,6 +173,17 @@ fn scan_emitted(module: &Module, cov: &mut Coverage) {
 /// Execute a *verified* module under every engine for every input pair and
 /// compare each engine's observable behavior against the oracle's.
 pub fn run_matrix(module: &Module, inputs: &[(i32, i32)]) -> ProgramResult {
+    run_matrix_at(module, inputs, ObserveLevel::Off)
+}
+
+/// [`run_matrix`] with every engine's attribution profiler raised to
+/// `observe`. Used to prove the observability layer is side-effect-free:
+/// the observed matrix must report exactly what the unobserved one does.
+pub fn run_matrix_at(
+    module: &Module,
+    inputs: &[(i32, i32)],
+    observe: ObserveLevel,
+) -> ProgramResult {
     let engines = engine_matrix();
     let mut coverage = Coverage::default();
     scan_emitted(module, &mut coverage);
@@ -181,7 +192,7 @@ pub fn run_matrix(module: &Module, inputs: &[(i32, i32)]) -> ProgramResult {
     let mut outcomes: Vec<Vec<RunOutcome>> = Vec::with_capacity(engines.len());
     let mut runs = 0usize;
     for (ei, eng) in engines.iter().enumerate() {
-        let vm = Vm::new_unverified(module.clone(), eng.profile);
+        let vm = Vm::new_unverified(module.clone(), eng.profile.with_observe(observe));
         if ei == 0 {
             vm.set_op_coverage(true);
         }

@@ -22,6 +22,7 @@ fn bounded_sweep_no_divergence_and_full_opcode_coverage() {
         programs: PROGRAMS,
         start_seed: START_SEED,
         corpus_dir: Some(conform::default_corpus_dir()),
+        observe: hpcnet_vm::ObserveLevel::Off,
     });
 
     assert!(

@@ -22,15 +22,19 @@
 
 use std::sync::Arc;
 
-pub use hpcnet_cil::{disasm, Module};
+pub use hpcnet_cil::{disasm, MethodId, Module};
 pub use hpcnet_grande::{
     compile_group, find_entry, registry, run_entry, vm_for, BenchGroup, Entry, Suite, Unit,
 };
 pub use hpcnet_grande::native;
 pub use hpcnet_minics::{compile, CompileError, STARTUP_INIT};
 pub use hpcnet_runtime::{Heap, JRandom, Obj, Value};
+pub use hpcnet_cil::OP_KIND_NAMES;
 pub use hpcnet_vm::machine::run_on_big_stack;
-pub use hpcnet_vm::{print_rir, Counters, CountersSnapshot, PassConfig, Tier, Vm, VmError, VmProfile};
+pub use hpcnet_vm::{
+    print_rir, Counters, CountersSnapshot, EhDispatchKind, Event, JitOutcome, LoopRejectReason,
+    MethodProfile, ObserveLevel, ObserveReport, PassConfig, Tier, Vm, VmError, VmProfile,
+};
 
 /// An empty optimization pipeline (for ablation studies).
 pub fn vm_profile_pass_none() -> PassConfig {

@@ -19,10 +19,13 @@ use crate::measure::{
 };
 use crate::report::Table;
 use crate::stats::Classification;
-use hpcnet_core::{lookup_group, vm_for, Unit, VmProfile};
+use hpcnet_core::{lookup_group, run_entry, vm_for, BenchGroup, Entry, ObserveLevel, Unit, VmProfile};
 
 /// Document format version (bump on breaking schema changes).
-pub const SCHEMA_VERSION: f64 = 1.0;
+/// 1.1: per-profile `counters` became invocation deltas (static init
+/// excluded) and every measurement carries an `attribution` object from
+/// a single observed run (docs/OBSERVABILITY.md).
+pub const SCHEMA_VERSION: f64 = 1.1;
 
 /// Benchmark groups covered by the default `bench` artifact: the loop
 /// suite (the cheapest micro group, exercises the loop-aware JIT tier)
@@ -75,7 +78,38 @@ fn counters_json(c: hpcnet_core::CountersSnapshot) -> Json {
     ])
 }
 
-fn measurement_json(profile: &str, m: &Measurement, counters: Json) -> Json {
+/// One extra *observed* invocation of the cell's entry on a fresh VM at
+/// [`ObserveLevel::Counters`]: where the timed run's opcodes went. The
+/// observed VM is separate from the timed one, so observation can never
+/// perturb the recorded rates; counts are deterministic per (entry, n,
+/// profile).
+fn attribution_json(group: &BenchGroup, e: &Entry, p: VmProfile, n: i32) -> Json {
+    let vm = vm_for(group, p.with_observe(ObserveLevel::Counters));
+    run_entry(&vm, e, n).expect("attribution re-run of a cell that timed successfully");
+    let r = vm.observe_report().expect("observability is on");
+    let mut hot: Vec<_> = r.methods.iter().filter(|m| m.invocations > 0).collect();
+    hot.sort_by(|a, b| b.ops_excl.cmp(&a.ops_excl).then(a.method.0.cmp(&b.method.0)));
+    let hot_methods = hot
+        .iter()
+        .take(3)
+        .map(|m| Json::Arr(vec![Json::Str(m.name.clone()), Json::num(m.ops_excl as f64)]))
+        .collect();
+    Json::obj(vec![
+        ("ops", Json::num(r.total_ops as f64)),
+        ("allocs", Json::num(r.total_allocs as f64)),
+        (
+            "bounds_checks_executed",
+            Json::num(r.total_of(|m| m.bounds_checks_executed) as f64),
+        ),
+        (
+            "bounds_checks_elided",
+            Json::num(r.total_of(|m| m.bounds_checks_elided) as f64),
+        ),
+        ("hot_methods", Json::Arr(hot_methods)),
+    ])
+}
+
+fn measurement_json(profile: &str, m: &Measurement, counters: Json, attribution: Json) -> Json {
     let iter_secs: Vec<Json> = m.series.iter().map(|s| Json::num(s.secs)).collect();
     let iter_batch: Vec<Json> = m.series.iter().map(|s| Json::num(s.batch as f64)).collect();
     Json::obj(vec![
@@ -97,6 +131,7 @@ fn measurement_json(profile: &str, m: &Measurement, counters: Json) -> Json {
         ("iter_secs", Json::Arr(iter_secs)),
         ("iter_batch", Json::Arr(iter_batch)),
         ("counters", counters),
+        ("attribution", attribution),
     ])
 }
 
@@ -135,13 +170,16 @@ pub fn run_bench_groups(cfg: &Config, group_ids: &[&str]) -> Result<BenchRun, Me
             let mut cells = Vec::new();
             let mut notes = Vec::new();
             for p in &profiles {
-                // Fresh VM per cell: counters attribute to this kernel.
+                // Fresh VM per cell; the snapshot delta attributes the
+                // counters to this kernel alone, static init excluded.
                 let vm = vm_for(&g, *p);
+                let before = vm.counters.snapshot();
                 let m = time_entry(&vm, e, n, cfg.min_time)?;
-                let counters = counters_json(vm.counters.snapshot());
+                let counters = counters_json(vm.counters.snapshot().delta(&before));
+                let attribution = attribution_json(&g, e, *p, n);
                 cells.push(m.rate);
                 notes.push(cell_note(&m));
-                profile_docs.push(measurement_json(p.name, &m, counters));
+                profile_docs.push(measurement_json(p.name, &m, counters, attribution));
             }
             table.add_row_noted(e.id, cells, notes);
             entry_docs.push(Json::obj(vec![
@@ -179,16 +217,30 @@ pub fn run_bench_groups(cfg: &Config, group_ids: &[&str]) -> Result<BenchRun, Me
 
 // ---- schema validation ----
 
-struct Check {
+/// Shared schema-walking accumulator for the bench and profile document
+/// validators: collects every problem instead of stopping at the first.
+pub(crate) struct Check {
     problems: Vec<String>,
 }
 
 impl Check {
-    fn fail(&mut self, path: &str, what: &str) {
+    pub(crate) fn new() -> Check {
+        Check { problems: Vec::new() }
+    }
+
+    pub(crate) fn finish(self) -> Result<(), Vec<String>> {
+        if self.problems.is_empty() {
+            Ok(())
+        } else {
+            Err(self.problems)
+        }
+    }
+
+    pub(crate) fn fail(&mut self, path: &str, what: &str) {
         self.problems.push(format!("{path}: {what}"));
     }
 
-    fn num(&mut self, v: &Json, path: &str, key: &str) -> Option<f64> {
+    pub(crate) fn num(&mut self, v: &Json, path: &str, key: &str) -> Option<f64> {
         match v.get(key).and_then(Json::as_f64) {
             Some(n) => Some(n),
             None => {
@@ -198,7 +250,7 @@ impl Check {
         }
     }
 
-    fn str_field(&mut self, v: &Json, path: &str, key: &str) -> Option<String> {
+    pub(crate) fn str_field(&mut self, v: &Json, path: &str, key: &str) -> Option<String> {
         match v.get(key).and_then(Json::as_str) {
             Some(s) => Some(s.to_string()),
             None => {
@@ -208,13 +260,13 @@ impl Check {
         }
     }
 
-    fn bool_field(&mut self, v: &Json, path: &str, key: &str) {
+    pub(crate) fn bool_field(&mut self, v: &Json, path: &str, key: &str) {
         if v.get(key).and_then(Json::as_bool).is_none() {
             self.fail(path, &format!("missing or non-boolean field '{key}'"));
         }
     }
 
-    fn arr<'j>(&mut self, v: &'j Json, path: &str, key: &str) -> &'j [Json] {
+    pub(crate) fn arr<'j>(&mut self, v: &'j Json, path: &str, key: &str) -> &'j [Json] {
         match v.get(key).and_then(Json::as_arr) {
             Some(a) => a,
             None => {
@@ -228,7 +280,7 @@ impl Check {
 /// Validate a parsed bench document against the schema in
 /// docs/MEASUREMENT.md. Returns every problem found, not just the first.
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
-    let mut c = Check { problems: Vec::new() };
+    let mut c = Check::new();
     match doc.get("schema_version").and_then(Json::as_f64) {
         Some(v) if v == SCHEMA_VERSION => {}
         Some(v) => c.fail("$", &format!("unsupported schema_version {v}")),
@@ -286,11 +338,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
             }
         }
     }
-    if c.problems.is_empty() {
-        Ok(())
-    } else {
-        Err(c.problems)
-    }
+    c.finish()
 }
 
 fn validate_measurement(c: &mut Check, p: &Json, path: &str) {
@@ -347,6 +395,20 @@ fn validate_measurement(c: &mut Check, p: &Json, path: &str) {
         }
     } else {
         c.fail(path, "missing counters object");
+    }
+    if let Some(attr) = p.get("attribution") {
+        let apath = format!("{path}.attribution");
+        for key in ["ops", "allocs", "bounds_checks_executed", "bounds_checks_elided"] {
+            c.num(attr, &apath, key);
+        }
+        for (hi, h) in c.arr(attr, &apath, "hot_methods").to_vec().iter().enumerate() {
+            match h.as_arr() {
+                Some([name, ops]) if name.as_str().is_some() && ops.as_f64().is_some() => {}
+                _ => c.fail(&apath, &format!("hot_methods[{hi}] must be [name, ops_excl]")),
+            }
+        }
+    } else {
+        c.fail(path, "missing attribution object");
     }
 }
 
@@ -411,6 +473,11 @@ mod tests {
                 if p.get("profile").unwrap().as_str() == Some("C# .NET 1.1") {
                     assert!(counter("jit_compiles") > 0.0, "CLR did not JIT");
                 }
+                // Every cell carries an attribution summary from one
+                // observed invocation: opcodes ran, a hot method exists.
+                let attr = p.get("attribution").unwrap();
+                assert!(attr.get("ops").unwrap().as_f64().unwrap() > 0.0);
+                assert!(!attr.get("hot_methods").unwrap().as_arr().unwrap().is_empty());
             }
         }
     }

@@ -15,10 +15,12 @@ pub mod bench;
 pub mod graphs;
 pub mod json;
 pub mod measure;
+pub mod profile;
 pub mod report;
 pub mod stats;
 
 pub use graphs::{all_reports, Config};
+pub use hpcnet_core::ObserveLevel;
 pub use measure::{native_baseline, time_entry, time_native, MeasureError, Measurement};
 pub use report::Table;
 pub use stats::{Classification, SeriesStats};

@@ -8,9 +8,11 @@
 //! hpcnet-report all --csv out/     # also write CSV per graph
 //! hpcnet-report all --relative     # extra baseline-normalized views
 //! hpcnet-report conform            # differential conformance sweep
-//! hpcnet-report conform --programs 50 --seed 1000
+//! hpcnet-report conform --programs 50 --seed 1000 --observe trace
 //! hpcnet-report bench --quick      # statistical artifact (BENCH_grande.json)
 //! hpcnet-report bench --check BENCH_grande.json
+//! hpcnet-report profile loop.for   # attribution artifact (PROFILE_loop.for.json)
+//! hpcnet-report profile scimark.fft --overhead
 //! ```
 
 use hpcnet_harness::{all_reports, Config};
@@ -33,6 +35,12 @@ fn main() {
     // schema'd JSON artifact (docs/MEASUREMENT.md).
     if args.first().map(String::as_str) == Some("bench") {
         run_bench(&args[1..]);
+        return;
+    }
+    // `profile` runs one entry under full observability and emits the
+    // per-method attribution artifact (docs/OBSERVABILITY.md).
+    if args.first().map(String::as_str) == Some("profile") {
+        run_profile(&args[1..]);
         return;
     }
     let mut cfg = Config::default();
@@ -79,15 +87,104 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no matching reports; known: all {}", {
+        // Anything that is neither a subcommand nor a known graph name
+        // lands here: refuse loudly with the usage text, exit non-zero.
+        eprintln!(
+            "unknown subcommand or report {:?}; known: all {}\n",
+            wanted.join(" "),
             reports
                 .iter()
                 .map(|(n, _)| *n)
                 .collect::<Vec<_>>()
                 .join(" ")
-        });
+        );
+        eprintln!("{}", usage());
         std::process::exit(2);
     }
+}
+
+fn run_profile(args: &[String]) {
+    let mut cfg = hpcnet_harness::profile::ProfileConfig::default();
+    let mut entry: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut overhead = false;
+    let mut min_time = Duration::from_millis(200);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                cfg.quick = true;
+                min_time = Duration::from_millis(30);
+            }
+            "--large" => cfg.large = true,
+            "--n" => {
+                cfg.n = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--n needs a number"),
+                );
+            }
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
+            "--check" => check = Some(it.next().expect("--check needs a path").clone()),
+            "--overhead" => overhead = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown profile flag {other}");
+                std::process::exit(2);
+            }
+            other => entry = Some(other.to_string()),
+        }
+    }
+    // Validation-only mode: parse + schema-check an existing artifact.
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match hpcnet_harness::profile::check_document(&text) {
+            Ok(()) => println!("{path}: schema-valid profile document"),
+            Err(problems) => {
+                eprintln!("{path}: INVALID profile document:");
+                for p in problems {
+                    eprintln!("  - {p}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let entry = entry.unwrap_or_else(|| {
+        eprintln!("profile needs a benchmark entry id (e.g. loop.for, scimark.fft)");
+        std::process::exit(2);
+    });
+    // `--overhead`: time the entry at every ObserveLevel instead of
+    // writing the (time-free) JSON artifact.
+    if overhead {
+        let t = hpcnet_harness::profile::overhead_table(&entry, min_time).unwrap_or_else(|e| {
+            eprintln!("overhead measurement failed: {e}");
+            std::process::exit(1);
+        });
+        println!("{}", t.render());
+        return;
+    }
+    let run = hpcnet_harness::profile::run_profile(&entry, &cfg).unwrap_or_else(|e| {
+        eprintln!("profile failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", run.hot.render());
+    println!("{}", run.attribution.render());
+    let out = out.unwrap_or_else(|| format!("PROFILE_{entry}.json"));
+    let text = run.doc.render();
+    std::fs::write(&out, &text).expect("write profile json");
+    // Self-check the exact bytes written, mirroring `bench`.
+    if let Err(problems) = hpcnet_harness::profile::check_document(&text) {
+        eprintln!("{out}: emitted document FAILED schema validation:");
+        for p in problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out} ({} bytes, schema-valid)", text.len());
 }
 
 fn run_bench(args: &[String]) {
@@ -171,6 +268,11 @@ fn run_conform(args: &[String]) {
                     .expect("--seed needs a number");
             }
             "--no-corpus" => cfg.corpus_dir = None,
+            "--observe" => {
+                let level = it.next().expect("--observe needs off|counters|trace");
+                cfg.observe = hpcnet_harness::ObserveLevel::parse(level)
+                    .unwrap_or_else(|| panic!("--observe needs off|counters|trace, got {level}"));
+            }
             other => {
                 eprintln!("unknown conform flag {other}");
                 std::process::exit(2);
@@ -184,22 +286,33 @@ fn run_conform(args: &[String]) {
     }
 }
 
+fn usage() -> String {
+    "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
+     \n\
+     usage: hpcnet-report <subcommand|graph ...|all> [flags]\n\
+     \n\
+     subcommands:\n\
+       conform   differential conformance fuzz sweep over every profile and\n\
+                 pass combination; exits non-zero on any divergence\n\
+       bench     warmup-aware statistical measurement protocol; writes a\n\
+                 schema-validated BENCH_grande.json (docs/MEASUREMENT.md)\n\
+       profile   per-method attribution profile of one benchmark entry under\n\
+                 the CLI lineup; writes PROFILE_<entry>.json (docs/OBSERVABILITY.md)\n\
+     \n\
+     graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4 ablation opt\n\
+       (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2;\n\
+        opt prints per-profile JIT pass counters and writes BENCH_opt.json)\n\
+     graph flags: [--large] [--quick] [--min-time-ms N] [--csv DIR] [--relative]\n\
+     \n\
+     conform flags: [--programs N] [--seed S] [--no-corpus] [--observe off|counters|trace]\n\
+     bench flags:   [--quick] [--large] [--min-time-ms N] [--out FILE] | --check FILE\n\
+     profile usage: profile <entry> [--quick] [--large] [--n N] [--out FILE]\n\
+                    [--overhead] | profile --check FILE\n\
+       (--overhead times the entry at every ObserveLevel instead of writing\n\
+        the JSON artifact; the artifact itself is deterministic and time-free)"
+        .to_string()
+}
+
 fn print_help() {
-    println!(
-        "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
-         usage: hpcnet-report <graph ...|all> [--large] [--quick] \n\
-                [--min-time-ms N] [--csv DIR] [--relative]\n\
-         graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4 ablation opt\n\
-         (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2;\n\
-          opt prints per-profile JIT pass counters and writes BENCH_opt.json)\n\
-         conformance: hpcnet-report conform [--programs N] [--seed S] [--no-corpus]\n\
-          (differential fuzz sweep over every profile and pass combination;\n\
-           prints per-opcode coverage, exits non-zero on divergence)\n\
-         measurement: hpcnet-report bench [--quick] [--large] [--min-time-ms N]\n\
-                      [--out FILE] | bench --check FILE\n\
-          (full warmup-aware protocol over the loop + SciMark groups on the\n\
-           CLI lineup; writes a schema-validated BENCH_grande.json with\n\
-           per-iteration series, classification, CI and JIT counters —\n\
-           see docs/MEASUREMENT.md; --check validates an existing file)"
-    );
+    println!("{}", usage());
 }

@@ -1,0 +1,59 @@
+//! End-to-end CLI behavior of the `hpcnet-report` binary: the help text
+//! lists every subcommand, and unknown subcommands refuse loudly with the
+//! usage text and a non-zero exit (they used to be silently treated as
+//! graph names).
+
+use std::process::Command;
+
+fn report() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hpcnet-report"))
+}
+
+#[test]
+fn help_lists_every_subcommand_with_descriptions() {
+    let out = report().arg("--help").output().expect("run hpcnet-report");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for sub in ["conform", "bench", "profile"] {
+        assert!(text.contains(sub), "help must list `{sub}`:\n{text}");
+    }
+    // One-line descriptions, not just names.
+    assert!(text.contains("conformance"), "{text}");
+    assert!(text.contains("BENCH_grande.json"), "{text}");
+    assert!(text.contains("PROFILE_<entry>.json"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out = report().arg("frobnicate").output().expect("run hpcnet-report");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown"), "{err}");
+    assert!(err.contains("usage:"), "stderr must include usage:\n{err}");
+    assert!(err.contains("profile"), "usage must list subcommands:\n{err}");
+}
+
+#[test]
+fn profile_without_entry_exits_nonzero() {
+    let out = report().arg("profile").output().expect("run hpcnet-report");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("entry"), "{err}");
+}
+
+#[test]
+fn profile_check_rejects_a_bench_document_shape() {
+    // A syntactically valid JSON that is not a profile document.
+    let dir = std::env::temp_dir().join("hpcnet-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not-a-profile.json");
+    std::fs::write(&path, "{\"schema_version\": 1.1, \"suite\": \"grande\"}\n").unwrap();
+    let out = report()
+        .args(["profile", "--check", path.to_str().unwrap()])
+        .output()
+        .expect("run hpcnet-report");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("INVALID"), "{err}");
+}

@@ -285,12 +285,22 @@ impl<'v> Exec<'v> {
             match r.kind {
                 EhKind::Catch(class) => {
                     if self.vm.instance_of(&exc, class) {
+                        if self.vm.observer.enabled() {
+                            self.vm
+                                .observer
+                                .eh_dispatch(self.rir.method, crate::observe::EhDispatchKind::Catch);
+                        }
                         let slot = self.rir.eh_exc_slots[i];
                         self.fr.rset(slot, Some(exc));
                         return Ok(r.handler_start);
                     }
                 }
                 EhKind::Finally => {
+                    if self.vm.observer.enabled() {
+                        self.vm
+                            .observer
+                            .eh_dispatch(self.rir.method, crate::observe::EhDispatchKind::Finally);
+                    }
                     match self.run(r.handler_start, Some((r.handler_start, r.handler_end))) {
                         Ok(RunEnd::EndFinally) => {}
                         Ok(RunEnd::Return(_)) => return self.internal("return inside finally"),
@@ -301,6 +311,11 @@ impl<'v> Exec<'v> {
                     }
                 }
             }
+        }
+        if self.vm.observer.enabled() {
+            self.vm
+                .observer
+                .eh_dispatch(self.rir.method, crate::observe::EhDispatchKind::FaultPath);
         }
         Err(VmError::Exception(exc))
     }
@@ -314,6 +329,9 @@ impl<'v> Exec<'v> {
     fn step(&mut self, pc: u32) -> VmResult<Flow> {
         let vm = self.vm;
         let inst = &self.rir.code[pc as usize];
+        if vm.observer.enabled() {
+            vm.observer.record_exec_op(self.rir.method, inst);
+        }
         match inst {
             RInst::Nop => {}
             RInst::MovP { dst, src } => {

@@ -175,12 +175,22 @@ impl<'v> Interp<'v> {
             match r.kind {
                 EhKind::Catch(class) => {
                     if self.vm.instance_of(&exc, class) {
+                        if self.vm.observer.enabled() {
+                            self.vm
+                                .observer
+                                .eh_dispatch(self.method, crate::observe::EhDispatchKind::Catch);
+                        }
                         self.stack.clear();
                         self.stack.push(Value::Ref(exc));
                         return Ok(r.handler_start);
                     }
                 }
                 EhKind::Finally => {
+                    if self.vm.observer.enabled() {
+                        self.vm
+                            .observer
+                            .eh_dispatch(self.method, crate::observe::EhDispatchKind::Finally);
+                    }
                     self.stack.clear();
                     match self.run(r.handler_start, Some((r.handler_start, r.handler_end))) {
                         Ok(RunEnd::EndFinally) => {}
@@ -192,6 +202,11 @@ impl<'v> Interp<'v> {
                     }
                 }
             }
+        }
+        if self.vm.observer.enabled() {
+            self.vm
+                .observer
+                .eh_dispatch(self.method, crate::observe::EhDispatchKind::FaultPath);
         }
         Err(VmError::Exception(exc))
     }
@@ -214,6 +229,9 @@ impl<'v> Interp<'v> {
         let module = &vm.module;
         let op = &module.method(self.method).body.code[pc as usize];
         vm.record_op(op);
+        if vm.observer.enabled() {
+            vm.observer.record_interp_op(self.method, op);
+        }
         match op {
             Op::Nop => {}
             Op::LdcI4(v) => self.push(Value::I4(*v)),

@@ -36,11 +36,16 @@ pub mod exec;
 pub mod interp;
 pub mod machine;
 pub mod numerics;
+pub mod observe;
 pub mod profile;
 pub mod rir;
 
 pub use error::{VmError, VmResult};
 pub use machine::{declare_prelude, Counters, CountersSnapshot, Vm, WellKnown};
+pub use observe::{
+    EhDispatchKind, Event, JitOutcome, LoopRejectReason, MethodProfile, ObserveLevel,
+    ObserveReport,
+};
 pub use profile::{MathKind, MultiDimStyle, PassConfig, Tier, VmProfile};
 pub use rir::{print_rir, RirMethod};
 
@@ -1030,5 +1035,379 @@ mod tests {
             let caught = vm.invoke_by_name("P.F", vec![Value::I4(0)]).unwrap().unwrap();
             assert_eq!(caught.as_i4(), 42, "trap-in-finally path on {}", p.name);
         }
+    }
+
+    // ---- attribution profiler (crate::observe) ----
+
+    /// `P.Fill(n)`: the canonical counted array loop every bounds-check
+    /// pass targets — `for (i = 0; i < a.Length; i++) { a[i] = i*i; s += a[i] }`.
+    fn array_loop_module() -> hpcnet_cil::Module {
+        build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f = mb.method(c, "Fill", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let a = f.local(CilType::array_of(CilType::I4));
+            let i = f.local(CilType::I4);
+            let s = f.local(CilType::I4);
+            f.ld_arg(0);
+            f.emit(Op::NewArr(ElemKind::I4));
+            f.st_loc(a);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_loc(a);
+            f.emit(Op::LdLen);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.ld_loc(a);
+            f.ld_loc(i);
+            f.ld_loc(i);
+            f.ld_loc(i);
+            f.bin(BinOp::Mul);
+            f.emit(Op::StElem(ElemKind::I4));
+            f.ld_loc(s);
+            f.ld_loc(a);
+            f.ld_loc(i);
+            f.emit(Op::LdElem(ElemKind::I4));
+            f.bin(BinOp::Add);
+            f.st_loc(s);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(s);
+            f.ret();
+            f.finish();
+        })
+    }
+
+    #[test]
+    fn observe_off_reports_nothing() {
+        let vm = Vm::new(array_loop_module(), VmProfile::clr11()).unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(16)]).unwrap();
+        assert_eq!(vm.observe_level(), ObserveLevel::Off);
+        assert!(vm.observe_report().is_none());
+    }
+
+    #[test]
+    fn observe_counts_are_bit_identical_across_runs_and_vms() {
+        let m = array_loop_module();
+        let run = || {
+            let vm = Vm::new(
+                m.clone(),
+                VmProfile::clr11().with_observe(ObserveLevel::Trace),
+            )
+            .unwrap();
+            vm.invoke_by_name("P.Fill", vec![Value::I4(64)]).unwrap();
+            vm.observe_report().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "profiling must be deterministic");
+        assert!(a.total_ops > 0);
+        assert_eq!(a.total_ops, a.total_of(|p| p.ops_excl));
+    }
+
+    #[test]
+    fn observe_bounds_checks_follow_the_abce_knob() {
+        // Same module, same entry: abce on ⇒ in-loop accesses run
+        // unchecked; abce off ⇒ every access checks. The *sum*
+        // executed+elided is the access count and must not move.
+        let m = array_loop_module();
+        let count = |abce: bool| {
+            let mut p = VmProfile::clr11();
+            p.passes.abce = abce;
+            p.passes.bce = false; // isolate the loop-aware pass
+            let vm = Vm::new(m.clone(), p.with_observe(ObserveLevel::Counters)).unwrap();
+            vm.invoke_by_name("P.Fill", vec![Value::I4(50)]).unwrap();
+            let r = vm.observe_report().unwrap();
+            let mp = r.methods.iter().find(|mp| mp.name == "P.Fill").unwrap();
+            (mp.bounds_checks_executed, mp.bounds_checks_elided)
+        };
+        let (exec_on, elided_on) = count(true);
+        let (exec_off, elided_off) = count(false);
+        assert_eq!(elided_off, 0);
+        assert_eq!(exec_on, 0, "all in-loop accesses proven safe");
+        assert_eq!(elided_on, 100, "2 accesses x 50 iterations");
+        assert_eq!(exec_off, 100);
+        assert_eq!(exec_on + elided_on, exec_off + elided_off);
+    }
+
+    #[test]
+    fn observe_histogram_and_interp_bounds_checks() {
+        // The interpreter tier checks everything and its histogram uses
+        // the CIL kind names directly.
+        let vm = Vm::new(
+            array_loop_module(),
+            VmProfile::sscli10().with_observe(ObserveLevel::Counters),
+        )
+        .unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(10)]).unwrap();
+        let r = vm.observe_report().unwrap();
+        let mp = r.method(vm.module.find_method("P.Fill").unwrap()).unwrap();
+        assert_eq!(mp.invocations, 1);
+        assert_eq!(mp.bounds_checks_executed, 20);
+        assert_eq!(mp.bounds_checks_elided, 0);
+        assert_eq!(mp.allocs, 1, "one newarr");
+        let kinds: std::collections::HashMap<&str, u64> =
+            mp.kind_counts().into_iter().collect();
+        assert_eq!(kinds["ldelem"], 10);
+        assert_eq!(kinds["stelem"], 10);
+        assert_eq!(kinds["newarr"], 1);
+    }
+
+    #[test]
+    fn observe_trace_has_jit_events_with_pass_outcomes() {
+        let vm = Vm::new(
+            array_loop_module(),
+            VmProfile::clr11().with_observe(ObserveLevel::Trace),
+        )
+        .unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(10)]).unwrap();
+        let r = vm.observe_report().unwrap();
+        let fill = vm.module.find_method("P.Fill").unwrap();
+        let outcome = r
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::JitCompile { method, outcome } if *method == fill => Some(*outcome),
+                _ => None,
+            })
+            .expect("JitCompile event for P.Fill");
+        assert_eq!(outcome.loops_found, 1);
+        assert!(outcome.rir_len > 0);
+        assert!(
+            outcome.bce_removed + outcome.abce_removed >= 2,
+            "both accesses lose their checks: {outcome:?}"
+        );
+        assert!(outcome.enreg_prim > 0);
+    }
+
+    #[test]
+    fn observe_eh_dispatch_kinds_on_both_tiers() {
+        // Reuses finally_runs_on_both_paths' shape: throw → finally runs,
+        // then the catch takes it, all in one frame.
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let exc_ctor = mb.method_id("Exception..ctor").unwrap();
+            let exc = mb.class_id("Exception").unwrap();
+            let g = mb.add_field(c, "g", CilType::I4, true);
+            let mut f = mb.method(c, "Go", vec![], CilType::I4, MethodKind::Static);
+            let (ts, te, hs, he) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let (fts, fte, fhs, fhe) =
+                (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let done = f.new_label();
+            f.place(ts);
+            f.place(fts);
+            f.emit(Op::NewObj(exc_ctor));
+            f.emit(Op::Throw);
+            f.place(fte);
+            f.place(fhs);
+            f.emit(Op::LdSFld(g));
+            f.ldc_i4(10);
+            f.bin(BinOp::Add);
+            f.emit(Op::StSFld(g));
+            f.emit(Op::EndFinally);
+            f.place(fhe);
+            f.place(te);
+            f.place(hs);
+            f.emit(Op::Pop);
+            f.emit(Op::LdSFld(g));
+            f.ldc_i4(100);
+            f.bin(BinOp::Add);
+            f.emit(Op::StSFld(g));
+            f.leave(done);
+            f.place(he);
+            f.place(done);
+            f.emit(Op::LdSFld(g));
+            f.ret();
+            f.eh_finally(fts, fte, fhs, fhe);
+            f.eh_catch(ts, te, hs, he, exc);
+            f.finish();
+        });
+        for base in [VmProfile::sscli10(), VmProfile::clr11()] {
+            let vm = Vm::new(m.clone(), base.with_observe(ObserveLevel::Counters)).unwrap();
+            let r = vm.invoke_by_name("P.Go", vec![]).unwrap().unwrap();
+            assert_eq!(r.as_i4(), 110, "{}", base.name);
+            let rep = vm.observe_report().unwrap();
+            let mp = rep.method(vm.module.find_method("P.Go").unwrap()).unwrap();
+            assert_eq!(mp.eh_finally, 1, "{}", base.name);
+            assert_eq!(mp.eh_catch, 1, "{}", base.name);
+            assert_eq!(mp.eh_fault_path, 0, "{}", base.name);
+        }
+    }
+
+    #[test]
+    fn observe_fault_path_counted_when_exception_escapes() {
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let exc_ctor = mb.method_id("Exception..ctor").unwrap();
+            let mut f = mb.method(c, "Raise", vec![], CilType::Void, MethodKind::Static);
+            f.emit(Op::NewObj(exc_ctor));
+            f.emit(Op::Throw);
+            f.finish();
+        });
+        for base in [VmProfile::sscli10(), VmProfile::mono023()] {
+            let vm = Vm::new(m.clone(), base.with_observe(ObserveLevel::Counters)).unwrap();
+            let e = vm.invoke_by_name("P.Raise", vec![]).unwrap_err();
+            assert!(matches!(e, VmError::Exception(_)));
+            let rep = vm.observe_report().unwrap();
+            let mp = rep.method(vm.module.find_method("P.Raise").unwrap()).unwrap();
+            assert_eq!(mp.eh_fault_path, 1, "{}", base.name);
+            assert_eq!(mp.eh_catch + mp.eh_finally, 0, "{}", base.name);
+        }
+    }
+
+    #[test]
+    fn observe_inclusive_exceeds_exclusive_for_callers() {
+        // Caller does almost nothing itself; callee does the work.
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut w = mb.method(c, "Work", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let s = w.local(CilType::I4);
+            let i = w.local(CilType::I4);
+            let head = w.new_label();
+            let exit = w.new_label();
+            w.place(head);
+            w.ld_loc(i);
+            w.ld_arg(0);
+            w.br_cmp(CmpOp::Ge, exit);
+            w.ld_loc(s);
+            w.ld_loc(i);
+            w.bin(BinOp::Add);
+            w.st_loc(s);
+            w.ld_loc(i);
+            w.ldc_i4(1);
+            w.bin(BinOp::Add);
+            w.st_loc(i);
+            w.br(head);
+            w.place(exit);
+            w.ld_loc(s);
+            w.ret();
+            let work = w.finish();
+            let mut f = mb.method(c, "Outer", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            f.ld_arg(0);
+            f.call(work);
+            f.ret();
+            f.finish();
+        });
+        // Sun 1.4 has inlining off, so the call survives on the Rir tier.
+        for base in [VmProfile::sscli10(), VmProfile::jvm_sun14()] {
+            let vm = Vm::new(m.clone(), base.with_observe(ObserveLevel::Counters)).unwrap();
+            vm.invoke_by_name("P.Outer", vec![Value::I4(200)]).unwrap();
+            let rep = vm.observe_report().unwrap();
+            let outer = rep.method(vm.module.find_method("P.Outer").unwrap()).unwrap();
+            let work = rep.method(vm.module.find_method("P.Work").unwrap()).unwrap();
+            assert_eq!(outer.invocations, 1, "{}", base.name);
+            assert_eq!(work.invocations, 1, "{}", base.name);
+            assert!(
+                outer.ops_incl >= outer.ops_excl + work.ops_excl,
+                "{}: caller inclusive {} must cover callee exclusive {}",
+                base.name,
+                outer.ops_incl,
+                work.ops_excl
+            );
+            assert!(work.ops_excl > outer.ops_excl, "{}", base.name);
+        }
+    }
+
+    #[test]
+    fn counters_snapshot_delta_is_saturating() {
+        let a = CountersSnapshot {
+            calls: 10,
+            throws: 1,
+            jit_compiles: 3,
+            loops_found: 2,
+            bounds_checks_eliminated: 5,
+            licm_hoisted: 4,
+        };
+        let b = CountersSnapshot {
+            calls: 25,
+            throws: 1,
+            jit_compiles: 3,
+            loops_found: 7,
+            bounds_checks_eliminated: 5,
+            licm_hoisted: 9,
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.calls, 15);
+        assert_eq!(d.throws, 0);
+        assert_eq!(d.loops_found, 5);
+        assert_eq!(d.licm_hoisted, 5);
+        // Mismatched order saturates to zero instead of wrapping.
+        let z = a.delta(&b);
+        assert_eq!(z, CountersSnapshot { throws: 0, ..CountersSnapshot::default() });
+    }
+
+    #[test]
+    fn calls_and_throws_counters_agree_between_tiers() {
+        // Satellite audit: for the same program, the interp tier and a
+        // non-inlining Rir tier must agree bitwise on calls and throws.
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let exc = mb.class_id("Exception").unwrap();
+            let exc_ctor = mb.method_id("Exception..ctor").unwrap();
+            let mut t = mb.method(c, "Boom", vec![], CilType::Void, MethodKind::Static);
+            t.emit(Op::NewObj(exc_ctor));
+            t.emit(Op::Throw);
+            let boom = t.finish();
+            let mut f = mb.method(c, "Go", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let (ts, te, hs, he) = (f.new_label(), f.new_label(), f.new_label(), f.new_label());
+            let done = f.new_label();
+            let i = f.local(CilType::I4);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.place(head);
+            f.ld_loc(i);
+            f.ld_arg(0);
+            f.br_cmp(CmpOp::Ge, exit);
+            f.place(ts);
+            f.call(boom);
+            f.leave(done);
+            f.place(te);
+            f.place(hs);
+            f.emit(Op::Pop);
+            f.leave(done);
+            f.place(he);
+            f.place(done);
+            f.ld_loc(i);
+            f.ldc_i4(1);
+            f.bin(BinOp::Add);
+            f.st_loc(i);
+            f.br(head);
+            f.place(exit);
+            f.ld_loc(i);
+            f.ret();
+            f.eh_catch(ts, te, hs, he, exc);
+            f.finish();
+        });
+        // Mono-0.23 does not inline (passes off), so the call structure is
+        // identical to the interpreter's.
+        let interp = Vm::new(m.clone(), VmProfile::sscli10()).unwrap();
+        let rir = Vm::new(m.clone(), VmProfile::mono023()).unwrap();
+        for vm in [&interp, &rir] {
+            assert_eq!(
+                vm.invoke_by_name("P.Go", vec![Value::I4(9)]).unwrap().unwrap().as_i4(),
+                9
+            );
+        }
+        let a = interp.counters.snapshot();
+        let b = rir.counters.snapshot();
+        assert_eq!(a.calls, b.calls, "calls must match bitwise across tiers");
+        assert_eq!(a.throws, b.throws, "throws must match bitwise across tiers");
+        // Each iteration: Boom plus the Exception..ctor its newobj runs.
+        assert_eq!(a.calls, 19, "1 entry + 9 Boom + 9 ctor calls");
+        assert_eq!(a.throws, 9);
+    }
+
+    #[test]
+    fn jit_compiles_counts_methods_not_races() {
+        // Single-threaded: compiling the entry + callee exactly once.
+        let m = array_loop_module();
+        let vm = Vm::new(m, VmProfile::clr11()).unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(4)]).unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(4)]).unwrap();
+        assert_eq!(vm.counters.snapshot().jit_compiles, 1, "cache hit on repeat");
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::error::{VmError, VmResult};
 use crate::interp;
+use crate::observe::{ObserveLevel, ObserveReport, Observer};
 use crate::profile::{MathKind, Tier, VmProfile};
 use crate::rir::RirMethod;
 use hpcnet_cil::{
@@ -107,6 +108,25 @@ impl Counters {
     }
 }
 
+impl CountersSnapshot {
+    /// Counter activity since `earlier`: field-wise saturating
+    /// subtraction. Saturating because consumers diff snapshots from
+    /// before/after a measured region and a mismatched pair (or a
+    /// restarted VM) must degrade to zero, not wrap to 2^64.
+    pub fn delta(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            calls: self.calls.saturating_sub(earlier.calls),
+            throws: self.throws.saturating_sub(earlier.throws),
+            jit_compiles: self.jit_compiles.saturating_sub(earlier.jit_compiles),
+            loops_found: self.loops_found.saturating_sub(earlier.loops_found),
+            bounds_checks_eliminated: self
+                .bounds_checks_eliminated
+                .saturating_sub(earlier.bounds_checks_eliminated),
+            licm_hoisted: self.licm_hoisted.saturating_sub(earlier.licm_hoisted),
+        }
+    }
+}
+
 /// A module bound to an execution profile.
 pub struct Vm {
     pub module: Arc<Module>,
@@ -135,6 +155,9 @@ pub struct Vm {
     /// per-opcode "executed at least once" accounting.
     op_coverage: Box<[AtomicU64]>,
     op_coverage_on: AtomicBool,
+    /// Per-method attribution profiler + typed event trace, sized by the
+    /// profile's [`ObserveLevel`] at construction (see [`crate::observe`]).
+    pub(crate) observer: Observer,
 }
 
 impl std::fmt::Debug for Vm {
@@ -203,6 +226,7 @@ impl Vm {
             max_depth: std::sync::atomic::AtomicU32::new(256),
             op_coverage: (0..hpcnet_cil::Op::KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
             op_coverage_on: AtomicBool::new(false),
+            observer: Observer::new(profile.observe, n_methods),
         })
     }
 
@@ -239,6 +263,17 @@ impl Vm {
             )));
         }
         self.counters.calls.fetch_add(1, Ordering::Relaxed);
+        if self.observer.enabled() {
+            let before = self.observer.enter(method);
+            let r = match self.profile.tier {
+                Tier::Interpreter => interp::call(self, method, args, depth),
+                Tier::Rir => crate::exec::call(self, method, args, depth),
+            };
+            // Runs on unwinds too: the opcodes a frame executed before
+            // faulting stay attributed to it.
+            self.observer.leave(method, before);
+            return r;
+        }
         match self.profile.tier {
             Tier::Interpreter => interp::call(self, method, args, depth),
             Tier::Rir => crate::exec::call(self, method, args, depth),
@@ -251,13 +286,37 @@ impl Vm {
             return Ok(m.clone());
         }
         let compiled = Arc::new(crate::rir::lower::compile(self, method)?);
-        self.counters.jit_compiles.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.code_cache.write();
         if let Some(m) = &cache[method.idx()] {
             return Ok(m.clone()); // lost the race; use the winner
         }
+        // Count only the translation that wins the cache race, so
+        // `jit_compiles` means "methods compiled", bitwise equal across
+        // runs and thread schedules (a loser used to be counted too).
+        self.counters.jit_compiles.fetch_add(1, Ordering::Relaxed);
         cache[method.idx()] = Some(compiled.clone());
         Ok(compiled)
+    }
+
+    /// Drain the attribution profiler into plain values; `None` when the
+    /// profile's [`ObserveLevel`] is `Off`. Counts only — bit-identical
+    /// across runs of a deterministic program (docs/OBSERVABILITY.md).
+    pub fn observe_report(&self) -> Option<ObserveReport> {
+        if !self.observer.enabled() {
+            return None;
+        }
+        Some(self.observer.report(|m| self.method_display_name(m)))
+    }
+
+    /// The profiler's display name for a method: `"Class.Method"`.
+    pub fn method_display_name(&self, m: MethodId) -> String {
+        let md = self.module.method(m);
+        format!("{}.{}", self.module.class(md.owner).name, md.name)
+    }
+
+    /// The VM's observation level (from the profile at construction).
+    pub fn observe_level(&self) -> ObserveLevel {
+        self.observer.level()
     }
 
     /// Adjust the managed call-depth guard. Hosts running deeply recursive

@@ -25,6 +25,8 @@
 //! gate. Profiles feed the pipeline described in [`crate::rir`]: CIL →
 //! lower → scalar passes → loop-aware tier → allocate → execute.
 
+use crate::observe::ObserveLevel;
+
 /// Which execution tier runs the code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Tier {
@@ -150,9 +152,21 @@ pub struct VmProfile {
     pub exception_cost_units: u32,
     pub math: MathKind,
     pub multidim: MultiDimStyle,
+    /// How much the VM records while executing (docs/OBSERVABILITY.md).
+    /// `Off` in every stock profile; not part of the modeled platform, so
+    /// it must never change execution results — the conform fuzzer runs
+    /// the whole engine matrix with this raised to prove it.
+    pub observe: ObserveLevel,
 }
 
 impl VmProfile {
+    /// The same profile with a different [`ObserveLevel`] (builder-style,
+    /// usable in consts).
+    pub const fn with_observe(mut self, level: ObserveLevel) -> VmProfile {
+        self.observe = level;
+        self
+    }
+
     /// Microsoft .NET CLR 1.1 — the optimizing commercial CLI JIT.
     pub const fn clr11() -> VmProfile {
         let mut p = PassConfig::full();
@@ -173,6 +187,7 @@ impl VmProfile {
             // run at ~25% of jagged throughput. The `FlatOffset` style
             // exists for ablation (what optimized accessors would do).
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -194,6 +209,7 @@ impl VmProfile {
             exception_cost_units: 8,
             math: MathKind::Fast,
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -210,6 +226,7 @@ impl VmProfile {
             exception_cost_units: 10,
             math: MathKind::Fast,
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -226,6 +243,7 @@ impl VmProfile {
             exception_cost_units: 12,
             math: MathKind::Fast,
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -244,6 +262,7 @@ impl VmProfile {
             exception_cost_units: 1,
             math: MathKind::Strict,
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -265,6 +284,7 @@ impl VmProfile {
             exception_cost_units: 1,
             math: MathKind::Strict,
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -287,6 +307,7 @@ impl VmProfile {
             exception_cost_units: 1,
             math: MathKind::Strict,
             multidim: MultiDimStyle::HelperCall,
+            observe: ObserveLevel::Off,
         }
     }
 
@@ -371,5 +392,16 @@ mod tests {
         assert_eq!(VmProfile::clr11().math, MathKind::Fast);
         assert_eq!(VmProfile::jvm_ibm131().math, MathKind::Strict);
         assert_eq!(VmProfile::jvm_sun14().math, MathKind::Strict);
+    }
+
+    #[test]
+    fn observe_defaults_off_and_with_observe_only_changes_level() {
+        for p in VmProfile::scimark_lineup() {
+            assert_eq!(p.observe, ObserveLevel::Off);
+            let traced = p.with_observe(ObserveLevel::Trace);
+            assert_eq!(traced.observe, ObserveLevel::Trace);
+            // Everything else is untouched.
+            assert_eq!(traced.with_observe(ObserveLevel::Off), p);
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! parameter.
 
 use crate::machine::Vm;
+use crate::observe::{Event, JitOutcome, LoopRejectReason};
 use crate::profile::PassConfig;
 use crate::rir::loops::{find_loops, Cfg, NaturalLoop};
 use crate::rir::lower::{rewrite_slots, Lowered};
@@ -40,8 +41,10 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
     if passes.mul_strength_reduction {
         strength_reduce(&mut l);
     }
+    let mut outcome = JitOutcome::default();
     if passes.bce {
         let n = eliminate_bounds_checks(&mut l);
+        outcome.bce_removed = n as u32;
         vm.counters
             .bounds_checks_eliminated
             .fetch_add(n, Ordering::Relaxed);
@@ -53,20 +56,25 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
     // The loop-aware tier runs on compacted code (shuffle moves already
     // erased by copy-prop + DCE), where the guard compare reads the named
     // locals directly.
+    let mut rejections: Vec<(u32, LoopRejectReason)> = Vec::new();
     if (passes.abce || passes.licm) && !l.code.is_empty() {
         let cfg = Cfg::build(&l);
         let loops = find_loops(&l, &cfg);
+        outcome.loops_found = loops.len() as u32;
         vm.counters
             .loops_found
             .fetch_add(loops.len() as u64, Ordering::Relaxed);
         if passes.abce {
-            let n = loop_aware_bce(&mut l, &cfg, &loops);
+            let (n, rej) = loop_aware_bce(&mut l, &cfg, &loops);
+            outcome.abce_removed = n as u32;
+            rejections = rej;
             vm.counters
                 .bounds_checks_eliminated
                 .fetch_add(n, Ordering::Relaxed);
         }
         if passes.licm {
             let n = loop_invariant_code_motion(&mut l);
+            outcome.licm_hoisted = n as u32;
             vm.counters.licm_hoisted.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -75,7 +83,20 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
     } else {
         HashSet::new()
     };
-    allocate(vm, method, l, &force_spill_p)
+    let compiled = allocate(vm, method, l, &force_spill_p);
+    if vm.observer.tracing() {
+        outcome.rir_len = compiled.code.len() as u32;
+        outcome.enreg_prim = compiled.n_preg;
+        outcome.spill_prim = compiled.n_pspill;
+        outcome.enreg_ref = compiled.n_rreg;
+        outcome.spill_ref = compiled.n_rspill;
+        vm.observer.push_event(Event::JitCompile { method, outcome });
+        for (header_pc, reason) in rejections {
+            vm.observer
+                .push_event(Event::LoopRejected { method, header_pc, reason });
+        }
+    }
+    compiled
 }
 
 /// Basic-block leader set: entry, branch targets, post-terminator
@@ -894,130 +915,20 @@ fn collect_loop_facts(l: &Lowered) -> LoopFacts {
 /// The execution engine keeps its safety net: an unchecked access that
 /// does go out of range is an engine error, so the differential suite
 /// would expose an unsound match.
-fn loop_aware_bce(l: &mut Lowered, cfg: &Cfg, loops: &[NaturalLoop]) -> u64 {
+fn loop_aware_bce(
+    l: &mut Lowered,
+    cfg: &Cfg,
+    loops: &[NaturalLoop],
+) -> (u64, Vec<(u32, LoopRejectReason)>) {
     let facts = collect_loop_facts(l);
     let mut flips: Vec<usize> = Vec::new();
-    for lp in loops.iter().filter(|lp| lp.clean) {
-        // In-loop definition sites.
-        let mut pdefs: HashMap<u16, Vec<usize>> = HashMap::new();
-        let mut rdefs: HashSet<u16> = HashSet::new();
-        for &b in &lp.body {
-            let (s, e) = cfg.ranges[b];
-            for pc in s..e {
-                if let Some(d) = def_p(&l.code[pc]) {
-                    pdefs.entry(d).or_default().push(pc);
-                }
-                if let Some(d) = def_r(&l.code[pc]) {
-                    rdefs.insert(d);
-                }
-            }
-        }
-        let (_, he) = cfg.ranges[lp.header];
-        let term = he - 1;
-        let Some(g) = facts.guard.get(&term) else { continue };
-        let RInst::BrCmp { t, .. } = l.code[term] else { continue };
-        let tgt_in = lp.body.contains(&cfg.block_of(t));
-        let fall_in = he < l.code.len() && lp.body.contains(&cfg.block_of(he as u32));
-        if tgt_in == fall_in {
-            continue;
-        }
-        // The predicate that holds on the edge that stays in the loop.
-        let stay = if fall_in { g.op.negate() } else { g.op };
-        // Which side is the bound? The staying predicate must imply
-        // `ivar < len` (strictly).
-        let (ivar, arr, bound_slot, bound_global) = if let Some((arr, glob)) = g.b_len {
-            if stay != CmpOp::Lt {
-                continue;
-            }
-            (g.a, arr, g.b, glob)
-        } else if let Some((arr, glob)) = g.a_len {
-            if stay != CmpOp::Gt {
-                continue;
-            }
-            let Some(bv) = g.b else { continue };
-            (bv, arr, Some(g.a), glob)
-        } else {
-            continue;
-        };
-        // A header `ldlen` bound re-derives every iteration; the global
-        // `len` local must not be written inside the loop.
-        if bound_global {
-            if let Some(bs) = bound_slot {
-                if pdefs.contains_key(&bs) {
-                    continue;
-                }
-            }
-        }
-        // Array invariance inside the loop.
-        if rdefs.contains(&arr) {
-            continue;
-        }
-        // Induction: every in-loop def is a positive increment.
-        let ivar_defs: &[usize] = pdefs.get(&ivar).map(|v| v.as_slice()).unwrap_or(&[]);
-        if ivar_defs
-            .iter()
-            .any(|pc| !matches!(facts.defs.get(pc), Some(DefKind::Increment)))
-        {
-            continue;
-        }
-        // Entry value: every edge entering the header from outside must
-        // carry a known non-negative constant for the induction variable.
-        let entry_preds: Vec<usize> = cfg.preds[lp.header]
-            .iter()
-            .copied()
-            .filter(|p| !lp.body.contains(p))
-            .collect();
-        if entry_preds.is_empty() {
-            continue;
-        }
-        let entry_ok = entry_preds.iter().all(|&p| {
-            facts
-                .end_consts
-                .get(&cfg.heads[p])
-                .and_then(|m| m.get(&ivar))
-                .map_or(false, |&v| v as u32 as i32 >= 0)
-        });
-        if !entry_ok {
-            continue;
-        }
-        // Everything downstream of an increment (without re-passing the
-        // guard) is no longer covered by it.
-        let mut post_pcs: HashSet<usize> = HashSet::new();
-        let mut post_blocks: HashSet<usize> = HashSet::new();
-        let mut stack: Vec<usize> = Vec::new();
-        for &ipc in ivar_defs {
-            let b = cfg.block_of(ipc as u32);
-            post_pcs.extend(ipc + 1..cfg.ranges[b].1);
-            stack.extend(
-                cfg.succs[b]
-                    .iter()
-                    .copied()
-                    .filter(|s| lp.body.contains(s) && *s != lp.header),
-            );
-        }
-        while let Some(b) = stack.pop() {
-            if post_blocks.insert(b) {
-                stack.extend(
-                    cfg.succs[b]
-                        .iter()
-                        .copied()
-                        .filter(|s| lp.body.contains(s) && *s != lp.header),
-                );
-            }
-        }
-        for &b in &lp.body {
-            if b == lp.header || post_blocks.contains(&b) {
-                continue;
-            }
-            let (s, e) = cfg.ranges[b];
-            for pc in s..e {
-                if post_pcs.contains(&pc) {
-                    continue;
-                }
-                if facts.access.get(&pc) == Some(&(ivar, arr)) {
-                    flips.push(pc);
-                }
-            }
+    let mut rejected: Vec<(u32, LoopRejectReason)> = Vec::new();
+    for lp in loops {
+        match analyze_loop(l, cfg, &facts, lp) {
+            // An accepted loop with no matching accesses is not a
+            // rejection — the proof succeeded, there was nothing to drop.
+            Ok(mut f) => flips.append(&mut f),
+            Err(reason) => rejected.push((cfg.ranges[lp.header].0 as u32, reason)),
         }
     }
     let mut count = 0u64;
@@ -1030,7 +941,150 @@ fn loop_aware_bce(l: &mut Lowered, cfg: &Cfg, loops: &[NaturalLoop]) -> u64 {
             _ => {}
         }
     }
-    count
+    (count, rejected)
+}
+
+/// Prove one natural loop safe for check elimination: returns the pcs of
+/// the covered element accesses, or the first disqualifier found (the
+/// [`LoopRejectReason`] the event trace reports).
+fn analyze_loop(
+    l: &Lowered,
+    cfg: &Cfg,
+    facts: &LoopFacts,
+    lp: &NaturalLoop,
+) -> Result<Vec<usize>, LoopRejectReason> {
+    if !lp.clean {
+        return Err(LoopRejectReason::OverlapsEh);
+    }
+    // In-loop definition sites.
+    let mut pdefs: HashMap<u16, Vec<usize>> = HashMap::new();
+    let mut rdefs: HashSet<u16> = HashSet::new();
+    for &b in &lp.body {
+        let (s, e) = cfg.ranges[b];
+        for pc in s..e {
+            if let Some(d) = def_p(&l.code[pc]) {
+                pdefs.entry(d).or_default().push(pc);
+            }
+            if let Some(d) = def_r(&l.code[pc]) {
+                rdefs.insert(d);
+            }
+        }
+    }
+    let (_, he) = cfg.ranges[lp.header];
+    let term = he - 1;
+    let Some(g) = facts.guard.get(&term) else {
+        return Err(LoopRejectReason::NoHeaderGuard);
+    };
+    let RInst::BrCmp { t, .. } = l.code[term] else {
+        return Err(LoopRejectReason::NoHeaderGuard);
+    };
+    let tgt_in = lp.body.contains(&cfg.block_of(t));
+    let fall_in = he < l.code.len() && lp.body.contains(&cfg.block_of(he as u32));
+    if tgt_in == fall_in {
+        return Err(LoopRejectReason::GuardShape);
+    }
+    // The predicate that holds on the edge that stays in the loop.
+    let stay = if fall_in { g.op.negate() } else { g.op };
+    // Which side is the bound? The staying predicate must imply
+    // `ivar < len` (strictly).
+    let (ivar, arr, bound_slot, bound_global) = if let Some((arr, glob)) = g.b_len {
+        if stay != CmpOp::Lt {
+            return Err(LoopRejectReason::GuardShape);
+        }
+        (g.a, arr, g.b, glob)
+    } else if let Some((arr, glob)) = g.a_len {
+        if stay != CmpOp::Gt {
+            return Err(LoopRejectReason::GuardShape);
+        }
+        let Some(bv) = g.b else {
+            return Err(LoopRejectReason::GuardShape);
+        };
+        (bv, arr, Some(g.a), glob)
+    } else {
+        return Err(LoopRejectReason::GuardShape);
+    };
+    // A header `ldlen` bound re-derives every iteration; the global
+    // `len` local must not be written inside the loop.
+    if bound_global {
+        if let Some(bs) = bound_slot {
+            if pdefs.contains_key(&bs) {
+                return Err(LoopRejectReason::BoundMutated);
+            }
+        }
+    }
+    // Array invariance inside the loop.
+    if rdefs.contains(&arr) {
+        return Err(LoopRejectReason::ArrayMutated);
+    }
+    // Induction: every in-loop def is a positive increment.
+    let ivar_defs: &[usize] = pdefs.get(&ivar).map(|v| v.as_slice()).unwrap_or(&[]);
+    if ivar_defs
+        .iter()
+        .any(|pc| !matches!(facts.defs.get(pc), Some(DefKind::Increment)))
+    {
+        return Err(LoopRejectReason::IndexStep);
+    }
+    // Entry value: every edge entering the header from outside must
+    // carry a known non-negative constant for the induction variable.
+    let entry_preds: Vec<usize> = cfg.preds[lp.header]
+        .iter()
+        .copied()
+        .filter(|p| !lp.body.contains(p))
+        .collect();
+    if entry_preds.is_empty() {
+        return Err(LoopRejectReason::EntryUnknown);
+    }
+    let entry_ok = entry_preds.iter().all(|&p| {
+        facts
+            .end_consts
+            .get(&cfg.heads[p])
+            .and_then(|m| m.get(&ivar))
+            .map_or(false, |&v| v as u32 as i32 >= 0)
+    });
+    if !entry_ok {
+        return Err(LoopRejectReason::EntryUnknown);
+    }
+    // Everything downstream of an increment (without re-passing the
+    // guard) is no longer covered by it.
+    let mut post_pcs: HashSet<usize> = HashSet::new();
+    let mut post_blocks: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for &ipc in ivar_defs {
+        let b = cfg.block_of(ipc as u32);
+        post_pcs.extend(ipc + 1..cfg.ranges[b].1);
+        stack.extend(
+            cfg.succs[b]
+                .iter()
+                .copied()
+                .filter(|s| lp.body.contains(s) && *s != lp.header),
+        );
+    }
+    while let Some(b) = stack.pop() {
+        if post_blocks.insert(b) {
+            stack.extend(
+                cfg.succs[b]
+                    .iter()
+                    .copied()
+                    .filter(|s| lp.body.contains(s) && *s != lp.header),
+            );
+        }
+    }
+    let mut covered = Vec::new();
+    for &b in &lp.body {
+        if b == lp.header || post_blocks.contains(&b) {
+            continue;
+        }
+        let (s, e) = cfg.ranges[b];
+        for pc in s..e {
+            if post_pcs.contains(&pc) {
+                continue;
+            }
+            if facts.access.get(&pc) == Some(&(ivar, arr)) {
+                covered.push(pc);
+            }
+        }
+    }
+    Ok(covered)
 }
 
 /// Loop-invariant code motion.
