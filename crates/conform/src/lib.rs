@@ -237,8 +237,8 @@ mod tests {
             observe: ObserveLevel::Off,
         });
         assert!(report.ok(), "{}", report.render());
-        assert_eq!(report.engines, 26);
-        assert_eq!(report.runs, 5 * 3 * 26);
+        assert_eq!(report.engines, 50);
+        assert_eq!(report.runs, 5 * 3 * 50);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn engine_matrix() -> Vec<Engine> {
     for base in VmProfile::scimark_lineup() {
         match base.tier {
             Tier::Interpreter => out.push(Engine { label: base.name.to_string(), profile: base }),
-            Tier::Rir => {
+            Tier::Rir | Tier::Compiled => {
                 for (abce, licm) in [(false, false), (true, false), (false, true), (true, true)] {
                     let mut p = base;
                     p.passes.abce = abce;
@@ -54,6 +54,17 @@ pub fn engine_matrix() -> Vec<Engine> {
                     out.push(Engine {
                         label: format!("{} [abce={} licm={}]", base.name, abce as u8, licm as u8),
                         profile: p,
+                    });
+                    // The same knobs again on the direct-threaded tier:
+                    // closure dispatch and linear-scan allocation must be
+                    // observationally identical to the exec tier.
+                    let threaded = p.with_tier(Tier::Compiled);
+                    out.push(Engine {
+                        label: format!(
+                            "{} [threaded abce={} licm={}]",
+                            base.name, abce as u8, licm as u8
+                        ),
+                        profile: threaded,
                     });
                 }
             }
@@ -263,15 +274,22 @@ mod tests {
     #[test]
     fn matrix_has_oracle_plus_expanded_lineup() {
         let m = engine_matrix();
-        // oracle + Rotor + 6 Rir profiles × 4 pass combos
-        assert_eq!(m.len(), 1 + 1 + 6 * 4);
+        // oracle + Rotor + 6 register profiles × 4 pass combos × 2 tiers
+        // (exec and direct-threaded)
+        assert_eq!(m.len(), 1 + 1 + 6 * 4 * 2);
         assert_eq!(m[0].label, "oracle");
         assert_eq!(m[0].profile.tier, Tier::Interpreter);
         assert!(!m[0].profile.emulate_cdq);
         let labels: Vec<&str> = m.iter().map(|e| e.label.as_str()).collect();
         assert!(labels.contains(&"C# .NET 1.1 [abce=1 licm=1]"), "{labels:?}");
         assert!(labels.contains(&"Java Sun 1.4 [abce=0 licm=0]"));
+        assert!(labels.contains(&"C# .NET 1.1 [threaded abce=1 licm=1]"));
         assert!(labels.contains(&"Rotor 1.0"));
+        let threaded = m
+            .iter()
+            .filter(|e| e.profile.tier == Tier::Compiled)
+            .count();
+        assert_eq!(threaded, 6 * 4);
     }
 
     #[test]

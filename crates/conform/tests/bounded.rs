@@ -38,8 +38,8 @@ fn bounded_sweep_no_divergence_and_full_opcode_coverage() {
 
     // ≥ 200 programs across the full matrix.
     assert_eq!(report.programs, PROGRAMS);
-    assert_eq!(report.engines, 26, "engine matrix changed shape");
-    assert_eq!(report.runs as u64, PROGRAMS * 3 * 26);
+    assert_eq!(report.engines, 50, "engine matrix changed shape");
+    assert_eq!(report.runs as u64, PROGRAMS * 3 * 50);
 
     // Every opcode kind the generator emitted must have executed at least
     // once on the interpreter oracle.

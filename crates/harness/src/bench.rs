@@ -147,14 +147,15 @@ pub fn cell_note(m: &Measurement) -> String {
     note
 }
 
-/// Run the default bench sweep ([`BENCH_GROUPS`] × the CLI lineup).
+/// Run the default bench sweep ([`BENCH_GROUPS`] × the bench lineup: the
+/// CLI profiles plus the CLR knobs on the direct-threaded tier).
 pub fn run_bench(cfg: &Config) -> Result<BenchRun, MeasureError> {
     run_bench_groups(cfg, BENCH_GROUPS)
 }
 
 /// Run the bench sweep over an explicit group list.
 pub fn run_bench_groups(cfg: &Config, group_ids: &[&str]) -> Result<BenchRun, MeasureError> {
-    let profiles = VmProfile::cli_lineup();
+    let profiles = VmProfile::bench_lineup();
     let mut group_docs = Vec::new();
     let mut tables = Vec::new();
     for gid in group_ids {
@@ -458,7 +459,7 @@ mod tests {
         assert_eq!(entries.len(), 3, "loop group has 3 entries");
         for e in entries {
             let profiles = e.get("profiles").unwrap().as_arr().unwrap();
-            assert_eq!(profiles.len(), 3, "cli lineup");
+            assert_eq!(profiles.len(), 4, "bench lineup");
             for p in profiles {
                 let secs = p.get("iter_secs").unwrap().as_arr().unwrap();
                 // At least the two unbatched probes (slow debug cells may

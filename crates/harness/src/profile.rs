@@ -90,6 +90,7 @@ fn tier_str(t: Tier) -> &'static str {
     match t {
         Tier::Interpreter => "interpreter",
         Tier::Rir => "register",
+        Tier::Compiled => "threaded",
     }
 }
 

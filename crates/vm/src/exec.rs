@@ -44,7 +44,7 @@ pub(crate) fn call(
     }
 }
 
-fn loc_to_dst(a: ArgSlot) -> DstSlotT {
+pub(crate) fn loc_to_dst(a: ArgSlot) -> DstSlotT {
     match a {
         ArgSlot::P(_, s) => DstSlotT::P(s),
         ArgSlot::R(s) => DstSlotT::R(s),
@@ -52,12 +52,12 @@ fn loc_to_dst(a: ArgSlot) -> DstSlotT {
 }
 
 /// Typed destination used when storing a `Value`.
-enum DstSlotT {
+pub(crate) enum DstSlotT {
     P(u16),
     R(u16),
 }
 
-struct Frame {
+pub(crate) struct Frame {
     preg: Vec<u64>,
     pspill: Vec<u64>,
     rreg: Vec<Option<Obj>>,
@@ -65,7 +65,7 @@ struct Frame {
 }
 
 impl Frame {
-    fn new(rir: &RirMethod) -> Frame {
+    pub(crate) fn new(rir: &RirMethod) -> Frame {
         Frame {
             preg: vec![0; rir.n_preg as usize],
             pspill: vec![0; rir.n_pspill as usize],
@@ -77,7 +77,7 @@ impl Frame {
     /// Read a primitive slot. Spill slots go through a volatile load —
     /// genuine memory traffic the optimizer cannot elide.
     #[inline(always)]
-    fn pget(&self, s: u16) -> u64 {
+    pub(crate) fn pget(&self, s: u16) -> u64 {
         if s & SPILL_BIT == 0 {
             self.preg[s as usize]
         } else {
@@ -88,7 +88,7 @@ impl Frame {
     }
 
     #[inline(always)]
-    fn pset(&mut self, s: u16, v: u64) {
+    pub(crate) fn pset(&mut self, s: u16, v: u64) {
         if s & SPILL_BIT == 0 {
             self.preg[s as usize] = v;
         } else {
@@ -99,7 +99,7 @@ impl Frame {
     }
 
     #[inline(always)]
-    fn operand(&self, o: &Operand) -> u64 {
+    pub(crate) fn operand(&self, o: &Operand) -> u64 {
         match o {
             Operand::Slot(s) => self.pget(*s),
             Operand::Imm(v) => *v,
@@ -107,7 +107,7 @@ impl Frame {
     }
 
     #[inline(always)]
-    fn rget(&self, s: u16) -> Option<Obj> {
+    pub(crate) fn rget(&self, s: u16) -> Option<Obj> {
         if s & SPILL_BIT == 0 {
             self.rreg[s as usize].clone()
         } else {
@@ -119,7 +119,7 @@ impl Frame {
     /// Borrow a reference slot without touching the refcount (hot path
     /// for array/field access).
     #[inline(always)]
-    fn rref(&self, s: u16) -> Option<&Obj> {
+    pub(crate) fn rref(&self, s: u16) -> Option<&Obj> {
         if s & SPILL_BIT == 0 {
             self.rreg[s as usize].as_ref()
         } else {
@@ -129,7 +129,7 @@ impl Frame {
     }
 
     #[inline(always)]
-    fn rset(&mut self, s: u16, v: Option<Obj>) {
+    pub(crate) fn rset(&mut self, s: u16, v: Option<Obj>) {
         if s & SPILL_BIT == 0 {
             self.rreg[s as usize] = v;
         } else {
@@ -138,7 +138,7 @@ impl Frame {
         }
     }
 
-    fn load_value(&self, a: &ArgSlot) -> Value {
+    pub(crate) fn load_value(&self, a: &ArgSlot) -> Value {
         match a {
             ArgSlot::P(t, s) => Value::from_bits(*t, self.pget(*s)),
             ArgSlot::R(s) => match self.rget(*s) {
@@ -148,14 +148,14 @@ impl Frame {
         }
     }
 
-    fn store_value(&mut self, d: &DstSlotT, v: Value) {
+    pub(crate) fn store_value(&mut self, d: &DstSlotT, v: Value) {
         match d {
             DstSlotT::P(s) => self.pset(*s, v.to_bits()),
             DstSlotT::R(s) => self.rset(*s, v.as_ref_opt().cloned()),
         }
     }
 
-    fn store_dst(&mut self, d: &DstSlot, v: Value) {
+    pub(crate) fn store_dst(&mut self, d: &DstSlot, v: Value) {
         match d {
             DstSlot::P(s) => self.pset(*s, v.to_bits()),
             DstSlot::R(s) => self.rset(*s, v.as_ref_opt().cloned()),
@@ -163,12 +163,12 @@ impl Frame {
     }
 }
 
-enum RunEnd {
+pub(crate) enum RunEnd {
     Return(Option<Value>),
     EndFinally,
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Next,
     Jump(u32),
     Return(Option<Value>),
@@ -687,13 +687,13 @@ impl<'v> Exec<'v> {
 }
 
 /// An element value in transit (untagged bits or a reference).
-enum Loaded {
+pub(crate) enum Loaded {
     Bits(u64),
     Ref(Option<Obj>),
 }
 
 #[inline]
-fn elem_read(o: &Obj, kind: ElemKind, idx: usize) -> VmResult<Loaded> {
+pub(crate) fn elem_read(o: &Obj, kind: ElemKind, idx: usize) -> VmResult<Loaded> {
     match kind.num_ty() {
         Some(_) => Ok(Loaded::Bits(
             o.prim_data()
@@ -711,7 +711,7 @@ fn elem_read(o: &Obj, kind: ElemKind, idx: usize) -> VmResult<Loaded> {
 }
 
 #[inline]
-fn elem_write(o: &Obj, kind: ElemKind, idx: usize, val: Loaded) -> VmResult<()> {
+pub(crate) fn elem_write(o: &Obj, kind: ElemKind, idx: usize, val: Loaded) -> VmResult<()> {
     match val {
         Loaded::Bits(mut bits) => {
             if kind == ElemKind::U1 {
@@ -735,7 +735,7 @@ fn elem_write(o: &Obj, kind: ElemKind, idx: usize, val: Loaded) -> VmResult<()> 
 /// Flat offset of a multidimensional access with per-dimension bounds
 /// checks; the `helper` flavor is the uninlinable generic accessor.
 #[inline]
-fn multi_offset_of(o: &Obj, idxs: &[i32], helper: bool) -> Option<usize> {
+pub(crate) fn multi_offset_of(o: &Obj, idxs: &[i32], helper: bool) -> Option<usize> {
     if helper {
         multi_helper(o, idxs)
     } else {

@@ -11,6 +11,8 @@
 //! * [`rir`] — stack→register lowering, optimization passes, allocation.
 //! * [`exec`] — the register-tier dispatch loop with an enregistered file
 //!   and a volatile spill frame.
+//! * [`compiled`] — the direct-threaded tier: RIR pre-translated to
+//!   closures by [`rir::compile`], linear-scan allocated, no per-op decode.
 //!
 //! ```
 //! use hpcnet_cil::{CilType, MethodKind, ModuleBuilder, BinOp};
@@ -31,6 +33,7 @@
 //! assert_eq!(r.unwrap().as_i4(), 42);
 //! ```
 
+pub mod compiled;
 pub mod error;
 pub mod exec;
 pub mod interp;
@@ -47,6 +50,7 @@ pub use observe::{
     ObserveReport,
 };
 pub use profile::{MathKind, MultiDimStyle, PassConfig, Tier, VmProfile};
+pub use rir::compile::CompiledMethod;
 pub use rir::{print_rir, RirMethod};
 
 #[cfg(test)]
@@ -60,6 +64,7 @@ mod tests {
     fn all_profiles() -> Vec<VmProfile> {
         let mut v = VmProfile::scimark_lineup();
         v.push(VmProfile::sscli10());
+        v.push(VmProfile::clr11_compiled());
         v.dedup_by_key(|p| p.name);
         v
     }
@@ -1409,5 +1414,104 @@ mod tests {
         vm.invoke_by_name("P.Fill", vec![Value::I4(4)]).unwrap();
         vm.invoke_by_name("P.Fill", vec![Value::I4(4)]).unwrap();
         assert_eq!(vm.counters.snapshot().jit_compiles, 1, "cache hit on repeat");
+    }
+
+    #[test]
+    fn threaded_tier_caches_and_counts_like_exec() {
+        let m = array_loop_module();
+        let vm = Vm::new(m, VmProfile::clr11_compiled()).unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(4)]).unwrap();
+        vm.invoke_by_name("P.Fill", vec![Value::I4(4)]).unwrap();
+        assert_eq!(vm.counters.snapshot().jit_compiles, 1, "cache hit on repeat");
+    }
+
+    /// A method with 70 locals that are all simultaneously live (every one
+    /// is written up front and read in the final sum) — more than the CLR
+    /// profile's 64-slot register file can hold.
+    fn wide_module(n_locals: usize) -> hpcnet_cil::Module {
+        build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f =
+                mb.method(c, "Wide", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let locals: Vec<_> = (0..n_locals).map(|_| f.local(CilType::I4)).collect();
+            for (k, &l) in locals.iter().enumerate() {
+                f.ld_arg(0);
+                f.ldc_i4(k as i32 + 1);
+                f.bin(BinOp::Mul);
+                f.st_loc(l);
+            }
+            f.ldc_i4(0);
+            for &l in &locals {
+                f.ld_loc(l);
+                f.bin(BinOp::Add);
+            }
+            f.ret();
+            f.finish();
+        })
+    }
+
+    #[test]
+    fn spill_pressure_over_the_clr_register_file() {
+        // 70 simultaneously live values against max_enreg_prim = 64: the
+        // linear scan must take real spills, and the spilled code must
+        // still compute the same answer as every other tier.
+        let n = 70usize;
+        let m = wide_module(n);
+        let want = 3 * (n * (n + 1) / 2) as i32; // sum of 3*k for k=1..=70
+        assert_all_i4(&m, "P.Wide", vec![Value::I4(3)], want);
+
+        let vm = Vm::new(wide_module(n), VmProfile::clr11_compiled()).unwrap();
+        let r = vm.invoke_by_name("P.Wide", vec![Value::I4(3)]).unwrap();
+        assert_eq!(r.unwrap().as_i4(), want);
+        let id = vm.module.find_method("P.Wide").unwrap();
+        let code = vm.threaded(id).unwrap();
+        assert!(
+            code.rir.n_pspill > 0,
+            "70 live locals under a 64-slot cap must spill (n_pspill = {})",
+            code.rir.n_pspill
+        );
+        assert!(
+            code.rir.n_preg <= vm.profile.max_enreg_prim,
+            "register file over cap"
+        );
+        // The same method on the exec tier's use-count allocator spills
+        // too — both allocators honor the profile cap.
+        let vm2 = Vm::new(wide_module(n), VmProfile::clr11()).unwrap();
+        let rir = vm2.compiled(id).unwrap();
+        assert!(rir.n_pspill > 0);
+    }
+
+    #[test]
+    fn threaded_register_reuse_beats_use_count_allocation() {
+        // Disjoint lifetimes: each local is written then immediately
+        // consumed, so the linear scan packs them into a handful of
+        // registers while the use-count allocator burns one slot each.
+        let m = build_module(|mb| {
+            let c = mb.declare_class("P", None);
+            let mut f =
+                mb.method(c, "Chain", vec![CilType::I4], CilType::I4, MethodKind::Static);
+            let acc = f.local(CilType::I4);
+            f.ld_arg(0);
+            f.st_loc(acc);
+            for k in 0..40 {
+                let t = f.local(CilType::I4);
+                f.ld_loc(acc);
+                f.ldc_i4(k + 1);
+                f.bin(BinOp::Add);
+                f.st_loc(t);
+                f.ld_loc(t);
+                f.st_loc(acc);
+            }
+            f.ld_loc(acc);
+            f.ret();
+            f.finish();
+        });
+        let want = 1 + (1..=40).sum::<i32>();
+        assert_all_i4(&m, "P.Chain", vec![Value::I4(1)], want);
+        // Under Mono's 1-register cap the chain spills on both tiers, but
+        // interval reuse needs far fewer spill slots than one-per-vreg.
+        let vm = Vm::new(m, VmProfile::mono023().with_tier(Tier::Compiled)).unwrap();
+        let r = vm.invoke_by_name("P.Chain", vec![Value::I4(1)]).unwrap();
+        assert_eq!(r.unwrap().as_i4(), want);
     }
 }

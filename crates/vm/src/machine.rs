@@ -137,6 +137,7 @@ pub struct Vm {
     pub counters: Counters,
     pub(crate) threads: ThreadRegistry,
     code_cache: RwLock<Vec<Option<Arc<RirMethod>>>>,
+    threaded_cache: RwLock<Vec<Option<Arc<crate::rir::compile::CompiledMethod>>>>,
     pub(crate) well_known: WellKnown,
     /// Pre-created string literal objects.
     literals: Vec<Obj>,
@@ -218,6 +219,7 @@ impl Vm {
             counters: Counters::default(),
             threads: ThreadRegistry::new(),
             code_cache: RwLock::new(vec![None; n_methods]),
+            threaded_cache: RwLock::new(vec![None; n_methods]),
             literals,
             run_methods,
             console: Mutex::new(Vec::new()),
@@ -268,6 +270,7 @@ impl Vm {
             let r = match self.profile.tier {
                 Tier::Interpreter => interp::call(self, method, args, depth),
                 Tier::Rir => crate::exec::call(self, method, args, depth),
+                Tier::Compiled => crate::compiled::call(self, method, args, depth),
             };
             // Runs on unwinds too: the opcodes a frame executed before
             // faulting stay attributed to it.
@@ -277,6 +280,7 @@ impl Vm {
         match self.profile.tier {
             Tier::Interpreter => interp::call(self, method, args, depth),
             Tier::Rir => crate::exec::call(self, method, args, depth),
+            Tier::Compiled => crate::compiled::call(self, method, args, depth),
         }
     }
 
@@ -293,6 +297,26 @@ impl Vm {
         // Count only the translation that wins the cache race, so
         // `jit_compiles` means "methods compiled", bitwise equal across
         // runs and thread schedules (a loser used to be counted too).
+        self.counters.jit_compiles.fetch_add(1, Ordering::Relaxed);
+        cache[method.idx()] = Some(compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Fetch (translating on first use) the direct-threaded code for a
+    /// method. Mirrors [`Vm::compiled`], including the race rule: only the
+    /// translation that wins the cache publish bumps `jit_compiles`.
+    pub fn threaded(
+        self: &Arc<Self>,
+        method: MethodId,
+    ) -> VmResult<Arc<crate::rir::compile::CompiledMethod>> {
+        if let Some(m) = &self.threaded_cache.read()[method.idx()] {
+            return Ok(m.clone());
+        }
+        let compiled = Arc::new(crate::rir::compile::compile(self, method)?);
+        let mut cache = self.threaded_cache.write();
+        if let Some(m) = &cache[method.idx()] {
+            return Ok(m.clone()); // lost the race; use the winner
+        }
         self.counters.jit_compiles.fetch_add(1, Ordering::Relaxed);
         cache[method.idx()] = Some(compiled.clone());
         Ok(compiled)

@@ -34,6 +34,12 @@ pub enum Tier {
     Interpreter,
     /// Stack-to-register translation with per-profile optimization passes.
     Rir,
+    /// Direct-threaded execution of the same optimized RIR: each
+    /// instruction is pre-resolved to a closure at compile time and the
+    /// per-opcode dispatch match disappears (see [`crate::compiled`]).
+    /// Slots come from a linear-scan allocator, so the enregistration cap
+    /// bounds *simultaneously live* values rather than total locals.
+    Compiled,
 }
 
 /// Math-library implementation quality (see [`hpcnet_runtime::math`]).
@@ -165,6 +171,25 @@ impl VmProfile {
     pub const fn with_observe(mut self, level: ObserveLevel) -> VmProfile {
         self.observe = level;
         self
+    }
+
+    /// The same profile running on a different [`Tier`] (builder-style,
+    /// usable in consts). The conform matrix uses this to run every
+    /// register-tier profile's pass configuration through the compiled
+    /// tier as well.
+    pub const fn with_tier(mut self, tier: Tier) -> VmProfile {
+        self.tier = tier;
+        self
+    }
+
+    /// CLR 1.1 codegen knobs on the direct-threaded compiled tier — the
+    /// "what if the dispatch loop itself disappeared" engine the bench
+    /// harness compares against [`VmProfile::clr11`].
+    pub const fn clr11_compiled() -> VmProfile {
+        let mut p = Self::clr11();
+        p.name = "C# .NET 1.1 (threaded)";
+        p.tier = Tier::Compiled;
+        p
     }
 
     /// Microsoft .NET CLR 1.1 — the optimizing commercial CLI JIT.
@@ -316,6 +341,19 @@ impl VmProfile {
         vec![Self::clr11(), Self::mono023(), Self::sscli10()]
     }
 
+    /// The bench-harness lineup: the paper's CLI trio plus the
+    /// direct-threaded compiled tier, so every `BENCH_*.json` artifact
+    /// carries the dispatch-elimination comparison alongside the
+    /// historical engines.
+    pub fn bench_lineup() -> Vec<VmProfile> {
+        vec![
+            Self::clr11(),
+            Self::clr11_compiled(),
+            Self::mono023(),
+            Self::sscli10(),
+        ]
+    }
+
     /// The micro-benchmark lineup: IBM JVM vs the three CLIs (Section 4).
     pub fn micro_lineup() -> Vec<VmProfile> {
         vec![
@@ -356,8 +394,23 @@ mod tests {
     #[test]
     fn lineups_have_expected_sizes() {
         assert_eq!(VmProfile::cli_lineup().len(), 3);
+        assert_eq!(VmProfile::bench_lineup().len(), 4);
         assert_eq!(VmProfile::micro_lineup().len(), 4);
         assert_eq!(VmProfile::scimark_lineup().len(), 7);
+    }
+
+    #[test]
+    fn compiled_variant_shares_clr_knobs() {
+        let base = VmProfile::clr11();
+        let compiled = VmProfile::clr11_compiled();
+        assert_eq!(compiled.tier, Tier::Compiled);
+        assert_eq!(compiled.passes, base.passes);
+        assert_eq!(compiled.max_enreg_prim, base.max_enreg_prim);
+        assert_ne!(compiled.name, base.name, "artifact keys must differ");
+        // with_tier only changes the tier.
+        let t = base.with_tier(Tier::Compiled);
+        assert_eq!(t.tier, Tier::Compiled);
+        assert_eq!(t.with_tier(Tier::Rir), base);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! length-bounded loop. docs/OPTIMIZATIONS.md maps every optimization
 //! mechanism to its profile knob.
 
+pub mod compile;
 pub mod lower;
 pub(crate) mod loops;
 pub mod opt;

@@ -24,14 +24,27 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Run the profile's passes over lowered code and allocate registers.
-pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lowered) -> RirMethod {
+/// What the pass pipeline did to a method, before allocation: the partial
+/// [`JitOutcome`] (enreg/spill filled in by the allocator's caller), the
+/// loop-rejection trace, and the force-spill set the allocator must honor.
+pub(crate) struct OptResult {
+    pub outcome: JitOutcome,
+    pub rejections: Vec<(u32, LoopRejectReason)>,
+    pub force_spill_p: HashSet<u16>,
+}
+
+/// Run the profile's optimization passes over lowered code in place. Both
+/// register tiers share this pipeline — the exec tier hands the result to
+/// the use-count allocator below, the compiled tier to the linear-scan
+/// allocator in [`crate::rir::compile`] — so a pass combination means the
+/// same thing on either tier.
+pub(crate) fn optimize(vm: &Arc<Vm>, l: &mut Lowered) -> OptResult {
     let passes = vm.profile.passes;
     if passes.const_prop {
-        const_and_copy_prop(&mut l, &passes);
+        const_and_copy_prop(l, &passes);
     } else if passes.copy_prop {
         const_and_copy_prop(
-            &mut l,
+            l,
             &PassConfig {
                 const_prop: false,
                 ..passes
@@ -39,33 +52,33 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
         );
     }
     if passes.mul_strength_reduction {
-        strength_reduce(&mut l);
+        strength_reduce(l);
     }
     let mut outcome = JitOutcome::default();
     if passes.bce {
-        let n = eliminate_bounds_checks(&mut l);
+        let n = eliminate_bounds_checks(l);
         outcome.bce_removed = n as u32;
         vm.counters
             .bounds_checks_eliminated
             .fetch_add(n, Ordering::Relaxed);
     }
     if passes.dce {
-        dead_code_elim(&mut l);
+        dead_code_elim(l);
     }
-    compact(&mut l);
+    compact(l);
     // The loop-aware tier runs on compacted code (shuffle moves already
     // erased by copy-prop + DCE), where the guard compare reads the named
     // locals directly.
     let mut rejections: Vec<(u32, LoopRejectReason)> = Vec::new();
     if (passes.abce || passes.licm) && !l.code.is_empty() {
-        let cfg = Cfg::build(&l);
-        let loops = find_loops(&l, &cfg);
+        let cfg = Cfg::build(l);
+        let loops = find_loops(l, &cfg);
         outcome.loops_found = loops.len() as u32;
         vm.counters
             .loops_found
             .fetch_add(loops.len() as u64, Ordering::Relaxed);
         if passes.abce {
-            let (n, rej) = loop_aware_bce(&mut l, &cfg, &loops);
+            let (n, rej) = loop_aware_bce(l, &cfg, &loops);
             outcome.abce_removed = n as u32;
             rejections = rej;
             vm.counters
@@ -73,29 +86,49 @@ pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lower
                 .fetch_add(n, Ordering::Relaxed);
         }
         if passes.licm {
-            let n = loop_invariant_code_motion(&mut l);
+            let n = loop_invariant_code_motion(l);
             outcome.licm_hoisted = n as u32;
             vm.counters.licm_hoisted.fetch_add(n, Ordering::Relaxed);
         }
     }
     let force_spill_p = if passes.div_const_temp_quirk {
-        apply_div_const_quirk(&mut l)
+        apply_div_const_quirk(l)
     } else {
         HashSet::new()
     };
-    let compiled = allocate(vm, method, l, &force_spill_p);
-    if vm.observer.tracing() {
-        outcome.rir_len = compiled.code.len() as u32;
-        outcome.enreg_prim = compiled.n_preg;
-        outcome.spill_prim = compiled.n_pspill;
-        outcome.enreg_ref = compiled.n_rreg;
-        outcome.spill_ref = compiled.n_rspill;
-        vm.observer.push_event(Event::JitCompile { method, outcome });
-        for (header_pc, reason) in rejections {
-            vm.observer
-                .push_event(Event::LoopRejected { method, header_pc, reason });
-        }
+    OptResult { outcome, rejections, force_spill_p }
+}
+
+/// Emit the typed compile trace for a finished method: the `JitCompile`
+/// event with the allocator's enreg/spill split folded into the outcome,
+/// plus any loop rejections. Both tiers call this after allocation.
+pub(crate) fn push_compile_events(
+    vm: &Arc<Vm>,
+    method: MethodId,
+    compiled: &RirMethod,
+    mut opt: OptResult,
+) {
+    if !vm.observer.tracing() {
+        return;
     }
+    opt.outcome.rir_len = compiled.code.len() as u32;
+    opt.outcome.enreg_prim = compiled.n_preg;
+    opt.outcome.spill_prim = compiled.n_pspill;
+    opt.outcome.enreg_ref = compiled.n_rreg;
+    opt.outcome.spill_ref = compiled.n_rspill;
+    vm.observer
+        .push_event(Event::JitCompile { method, outcome: opt.outcome });
+    for (header_pc, reason) in opt.rejections {
+        vm.observer
+            .push_event(Event::LoopRejected { method, header_pc, reason });
+    }
+}
+
+/// Run the profile's passes over lowered code and allocate registers.
+pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lowered) -> RirMethod {
+    let opt = optimize(vm, &mut l);
+    let compiled = allocate(vm, method, l, &opt.force_spill_p);
+    push_compile_events(vm, method, &compiled, opt);
     compiled
 }
 

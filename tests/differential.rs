@@ -16,7 +16,7 @@
 //! (see `docs/TESTING.md`); this file keeps the small, fast facade-level
 //! differential checks.
 
-use hpcnet::{compile_and_load, Value, VmProfile};
+use hpcnet::{compile_and_load, Tier, Value, VmProfile};
 
 /// Deterministic 64-bit LCG (MMIX constants) so the generated corpus is
 /// identical on every run and failures reproduce from the case index.
@@ -107,6 +107,10 @@ fn profiles() -> Vec<VmProfile> {
         VmProfile::clr11(),
         VmProfile::jvm_ibm131(),
         VmProfile::jvm_sun14(),
+        // The direct-threaded tier: same CLR knobs, closure dispatch and
+        // linear-scan allocation instead of the exec tier's decode loop.
+        VmProfile::clr11_compiled(),
+        VmProfile::mono023().with_tier(Tier::Compiled),
     ]
 }
 
