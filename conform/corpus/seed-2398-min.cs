@@ -1,0 +1,23 @@
+// conform reproducer — seed 2398 (hand-minimized regression pin)
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(1755963636, -792217082)
+// oracle result: i8:11
+// status: FIXED — pinned regression for the DCE exception-liveness bug.
+//   `v2 = ai[a & m]` traps (index 20 on int[8]); the handler path must
+//   observe the initializer `v2 = 11`. DCE treated the in-try store as
+//   killing v2, so the initializer looked dead and was deleted, and every
+//   dce-enabled engine returned 0. Fix: handler live-in bypasses the kill
+//   set for protected blocks (crates/vm/src/rir/opt.rs, dce_round).
+
+class Gen {
+    static long Run(int a, int b) {
+        int v2 = 11;
+        int[] ai = new int[8];
+        int m = 255 / ((ai.Length & 15) + 1);
+        try {
+            v2 = ai[(a & m)];
+        } catch (Exception ex0) {
+        }
+        return (long)v2;
+    }
+}

@@ -1,0 +1,393 @@
+// conform reproducer — seed 2398
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(1755963636, -792217082)
+// oracle result: i8:714170333847228387
+// status: FIXED — pinned regression. At time of capture every dce-enabled
+//   engine (first reported: Java IBM 1.3.1 [abce=0 licm=0]) returned
+//   i8:714170333837069656: DCE deleted an initializer whose value a catch
+//   handler observes after an array-bounds trap. Fixed in
+//   crates/vm/src/rir/opt.rs (dce_round exception liveness); the
+//   hand-minimized core is seed-2398-min.cs.
+
+// conform seed 2398
+class Gen {
+    static int sI = 0;
+    static long sL = 1000000007L;
+    static double sD = (-1.0);
+    static int H0(int x, int y) { return ((x - 15) / (((~(-2147483647 - 1)) & 15) + 1)); }
+    static long H1(long x, int y) { return sL; }
+    static double H2(double x, double y) { return (((-1L) < 1L) ? (1.0 - (-0.5)) : (x * 1.0)); }
+    static int R0(int n, int x) {
+        if (n < 1) { return x; }
+        return (R0((n - 1), (x + 89)) ^ n);
+    }
+    static long Run(int a, int b) {
+        int v0 = 3;
+        int v1 = (-2);
+        int v2 = 11;
+        long w0 = 5L;
+        long w1 = (-17L);
+        double d0 = 1.5;
+        double d1 = (-0.25);
+        bool b0 = true;
+        bool b1 = false;
+        int[] ai = new int[8];
+        long[] al = new long[8];
+        double[] ad = new double[8];
+        int[][] jj = new int[4][];
+        for (int p0 = 0; p0 < jj.Length; p0++) { jj[p0] = new int[8]; }
+        double[,] rr = new double[4, 4];
+        v0 = a;
+        v1 = b;
+        ai[0] = a;
+        ai[1] = b;
+        w0 = ((long)a * (long)b);
+        d0 = ((double)a * 0.5);
+        try {
+            v2 = jj[(ad.Length & 3)][(((sI ^ v0) & (255 / ((jj[(ai.Length & 3)].Length & 15) + 1))) + ((int)(0.001 / 0.5)))];
+        } catch (Exception ex0) {
+        }
+        long chk = 0L;
+        double dsum = 0.0;
+        for (int c0 = 0; c0 < ai.Length; c0++) { chk = ((chk * 31L) + (long)ai[c0]); }
+        for (int c1 = 0; c1 < al.Length; c1++) { chk = ((chk * 31L) + al[c1]); }
+        for (int c2 = 0; c2 < ad.Length; c2++) { dsum = (dsum + ad[c2]); }
+        for (int c3 = 0; c3 < jj.Length; c3++) {
+            for (int c4 = 0; c4 < jj[c3].Length; c4++) { chk = ((chk * 31L) + (long)jj[c3][c4]); }
+        }
+        for (int c5 = 0; c5 < rr.GetLength(0); c5++) {
+            for (int c6 = 0; c6 < rr.GetLength(1); c6++) { dsum = (dsum + rr[c5, c6]); }
+        }
+        chk = ((chk * 31L) + (long)v0);
+        chk = ((chk * 31L) + (long)v1);
+        chk = ((chk * 31L) + (long)v2);
+        chk = ((chk * 31L) + w0);
+        chk = ((chk * 31L) + w1);
+        dsum = (dsum + d0);
+        dsum = (dsum + d1);
+        chk = (chk ^ (b0 ? 2L : 0L));
+        chk = (chk ^ (b1 ? 4L : 0L));
+        chk = ((chk * 31L) + (long)sI);
+        chk = ((chk * 31L) + sL);
+        dsum = (dsum + sD);
+        Console.WriteLine(dsum);
+        return chk;
+    }
+}
+
+/* disassembly
+.method static int64 Gen::Run(int32, int32)
+  .locals ([0] int32, [1] int32, [2] int32, [3] int64, [4] int64, [5] float64, [6] float64, [7] bool, [8] bool, [9] int32[], [10] int64[], [11] float64[], [12] int32[][], [13] int32, [14] float64[,], [15] class#0, [16] int64, [17] float64, [18] int32, [19] int32, [20] int32, [21] int32, [22] int32, [23] int32, [24] int32)
+  .maxstack 6
+  .try IL_0049..IL_0068 handler IL_0068..IL_006a Catch(ClassId(0))
+  IL_0000: ldc.i4 0x3
+  IL_0001: stloc.0
+  IL_0002: ldc.i4 0xfffffffe
+  IL_0003: stloc.1
+  IL_0004: ldc.i4 0xb
+  IL_0005: stloc.2
+  IL_0006: ldc.i8 0x5
+  IL_0007: stloc.3
+  IL_0008: ldc.i8 0xffffffffffffffef
+  IL_0009: stloc.4
+  IL_000a: ldc.r8 1.5
+  IL_000b: stloc.5
+  IL_000c: ldc.r8 -0.25
+  IL_000d: stloc.6
+  IL_000e: ldc.i4 0x1
+  IL_000f: stloc.7
+  IL_0010: ldc.i4 0x0
+  IL_0011: stloc.8
+  IL_0012: ldc.i4 0x8
+  IL_0013: newarr i4
+  IL_0014: stloc.9
+  IL_0015: ldc.i4 0x8
+  IL_0016: newarr i8
+  IL_0017: stloc.10
+  IL_0018: ldc.i4 0x8
+  IL_0019: newarr r8
+  IL_001a: stloc.11
+  IL_001b: ldc.i4 0x4
+  IL_001c: newarr ref
+  IL_001d: stloc.12
+  IL_001e: ldc.i4 0x0
+  IL_001f: stloc.13
+  IL_0020: ldloc.13
+  IL_0021: ldloc.12
+  IL_0022: ldlen
+  IL_0023: bge IL_002e
+  IL_0024: ldloc.12
+  IL_0025: ldloc.13
+  IL_0026: ldc.i4 0x8
+  IL_0027: newarr i4
+  IL_0028: stelem.ref
+  IL_0029: ldloc.13
+  IL_002a: ldc.i4 0x1
+  IL_002b: add
+  IL_002c: stloc.13
+  IL_002d: br IL_0020
+  IL_002e: ldc.i4 0x4
+  IL_002f: ldc.i4 0x4
+  IL_0030: newmarr.r8 rank=2
+  IL_0031: stloc.14
+  IL_0032: ldarg.0
+  IL_0033: stloc.0
+  IL_0034: ldarg.1
+  IL_0035: stloc.1
+  IL_0036: ldloc.9
+  IL_0037: ldc.i4 0x0
+  IL_0038: ldarg.0
+  IL_0039: stelem.i4
+  IL_003a: ldloc.9
+  IL_003b: ldc.i4 0x1
+  IL_003c: ldarg.1
+  IL_003d: stelem.i4
+  IL_003e: ldarg.0
+  IL_003f: conv.i8
+  IL_0040: ldarg.1
+  IL_0041: conv.i8
+  IL_0042: mul
+  IL_0043: stloc.3
+  IL_0044: ldarg.0
+  IL_0045: conv.r8
+  IL_0046: ldc.r8 0.5
+  IL_0047: mul
+  IL_0048: stloc.5
+  IL_0049: ldloc.12
+  IL_004a: ldloc.11
+  IL_004b: ldlen
+  IL_004c: ldc.i4 0x3
+  IL_004d: and
+  IL_004e: ldelem.ref
+  IL_004f: ldsfld Gen::sI
+  IL_0050: ldloc.0
+  IL_0051: xor
+  IL_0052: ldc.i4 0xff
+  IL_0053: ldloc.12
+  IL_0054: ldloc.9
+  IL_0055: ldlen
+  IL_0056: ldc.i4 0x3
+  IL_0057: and
+  IL_0058: ldelem.ref
+  IL_0059: ldlen
+  IL_005a: ldc.i4 0xf
+  IL_005b: and
+  IL_005c: ldc.i4 0x1
+  IL_005d: add
+  IL_005e: div
+  IL_005f: and
+  IL_0060: ldc.r8 0.001
+  IL_0061: ldc.r8 0.5
+  IL_0062: div
+  IL_0063: conv.i4
+  IL_0064: add
+  IL_0065: ldelem.i4
+  IL_0066: stloc.2
+  IL_0067: leave IL_006a
+  IL_0068: stloc.15
+  IL_0069: leave IL_006a
+  IL_006a: ldc.i8 0x0
+  IL_006b: stloc.16
+  IL_006c: ldc.r8 0
+  IL_006d: stloc.17
+  IL_006e: ldc.i4 0x0
+  IL_006f: stloc.18
+  IL_0070: ldloc.18
+  IL_0071: ldloc.9
+  IL_0072: ldlen
+  IL_0073: bge IL_0082
+  IL_0074: ldloc.16
+  IL_0075: ldc.i8 0x1f
+  IL_0076: mul
+  IL_0077: ldloc.9
+  IL_0078: ldloc.18
+  IL_0079: ldelem.i4
+  IL_007a: conv.i8
+  IL_007b: add
+  IL_007c: stloc.16
+  IL_007d: ldloc.18
+  IL_007e: ldc.i4 0x1
+  IL_007f: add
+  IL_0080: stloc.18
+  IL_0081: br IL_0070
+  IL_0082: ldc.i4 0x0
+  IL_0083: stloc.19
+  IL_0084: ldloc.19
+  IL_0085: ldloc.10
+  IL_0086: ldlen
+  IL_0087: bge IL_0095
+  IL_0088: ldloc.16
+  IL_0089: ldc.i8 0x1f
+  IL_008a: mul
+  IL_008b: ldloc.10
+  IL_008c: ldloc.19
+  IL_008d: ldelem.i8
+  IL_008e: add
+  IL_008f: stloc.16
+  IL_0090: ldloc.19
+  IL_0091: ldc.i4 0x1
+  IL_0092: add
+  IL_0093: stloc.19
+  IL_0094: br IL_0084
+  IL_0095: ldc.i4 0x0
+  IL_0096: stloc.20
+  IL_0097: ldloc.20
+  IL_0098: ldloc.11
+  IL_0099: ldlen
+  IL_009a: bge IL_00a6
+  IL_009b: ldloc.17
+  IL_009c: ldloc.11
+  IL_009d: ldloc.20
+  IL_009e: ldelem.r8
+  IL_009f: add
+  IL_00a0: stloc.17
+  IL_00a1: ldloc.20
+  IL_00a2: ldc.i4 0x1
+  IL_00a3: add
+  IL_00a4: stloc.20
+  IL_00a5: br IL_0097
+  IL_00a6: ldc.i4 0x0
+  IL_00a7: stloc.21
+  IL_00a8: ldloc.21
+  IL_00a9: ldloc.12
+  IL_00aa: ldlen
+  IL_00ab: bge IL_00c9
+  IL_00ac: ldc.i4 0x0
+  IL_00ad: stloc.22
+  IL_00ae: ldloc.22
+  IL_00af: ldloc.12
+  IL_00b0: ldloc.21
+  IL_00b1: ldelem.ref
+  IL_00b2: ldlen
+  IL_00b3: bge IL_00c4
+  IL_00b4: ldloc.16
+  IL_00b5: ldc.i8 0x1f
+  IL_00b6: mul
+  IL_00b7: ldloc.12
+  IL_00b8: ldloc.21
+  IL_00b9: ldelem.ref
+  IL_00ba: ldloc.22
+  IL_00bb: ldelem.i4
+  IL_00bc: conv.i8
+  IL_00bd: add
+  IL_00be: stloc.16
+  IL_00bf: ldloc.22
+  IL_00c0: ldc.i4 0x1
+  IL_00c1: add
+  IL_00c2: stloc.22
+  IL_00c3: br IL_00ae
+  IL_00c4: ldloc.21
+  IL_00c5: ldc.i4 0x1
+  IL_00c6: add
+  IL_00c7: stloc.21
+  IL_00c8: br IL_00a8
+  IL_00c9: ldc.i4 0x0
+  IL_00ca: stloc.23
+  IL_00cb: ldloc.23
+  IL_00cc: ldloc.14
+  IL_00cd: ldmlen dim=0
+  IL_00ce: bge IL_00e6
+  IL_00cf: ldc.i4 0x0
+  IL_00d0: stloc.24
+  IL_00d1: ldloc.24
+  IL_00d2: ldloc.14
+  IL_00d3: ldmlen dim=1
+  IL_00d4: bge IL_00e1
+  IL_00d5: ldloc.17
+  IL_00d6: ldloc.14
+  IL_00d7: ldloc.23
+  IL_00d8: ldloc.24
+  IL_00d9: ldmelem.r8 rank=2
+  IL_00da: add
+  IL_00db: stloc.17
+  IL_00dc: ldloc.24
+  IL_00dd: ldc.i4 0x1
+  IL_00de: add
+  IL_00df: stloc.24
+  IL_00e0: br IL_00d1
+  IL_00e1: ldloc.23
+  IL_00e2: ldc.i4 0x1
+  IL_00e3: add
+  IL_00e4: stloc.23
+  IL_00e5: br IL_00cb
+  IL_00e6: ldloc.16
+  IL_00e7: ldc.i8 0x1f
+  IL_00e8: mul
+  IL_00e9: ldloc.0
+  IL_00ea: conv.i8
+  IL_00eb: add
+  IL_00ec: stloc.16
+  IL_00ed: ldloc.16
+  IL_00ee: ldc.i8 0x1f
+  IL_00ef: mul
+  IL_00f0: ldloc.1
+  IL_00f1: conv.i8
+  IL_00f2: add
+  IL_00f3: stloc.16
+  IL_00f4: ldloc.16
+  IL_00f5: ldc.i8 0x1f
+  IL_00f6: mul
+  IL_00f7: ldloc.2
+  IL_00f8: conv.i8
+  IL_00f9: add
+  IL_00fa: stloc.16
+  IL_00fb: ldloc.16
+  IL_00fc: ldc.i8 0x1f
+  IL_00fd: mul
+  IL_00fe: ldloc.3
+  IL_00ff: add
+  IL_0100: stloc.16
+  IL_0101: ldloc.16
+  IL_0102: ldc.i8 0x1f
+  IL_0103: mul
+  IL_0104: ldloc.4
+  IL_0105: add
+  IL_0106: stloc.16
+  IL_0107: ldloc.17
+  IL_0108: ldloc.5
+  IL_0109: add
+  IL_010a: stloc.17
+  IL_010b: ldloc.17
+  IL_010c: ldloc.6
+  IL_010d: add
+  IL_010e: stloc.17
+  IL_010f: ldloc.16
+  IL_0110: ldloc.7
+  IL_0111: brfalse IL_0114
+  IL_0112: ldc.i8 0x2
+  IL_0113: br IL_0115
+  IL_0114: ldc.i8 0x0
+  IL_0115: xor
+  IL_0116: stloc.16
+  IL_0117: ldloc.16
+  IL_0118: ldloc.8
+  IL_0119: brfalse IL_011c
+  IL_011a: ldc.i8 0x4
+  IL_011b: br IL_011d
+  IL_011c: ldc.i8 0x0
+  IL_011d: xor
+  IL_011e: stloc.16
+  IL_011f: ldloc.16
+  IL_0120: ldc.i8 0x1f
+  IL_0121: mul
+  IL_0122: ldsfld Gen::sI
+  IL_0123: conv.i8
+  IL_0124: add
+  IL_0125: stloc.16
+  IL_0126: ldloc.16
+  IL_0127: ldc.i8 0x1f
+  IL_0128: mul
+  IL_0129: ldsfld Gen::sL
+  IL_012a: add
+  IL_012b: stloc.16
+  IL_012c: ldloc.17
+  IL_012d: ldsfld Gen::sD
+  IL_012e: add
+  IL_012f: stloc.17
+  IL_0130: ldloc.17
+  IL_0131: call [runtime]Console.WriteLineR8
+  IL_0132: ldloc.16
+  IL_0133: ret
+  IL_0134: ldc.i8 0x0
+  IL_0135: ret
+*/

@@ -1,0 +1,39 @@
+//! Replay one MiniC# file through the engine matrix and print per-engine
+//! outcomes that differ from the oracle — the manual companion to the
+//! sweep's auto-shrinker, for bisecting a reproducer by hand.
+//!
+//! ```text
+//! cargo run --release -p conform --example engine_diff -- FILE A B
+//! ```
+//!
+//! `A B` are the `Gen.Run(a, b)` arguments. Exit code 1 on divergence.
+
+use conform::matrix::{compile_verified, run_matrix};
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let file = args.next().expect("usage: engine_diff FILE A B");
+    let a: i32 = args.next().expect("A").parse().expect("A must be an int");
+    let b: i32 = args.next().expect("B").parse().expect("B must be an int");
+    let src = std::fs::read_to_string(&file).expect("read FILE");
+    let module = match compile_verified(&src) {
+        Ok(m) => Arc::new(m),
+        Err(e) => {
+            eprintln!("rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    let res = run_matrix(&module, &[(a, b)]);
+    if res.divergences.is_empty() {
+        println!("clean: every engine agrees with the oracle");
+        return;
+    }
+    for d in &res.divergences {
+        println!(
+            "DIVERGE {} input {:?}\n  oracle: {}\n  got:    {}",
+            d.engine, d.input, d.oracle.result, d.got.result
+        );
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,230 @@
+//! The conform fleet: parallel, coverage-guided sweep execution.
+//!
+//! A sweep's seeds are independent — each one compiles its own module and
+//! runs its own engine matrix — so the fleet shards them across a worker
+//! pool. Determinism is non-negotiable (a report must be byte-identical
+//! for `--workers 1` and `--workers 8`), which shapes the design:
+//!
+//! * **Phase A (compile):** every seed is generated and compiled in
+//!   parallel; results land in a slot-per-seed vector, so ordering never
+//!   depends on thread interleaving. Each compiled case records the set
+//!   of opcode kinds its program *emits*.
+//! * **Phase B (execute, in waves):** seeds run in waves. Before each
+//!   wave, pending seeds are ranked by **novelty** — how many of their
+//!   emitted opcode kinds the sweep has not yet *executed* (ties broken
+//!   by ascending seed) — steering the fleet toward programs most likely
+//!   to exercise uncovered territory first. The ranking reads only
+//!   coverage merged from *completed* waves, and wave results merge in
+//!   seed-slot order, so the schedule is a pure function of the seed
+//!   range, independent of worker count and interleaving.
+//! * **Phase C (shrink):** divergence minimization stays serial, in seed
+//!   order, in the caller ([`crate::run_conformance`]) — the shrinker
+//!   mutates programs iteratively and is the rare case where parallelism
+//!   would buy little and cost reproducibility.
+//!
+//! Every generated program is thread-deterministic by construction
+//! ([`crate::gen`] emits no `Math.Random` and no threads), so identical
+//! per-seed outcomes across worker counts are guaranteed, not hoped for.
+
+use crate::gen::{generate, render, Program};
+use crate::matrix::{compile_verified, run_matrix_at, scan_emitted, Coverage, ProgramResult};
+use crate::ConformConfig;
+use hpcnet_cil::{Module, Op};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Map `f` over `items` on `workers` OS threads, returning results in
+/// item order regardless of scheduling. Workers pull indices from a
+/// shared atomic cursor; each result is written to its own slot.
+pub(crate) fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(items.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+/// One seed after Phase A: either a compiled, verified case ready to
+/// execute, or the front end's rejection (a generator bug).
+pub(crate) struct SeedCase {
+    pub seed: u64,
+    pub program: Program,
+    pub compiled: Result<CompiledCase, String>,
+}
+
+pub(crate) struct CompiledCase {
+    pub module: Arc<Module>,
+    /// Opcode kinds this program emits (novelty ranking input).
+    emitted_kinds: Vec<bool>,
+}
+
+/// Everything Phase B produced for one seed.
+pub(crate) struct SeedRun {
+    pub case: SeedCase,
+    /// `None` for rejected seeds (nothing to execute).
+    pub result: Option<ProgramResult>,
+}
+
+fn effective_workers(cfg: &ConformConfig) -> usize {
+    if cfg.workers > 0 {
+        cfg.workers
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+fn effective_wave(cfg: &ConformConfig) -> usize {
+    if cfg.wave > 0 {
+        cfg.wave
+    } else {
+        256
+    }
+}
+
+/// Phase A: generate + compile + verify every seed in parallel.
+fn compile_all(cfg: &ConformConfig, workers: usize) -> Vec<SeedCase> {
+    let seeds: Vec<u64> = (cfg.start_seed..cfg.start_seed + cfg.programs).collect();
+    parallel_map(workers, &seeds, |&seed| {
+        let program = generate(seed);
+        let compiled = compile_verified(&render(&program)).map(|module| {
+            let mut cov = Coverage::default();
+            scan_emitted(&module, &mut cov);
+            CompiledCase {
+                module: Arc::new(module),
+                emitted_kinds: cov.emitted.iter().map(|&n| n > 0).collect(),
+            }
+        });
+        SeedCase { seed, program, compiled }
+    })
+}
+
+/// How many of this case's emitted opcode kinds the sweep has not yet
+/// executed anywhere.
+fn novelty(case: &SeedCase, executed: &[u64]) -> usize {
+    match &case.compiled {
+        Ok(c) => c
+            .emitted_kinds
+            .iter()
+            .zip(executed.iter())
+            .filter(|&(&e, &x)| e && x == 0)
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+/// Phases A + B: compile everything, then execute in novelty-ordered
+/// waves. Returns one entry per seed, in ascending seed order.
+pub(crate) fn execute_sweep(cfg: &ConformConfig) -> Vec<SeedRun> {
+    let workers = effective_workers(cfg);
+    let wave_size = effective_wave(cfg);
+    let cases = compile_all(cfg, workers);
+
+    let mut executed: Vec<u64> = vec![0; Op::KIND_COUNT];
+    let mut results: Vec<Option<ProgramResult>> = (0..cases.len()).map(|_| None).collect();
+    // Indices of compiled cases still to run, drained wave by wave.
+    let mut pending: Vec<usize> = (0..cases.len())
+        .filter(|&i| cases[i].compiled.is_ok())
+        .collect();
+    while !pending.is_empty() {
+        // Rank by novelty against coverage from completed waves only —
+        // the schedule never observes intra-wave completion order.
+        let mut scored: Vec<(usize, usize)> = pending
+            .iter()
+            .map(|&i| (novelty(&cases[i], &executed), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(cases[a.1].seed.cmp(&cases[b.1].seed)));
+        let take = wave_size.min(scored.len());
+        let wave: Vec<usize> = scored[..take].iter().map(|&(_, i)| i).collect();
+        pending.retain(|i| !wave.contains(i));
+
+        let wave_results = parallel_map(workers, &wave, |&i| {
+            let c = cases[i].compiled.as_ref().expect("wave holds compiled cases");
+            run_matrix_at(&c.module, &cases[i].program.inputs, cfg.observe)
+        });
+        for (&i, r) in wave.iter().zip(wave_results) {
+            for (k, n) in r.coverage.executed.iter().enumerate() {
+                executed[k] += n;
+            }
+            results[i] = Some(r);
+        }
+    }
+
+    cases
+        .into_iter()
+        .zip(results)
+        .map(|(case, result)| SeedRun { case, result })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_vm::ObserveLevel;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..67).collect();
+        let out = parallel_map(4, &items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        // Degenerate pools behave identically.
+        assert_eq!(parallel_map(1, &items, |&x| x * 3), out);
+        assert_eq!(parallel_map(16, &items, |&x| x * 3), out);
+    }
+
+    #[test]
+    fn novelty_counts_unexecuted_emitted_kinds() {
+        let cfg = ConformConfig {
+            programs: 1,
+            start_seed: 7,
+            corpus_dir: None,
+            observe: ObserveLevel::Off,
+            workers: 1,
+            wave: 0,
+        };
+        let cases = compile_all(&cfg, 1);
+        let case = &cases[0];
+        let emitted = &case.compiled.as_ref().unwrap().emitted_kinds;
+        let n_emitted = emitted.iter().filter(|&&e| e).count();
+        // Nothing executed yet: novelty is the full emitted set.
+        assert_eq!(novelty(case, &vec![0; Op::KIND_COUNT]), n_emitted);
+        // Everything executed: nothing is novel.
+        assert_eq!(novelty(case, &vec![1; Op::KIND_COUNT]), 0);
+    }
+
+    #[test]
+    fn sweep_returns_every_seed_in_order() {
+        let cfg = ConformConfig {
+            programs: 4,
+            start_seed: 300,
+            corpus_dir: None,
+            observe: ObserveLevel::Off,
+            workers: 2,
+            wave: 2, // force multiple waves
+        };
+        let runs = execute_sweep(&cfg);
+        assert_eq!(runs.len(), 4);
+        let seeds: Vec<u64> = runs.iter().map(|r| r.case.seed).collect();
+        assert_eq!(seeds, vec![300, 301, 302, 303]);
+        assert!(runs.iter().all(|r| r.result.is_some()));
+    }
+}

@@ -27,14 +27,16 @@
 //! part of tier-1; `hpcnet-report conform` runs the same sweep from the
 //! command line and prints per-opcode emitted/executed coverage.
 
+pub mod fleet;
 pub mod gen;
 pub mod matrix;
 pub mod shrink;
 
-use gen::{generate, render, Program};
+use gen::{render, Program};
 use hpcnet_vm::ObserveLevel;
-use matrix::{compile_verified, run_matrix_at, Coverage, Divergence};
+use matrix::{compile_verified, run_matrix_at, Coverage, Divergence, ResetAgg};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Sweep configuration.
 #[derive(Clone, Debug)]
@@ -48,6 +50,12 @@ pub struct ConformConfig {
     /// standard sweep; raising it proves observability is side-effect-free
     /// (any behavioral change surfaces as a divergence).
     pub observe: ObserveLevel,
+    /// Fleet worker threads; `0` uses the machine's available
+    /// parallelism. The report is byte-identical for any worker count.
+    pub workers: usize,
+    /// Seeds per scheduling wave (`0` = default). Novelty ranking is
+    /// recomputed between waves; see [`fleet`].
+    pub wave: usize,
 }
 
 impl Default for ConformConfig {
@@ -57,6 +65,8 @@ impl Default for ConformConfig {
             start_seed: 1,
             corpus_dir: Some(default_corpus_dir()),
             observe: ObserveLevel::Off,
+            workers: 0,
+            wave: 0,
         }
     }
 }
@@ -89,6 +99,8 @@ pub struct ConformReport {
     pub rejected: Vec<String>,
     pub divergent: Vec<DivergenceRecord>,
     pub coverage: Coverage,
+    /// Snapshot-reset reuse and compile-sharing totals across the sweep.
+    pub resets: ResetAgg,
 }
 
 impl ConformReport {
@@ -116,6 +128,20 @@ impl ConformReport {
                 out.push_str(&format!("    reproducer: {}\n", p.display()));
             }
         }
+        out.push_str(&format!(
+            "reset reuse: {} snapshots over {} fresh VM builds, {} resets \
+             ({} of {} tracked objects restored, {} static slots)\n",
+            self.resets.snapshots,
+            self.resets.fresh_builds,
+            self.resets.resets,
+            self.resets.objects_restored,
+            self.resets.objects_tracked,
+            self.resets.statics_restored,
+        ));
+        out.push_str(&format!(
+            "compile sharing: {} front-half hits / {} misses\n",
+            self.resets.front_hits, self.resets.front_misses,
+        ));
         out.push_str("per-opcode coverage (emitted / executed):\n");
         for (i, name) in hpcnet_cil::OP_KIND_NAMES.iter().enumerate() {
             let (e, x) = (self.coverage.emitted[i], self.coverage.executed[i]);
@@ -174,36 +200,41 @@ fn write_reproducer(dir: &Path, seed: u64, p: &Program, d: &Divergence) -> std::
     Ok(path)
 }
 
-/// Run a conformance sweep: generate → gate → execute everywhere →
-/// shrink + persist anything that diverges.
+/// Run a conformance sweep: generate → gate → execute everywhere (in
+/// parallel, coverage-guided waves — see [`fleet`]) → shrink + persist
+/// anything that diverges (serially, in seed order). The report is a pure
+/// function of the configuration's seed range: worker count and wave size
+/// never change a byte of it.
 pub fn run_conformance(cfg: &ConformConfig) -> ConformReport {
     let mut report = ConformReport {
         programs: cfg.programs,
         engines: matrix::engine_matrix().len(),
         ..Default::default()
     };
-    for seed in cfg.start_seed..cfg.start_seed + cfg.programs {
-        let p = generate(seed);
-        let src = render(&p);
-        let module = match compile_verified(&src) {
-            Ok(m) => m,
-            Err(e) => {
+    for run in fleet::execute_sweep(cfg) {
+        let seed = run.case.seed;
+        let res = match (&run.case.compiled, run.result) {
+            (Err(e), _) => {
                 report.rejected.push(format!("seed {seed}: {e}"));
                 continue;
             }
+            (Ok(_), Some(res)) => res,
+            (Ok(_), None) => unreachable!("compiled seed not executed"),
         };
-        let res = run_matrix_at(&module, &p.inputs, cfg.observe);
         report.runs += res.runs;
         report.coverage.merge(&res.coverage);
+        report.resets.merge(&res.resets);
         if res.divergences.is_empty() {
             continue;
         }
-        let (small, attempts) = shrink::shrink(p);
+        // Phase C: minimize serially. The shrinker mutates one program at
+        // a time; determinism matters more than parallelism here.
+        let (small, attempts) = shrink::shrink(run.case.program);
         // Re-derive the divergence from the minimized program (fall back
         // to the original's if shrinking somehow lost it). The shrinker
         // itself runs unobserved; it only needs diverges-or-not.
         let detail = match compile_verified(&render(&small)) {
-            Ok(m) => run_matrix_at(&m, &small.inputs, cfg.observe)
+            Ok(m) => run_matrix_at(&Arc::new(m), &small.inputs, cfg.observe)
                 .divergences
                 .into_iter()
                 .next()
@@ -235,6 +266,8 @@ mod tests {
             start_seed: 900,
             corpus_dir: None,
             observe: ObserveLevel::Off,
+            workers: 2,
+            wave: 0,
         });
         assert!(report.ok(), "{}", report.render());
         assert_eq!(report.engines, 50);
@@ -248,6 +281,8 @@ mod tests {
             start_seed: 50,
             corpus_dir: None,
             observe: ObserveLevel::Off,
+            workers: 1,
+            wave: 0,
         });
         let text = report.render();
         assert!(text.contains("per-opcode coverage"));
@@ -263,6 +298,8 @@ mod tests {
             start_seed: 700,
             corpus_dir: None,
             observe,
+            workers: 0,
+            wave: 0,
         };
         let off = run_conformance(&cfg(ObserveLevel::Off));
         let traced = run_conformance(&cfg(ObserveLevel::Trace));

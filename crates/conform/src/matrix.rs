@@ -13,7 +13,7 @@ use crate::gen::{generate, render, Program};
 use hpcnet_cil::{verify_module, Module, Op};
 use hpcnet_minics::{compile, STARTUP_INIT};
 use hpcnet_runtime::Value;
-use hpcnet_vm::{ObserveLevel, Tier, Vm, VmError, VmProfile};
+use hpcnet_vm::{ObserveLevel, OptShare, ResetStats, Tier, Vm, VmError, VmProfile};
 use std::sync::Arc;
 
 /// A labeled engine configuration. The label extends the profile name with
@@ -148,6 +148,48 @@ impl Coverage {
     }
 }
 
+/// Aggregated snapshot-reset reuse evidence: how the matrix (and the
+/// fleet above it) amortized VM state across runs instead of rebuilding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResetAgg {
+    /// VMs constructed from scratch (one per engine per program).
+    pub fresh_builds: u64,
+    /// Snapshots captured (one per VM, after static initialization).
+    pub snapshots: u64,
+    /// Snapshot resets performed (one per input run).
+    pub resets: u64,
+    /// Heap objects tracked across all snapshots at reset time.
+    pub objects_tracked: u64,
+    /// Heap objects actually rewritten by resets (dirty-tracked subset).
+    pub objects_restored: u64,
+    /// Static slots rewritten by resets.
+    pub statics_restored: u64,
+    /// Compile front-half (lower+optimize) cache hits across engines.
+    pub front_hits: u64,
+    /// Compile front-half cache misses (unique compilations performed).
+    pub front_misses: u64,
+}
+
+impl ResetAgg {
+    pub fn merge(&mut self, other: &ResetAgg) {
+        self.fresh_builds += other.fresh_builds;
+        self.snapshots += other.snapshots;
+        self.resets += other.resets;
+        self.objects_tracked += other.objects_tracked;
+        self.objects_restored += other.objects_restored;
+        self.statics_restored += other.statics_restored;
+        self.front_hits += other.front_hits;
+        self.front_misses += other.front_misses;
+    }
+
+    fn absorb(&mut self, r: ResetStats) {
+        self.resets += 1;
+        self.objects_tracked += r.objects_tracked;
+        self.objects_restored += r.objects_restored;
+        self.statics_restored += r.statics_restored;
+    }
+}
+
 /// What happened when one program was pushed through the whole matrix.
 #[derive(Clone, Debug)]
 pub struct ProgramResult {
@@ -155,6 +197,8 @@ pub struct ProgramResult {
     pub runs: usize,
     pub divergences: Vec<Divergence>,
     pub coverage: Coverage,
+    /// Snapshot-reset and compile-sharing statistics for this program.
+    pub resets: ResetAgg,
 }
 
 /// Compile + verify, or explain why not. Both failure modes mean the
@@ -168,7 +212,7 @@ pub fn compile_verified(src: &str) -> Result<Module, String> {
 /// Scan the instruction stream of the generated classes (`Gen` and the
 /// synthesized `$Startup`) and count opcode kinds. Prelude bodies are
 /// excluded: they are not generator-emitted code.
-fn scan_emitted(module: &Module, cov: &mut Coverage) {
+pub(crate) fn scan_emitted(module: &Module, cov: &mut Coverage) {
     for (ci, class) in module.classes.iter().enumerate() {
         if class.name != "Gen" && class.name != "$Startup" {
             continue;
@@ -183,27 +227,40 @@ fn scan_emitted(module: &Module, cov: &mut Coverage) {
 
 /// Execute a *verified* module under every engine for every input pair and
 /// compare each engine's observable behavior against the oracle's.
-pub fn run_matrix(module: &Module, inputs: &[(i32, i32)]) -> ProgramResult {
+pub fn run_matrix(module: &Arc<Module>, inputs: &[(i32, i32)]) -> ProgramResult {
     run_matrix_at(module, inputs, ObserveLevel::Off)
 }
 
 /// [`run_matrix`] with every engine's attribution profiler raised to
 /// `observe`. Used to prove the observability layer is side-effect-free:
 /// the observed matrix must report exactly what the unobserved one does.
+///
+/// Execution discipline (the snapshot-reset tentpole): every engine VM of
+/// a program is built from the *same* `Arc<Module>` and attached to one
+/// shared compile front-half cache, so the 50 engines never re-clone the
+/// module and tier pairs with identical pass configurations lower and
+/// optimize each method once. Each VM runs the static initializer once,
+/// snapshots, then runs every input from that snapshot with a dirty-
+/// tracking reset in between — inputs are fully isolated from each other
+/// while compiled code stays warm.
 pub fn run_matrix_at(
-    module: &Module,
+    module: &Arc<Module>,
     inputs: &[(i32, i32)],
     observe: ObserveLevel,
 ) -> ProgramResult {
     let engines = engine_matrix();
     let mut coverage = Coverage::default();
     scan_emitted(module, &mut coverage);
+    let share = Arc::new(OptShare::new());
+    let mut resets = ResetAgg::default();
 
     // outcome[engine][input]
     let mut outcomes: Vec<Vec<RunOutcome>> = Vec::with_capacity(engines.len());
     let mut runs = 0usize;
     for (ei, eng) in engines.iter().enumerate() {
-        let vm = Vm::new_unverified(module.clone(), eng.profile.with_observe(observe));
+        let vm = Vm::new_shared(module.clone(), eng.profile.with_observe(observe));
+        vm.set_opt_share(share.clone());
+        resets.fresh_builds += 1;
         if ei == 0 {
             vm.set_op_coverage(true);
         }
@@ -213,6 +270,9 @@ pub fn run_matrix_at(
         } else {
             Ok(())
         };
+        // Capture the initialized state; every input replays from here.
+        let snap = vm.snapshot();
+        resets.snapshots += 1;
         let mut per_input = Vec::with_capacity(inputs.len());
         for &(a, b) in inputs {
             runs += 1;
@@ -224,6 +284,7 @@ pub fn run_matrix_at(
                 Err(e) => format!("init-{}", norm_result(&vm, Err(e.clone()))),
             };
             per_input.push(RunOutcome { result, console: vm.take_console() });
+            resets.absorb(vm.reset_to(&snap));
         }
         if ei == 0 {
             for (i, n) in vm.op_coverage_counts().into_iter().enumerate() {
@@ -232,6 +293,9 @@ pub fn run_matrix_at(
         }
         outcomes.push(per_input);
     }
+    let (front_hits, front_misses) = share.stats();
+    resets.front_hits = front_hits;
+    resets.front_misses = front_misses;
 
     let mut divergences = Vec::new();
     for (ei, eng) in engines.iter().enumerate().skip(1) {
@@ -246,14 +310,14 @@ pub fn run_matrix_at(
             }
         }
     }
-    ProgramResult { runs, divergences, coverage }
+    ProgramResult { runs, divergences, coverage, resets }
 }
 
 /// Convenience used by the shrinker: does this program (still) diverge?
 /// Invalid candidates (that no longer compile or verify) count as "no".
 pub fn program_diverges(p: &Program) -> bool {
     match compile_verified(&render(p)) {
-        Ok(module) => !run_matrix(&module, &p.inputs).divergences.is_empty(),
+        Ok(module) => !run_matrix(&Arc::new(module), &p.inputs).divergences.is_empty(),
         Err(_) => false,
     }
 }
@@ -263,7 +327,7 @@ pub fn program_diverges(p: &Program) -> bool {
 pub fn run_seed(seed: u64) -> Result<(Program, ProgramResult), String> {
     let p = generate(seed);
     let module = compile_verified(&render(&p)).map_err(|e| format!("seed {seed}: {e}"))?;
-    let res = run_matrix(&module, &p.inputs);
+    let res = run_matrix(&Arc::new(module), &p.inputs);
     Ok((p, res))
 }
 
@@ -298,10 +362,15 @@ mod tests {
             "class Gen { static long Run(int a, int b) { int z = 0; return (long)(a / z); } }",
         )
         .unwrap();
+        let module = Arc::new(module);
         let res = run_matrix(&module, &[(1, 0)]);
         assert!(res.divergences.is_empty(), "{:?}", res.divergences);
+        // The matrix exercised the snapshot-reset path on every engine.
+        assert_eq!(res.resets.fresh_builds, 50);
+        assert_eq!(res.resets.snapshots, 50);
+        assert_eq!(res.resets.resets, 50);
         // Re-run one engine directly to check the normalized string.
-        let vm = Vm::new_unverified(module.clone(), oracle_profile());
+        let vm = Vm::new_shared(module.clone(), oracle_profile());
         let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(1), Value::I4(0)]);
         assert_eq!(norm_result(&vm, r), "trap:DivideByZeroException");
     }
@@ -312,7 +381,7 @@ mod tests {
             "class Gen { static double Run(int a, int b) { return ((double)a / (double)b); } }",
         )
         .unwrap();
-        let res = run_matrix(&module, &[(0, 0), (1, 0), (-1, 0)]);
+        let res = run_matrix(&Arc::new(module), &[(0, 0), (1, 0), (-1, 0)]);
         // NaN, +inf, -inf: all engines must produce identical bit patterns.
         assert!(res.divergences.is_empty(), "{:?}", res.divergences);
     }

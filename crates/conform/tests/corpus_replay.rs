@@ -1,0 +1,109 @@
+//! Corpus replay: every reproducer committed to `conform/corpus/` is
+//! re-run under the full engine matrix on every tier-1 run.
+//!
+//! A corpus file is a self-contained MiniC# program whose comment header
+//! records the `Gen.Run` inputs that exposed the original divergence
+//! (`// input: Gen.Run(a, b)`) and, optionally, the oracle's normalized
+//! result (`// oracle result: i8:...`). Replaying them here turns each
+//! fixed fuzzer finding into a permanent regression test: the exact
+//! program + input that once split the engines must now produce one
+//! answer from all fifty, forever.
+
+use conform::matrix::{compile_verified, oracle_profile, run_matrix};
+use hpcnet_runtime::Value;
+use hpcnet_vm::Vm;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Parse every `// input: Gen.Run(a, b)` header line.
+fn parse_inputs(src: &str) -> Vec<(i32, i32)> {
+    let mut inputs = Vec::new();
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("// input: Gen.Run(") else {
+            continue;
+        };
+        let Some(args) = rest.trim_end().strip_suffix(')') else {
+            continue;
+        };
+        let mut it = args.split(',').map(|s| s.trim().parse::<i32>());
+        if let (Some(Ok(a)), Some(Ok(b)), None) = (it.next(), it.next(), it.next()) {
+            inputs.push((a, b));
+        }
+    }
+    inputs
+}
+
+/// Parse the pinned `// oracle result: <norm>` line, if any.
+fn parse_pinned_oracle(src: &str) -> Option<String> {
+    src.lines()
+        .find_map(|l| l.trim().strip_prefix("// oracle result: "))
+        .map(|s| s.trim().to_string())
+}
+
+/// Normalize a return value exactly like the matrix does.
+fn norm(v: Option<Value>) -> String {
+    match v {
+        Some(Value::I4(x)) => format!("i4:{x}"),
+        Some(Value::I8(x)) => format!("i8:{x}"),
+        Some(Value::R4(x)) => format!("r4:{:08x}", x.to_bits()),
+        Some(Value::R8(x)) => format!("r8:{:016x}", x.to_bits()),
+        Some(Value::Ref(_)) => "ref".into(),
+        Some(Value::Null) => "null".into(),
+        None => "void".into(),
+    }
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = conform::default_corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "cs"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_corpus_reproducer_replays_clean_under_the_full_matrix() {
+    let files = corpus_files();
+    assert!(
+        !files.is_empty(),
+        "conform/corpus must hold at least one pinned reproducer"
+    );
+    for path in files {
+        let name = path.display();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let inputs = parse_inputs(&src);
+        assert!(
+            !inputs.is_empty(),
+            "{name}: header must carry at least one `// input: Gen.Run(a, b)` line"
+        );
+        let module = compile_verified(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let module = Arc::new(module);
+
+        // Header-pinned oracle result guards against whole-matrix drift
+        // (all 50 engines changing answer together would not diverge).
+        if let Some(pinned) = parse_pinned_oracle(&src) {
+            let vm = Vm::new_shared(module.clone(), oracle_profile());
+            if vm.module.find_method(hpcnet_minics::STARTUP_INIT).is_some() {
+                vm.invoke_by_name(hpcnet_minics::STARTUP_INIT, vec![]).unwrap();
+            }
+            let got = norm(
+                vm.invoke_by_name("Gen.Run", vec![Value::I4(inputs[0].0), Value::I4(inputs[0].1)])
+                    .unwrap_or_else(|e| panic!("{name}: oracle trapped: {e:?}")),
+            );
+            assert_eq!(
+                got, pinned,
+                "{name}: oracle no longer matches the pinned `// oracle result:` header"
+            );
+        }
+
+        let res = run_matrix(&module, &inputs);
+        assert!(
+            res.divergences.is_empty(),
+            "{name}: regression resurfaced: {:?}",
+            res.divergences
+        );
+    }
+}

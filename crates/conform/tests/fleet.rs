@@ -1,0 +1,62 @@
+//! Differential fleet test: the parallel sweep is a pure function of the
+//! seed range. `--workers 1`, `--workers 2`, and `--workers 8` must
+//! produce *byte-identical* rendered reports — same verdicts, same
+//! coverage totals, same reset-reuse accounting, same (empty) divergence
+//! and reproducer lists — and wave size must be equally irrelevant.
+
+use conform::{run_conformance, ConformConfig};
+use hpcnet_vm::ObserveLevel;
+
+fn cfg(workers: usize, wave: usize) -> ConformConfig {
+    ConformConfig {
+        programs: 30,
+        start_seed: 4000,
+        corpus_dir: None,
+        observe: ObserveLevel::Off,
+        workers,
+        wave,
+    }
+}
+
+#[test]
+fn worker_count_never_changes_a_byte() {
+    let baseline = run_conformance(&cfg(1, 0)).render();
+    for workers in [2, 8] {
+        let got = run_conformance(&cfg(workers, 0)).render();
+        assert_eq!(
+            baseline, got,
+            "report diverged between --workers 1 and --workers {workers}"
+        );
+    }
+}
+
+#[test]
+fn wave_size_never_changes_a_byte() {
+    let baseline = run_conformance(&cfg(2, 0)).render();
+    for wave in [1, 7, 1000] {
+        let got = run_conformance(&cfg(2, wave)).render();
+        assert_eq!(baseline, got, "report diverged at wave size {wave}");
+    }
+}
+
+#[test]
+fn fleet_reports_reuse_statistics() {
+    let report = run_conformance(&cfg(2, 0));
+    assert!(report.ok(), "{}", report.render());
+    // 30 programs × 50 engines: one fresh build + one snapshot each, one
+    // reset per input run.
+    assert_eq!(report.resets.fresh_builds, 30 * 50);
+    assert_eq!(report.resets.snapshots, 30 * 50);
+    assert_eq!(report.resets.resets as usize, report.runs);
+    // The shared front-half cache must actually share: every register-tier
+    // engine pair (exec + threaded, same pass config) hits on the second
+    // member, so hits are substantial, and the rendered report says so.
+    assert!(
+        report.resets.front_hits >= report.resets.front_misses,
+        "expected at least one front-half hit per miss: {:?}",
+        report.resets
+    );
+    let text = report.render();
+    assert!(text.contains("reset reuse:"), "{text}");
+    assert!(text.contains("compile sharing:"), "{text}");
+}

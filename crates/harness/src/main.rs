@@ -268,6 +268,18 @@ fn run_conform(args: &[String]) {
                     .expect("--seed needs a number");
             }
             "--no-corpus" => cfg.corpus_dir = None,
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number (0 = all cores)");
+            }
+            "--wave" => {
+                cfg.wave = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--wave needs a number (0 = default)");
+            }
             "--observe" => {
                 let level = it.next().expect("--observe needs off|counters|trace");
                 cfg.observe = hpcnet_harness::ObserveLevel::parse(level)
@@ -305,6 +317,7 @@ fn usage() -> String {
      graph flags: [--large] [--quick] [--min-time-ms N] [--csv DIR] [--relative]\n\
      \n\
      conform flags: [--programs N] [--seed S] [--no-corpus] [--observe off|counters|trace]\n\
+                    [--workers N (0 = all cores)] [--wave N]\n\
      bench flags:   [--quick] [--large] [--min-time-ms N] [--out FILE] | --check FILE\n\
      profile usage: profile <entry> [--quick] [--large] [--n N] [--out FILE]\n\
                     [--overhead] | profile --check FILE\n\

@@ -106,6 +106,14 @@ impl Heap {
         }
     }
 
+    /// Reset the allocation counters to a previously captured state
+    /// ([`crate::snapshot::HeapSnapshot::restore`]) so a reused heap
+    /// reports the same statistics as a freshly built one.
+    pub(crate) fn restore_accounting(&self, allocations: u64, bytes: u64) {
+        self.allocations.store(allocations, Ordering::Relaxed);
+        self.bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot the live tracked objects, pruning dead registry entries.
     pub fn live_tracked(&self) -> Vec<Obj> {
         let mut reg = self.registry.lock();

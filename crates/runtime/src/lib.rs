@@ -31,11 +31,13 @@ pub mod math;
 pub mod monitor;
 pub mod object;
 pub mod serial;
+pub mod snapshot;
 pub mod threads;
 pub mod timer;
 pub mod value;
 
 pub use heap::{Heap, HeapStats};
+pub use snapshot::{HeapSnapshot, RestoreStats};
 pub use jrandom::JRandom;
 pub use monitor::Monitor;
 pub use object::{HeapObj, ObjBody, RefSlot};

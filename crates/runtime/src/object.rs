@@ -19,7 +19,7 @@ use crate::monitor::Monitor;
 use crate::value::{Obj, Value};
 use hpcnet_cil::{ClassId, ElemKind, NumTy};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A mutable, thread-safe reference cell (object field, `object[]` /
 /// jagged-array element, static).
@@ -91,6 +91,12 @@ pub enum ObjBody {
 pub struct HeapObj {
     pub monitor: Monitor,
     pub body: ObjBody,
+    /// Set by every mutating accessor since the last snapshot capture or
+    /// restore (see [`crate::snapshot`]). Lets a reset rewrite only the
+    /// objects a run actually touched. Callers that write through the raw
+    /// slices ([`HeapObj::prim_data`] / [`HeapObj::ref_data`]) must call
+    /// [`HeapObj::mark_dirty`] themselves.
+    dirty: AtomicBool,
 }
 
 fn zeroed(n: usize) -> Box<[AtomicU64]> {
@@ -110,6 +116,7 @@ impl HeapObj {
                 prim: zeroed(n_prim),
                 refs: ref_slots(n_ref),
             },
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -117,6 +124,7 @@ impl HeapObj {
         HeapObj {
             monitor: Monitor::new(),
             body: ObjBody::Str(s.into()),
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -124,6 +132,7 @@ impl HeapObj {
         HeapObj {
             monitor: Monitor::new(),
             body: ObjBody::Boxed { ty, bits },
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -140,6 +149,7 @@ impl HeapObj {
         HeapObj {
             monitor: Monitor::new(),
             body,
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -160,7 +170,29 @@ impl HeapObj {
         HeapObj {
             monitor: Monitor::new(),
             body,
+            dirty: AtomicBool::new(false),
         }
+    }
+
+    // ---- snapshot dirty tracking ----
+
+    /// Record that this object's payload has been mutated since the last
+    /// snapshot capture/restore.
+    #[inline]
+    pub fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the payload been mutated since the last capture/restore?
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Clear the mutation flag (done by snapshot capture and restore).
+    #[inline]
+    pub fn clear_dirty(&self) {
+        self.dirty.store(false, Ordering::Relaxed);
     }
 
     /// Class id for instances (virtual dispatch, cast checks).
@@ -215,6 +247,7 @@ impl HeapObj {
 
     #[inline]
     pub fn set_prim_field(&self, slot: u32, bits: u64) {
+        self.mark_dirty();
         match &self.body {
             ObjBody::Instance { prim, .. } => prim[slot as usize].store(bits, Ordering::Relaxed),
             _ => panic!("set_prim_field on non-instance"),
@@ -231,6 +264,7 @@ impl HeapObj {
 
     #[inline]
     pub fn set_ref_field(&self, slot: u32, v: Option<Obj>) {
+        self.mark_dirty();
         match &self.body {
             ObjBody::Instance { refs, .. } => refs[slot as usize].set(v),
             _ => panic!("set_ref_field on non-instance"),
@@ -278,6 +312,7 @@ impl HeapObj {
     /// Element store from a [`Value`] (interpreter path).
     #[inline]
     pub fn store_elem(&self, kind: ElemKind, idx: usize, v: &Value) {
+        self.mark_dirty();
         match kind.num_ty() {
             Some(_) => {
                 let bits = match (kind, v) {
@@ -337,6 +372,7 @@ impl HeapObj {
 
     /// Clear every outgoing reference (cycle breaking).
     pub fn clear_refs(&self) {
+        self.mark_dirty();
         match &self.body {
             ObjBody::Instance { refs, .. } => {
                 for slot in refs.iter() {

@@ -712,6 +712,7 @@ pub(crate) fn elem_read(o: &Obj, kind: ElemKind, idx: usize) -> VmResult<Loaded>
 
 #[inline]
 pub(crate) fn elem_write(o: &Obj, kind: ElemKind, idx: usize, val: Loaded) -> VmResult<()> {
+    o.mark_dirty();
     match val {
         Loaded::Bits(mut bits) => {
             if kind == ElemKind::U1 {

@@ -44,13 +44,16 @@ pub mod profile;
 pub mod rir;
 
 pub use error::{VmError, VmResult};
-pub use machine::{declare_prelude, Counters, CountersSnapshot, Vm, WellKnown};
+pub use machine::{
+    declare_prelude, Counters, CountersSnapshot, ResetStats, Vm, VmSnapshot, WellKnown,
+};
 pub use observe::{
     EhDispatchKind, Event, JitOutcome, LoopRejectReason, MethodProfile, ObserveLevel,
     ObserveReport,
 };
 pub use profile::{MathKind, MultiDimStyle, PassConfig, Tier, VmProfile};
 pub use rir::compile::CompiledMethod;
+pub use rir::share::OptShare;
 pub use rir::{print_rir, RirMethod};
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use hpcnet_runtime::heap::Heap;
 use hpcnet_runtime::math::{global_random, MathTable};
 use hpcnet_runtime::object::{HeapObj, ObjBody, RefSlot};
 use hpcnet_runtime::serial::{Reader, Tag, Writer};
+use hpcnet_runtime::snapshot::HeapSnapshot;
 use hpcnet_runtime::threads::ThreadRegistry;
 use hpcnet_runtime::{timer, Obj, Value};
 use parking_lot::{Mutex, RwLock};
@@ -51,6 +52,47 @@ impl WellKnown {
             div_zero: module.find_class(DIV_ZERO_CLASS),
             invalid_cast: module.find_class(INVALID_CAST_CLASS),
         }
+    }
+}
+
+/// A capture of a VM's mutable program state, taken by [`Vm::snapshot`]
+/// (typically right after static initialization) and replayed by
+/// [`Vm::reset_to`]. Holding one keeps every captured heap object alive,
+/// so a warmed VM — loaded module, compiled and threaded code — can be
+/// reused across thousands of isolated runs at microsecond cost.
+pub struct VmSnapshot {
+    heap: HeapSnapshot,
+    statics_prim: Box<[u64]>,
+    statics_refs: Box<[Option<Obj>]>,
+    console: Vec<String>,
+    serial_sink: Vec<u8>,
+}
+
+impl VmSnapshot {
+    /// Heap objects the snapshot tracks.
+    pub fn objects_tracked(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// What one [`Vm::reset_to`] did — the reuse evidence the conform
+/// harness aggregates (how much cheaper a reset was than a rebuild).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResetStats {
+    /// Heap objects tracked by the snapshot.
+    pub objects_tracked: u64,
+    /// Heap objects rewritten because the run mutated them.
+    pub objects_restored: u64,
+    /// Static slots (prim + ref) rewritten.
+    pub statics_restored: u64,
+}
+
+impl ResetStats {
+    /// Accumulate another reset's counts (fleet aggregation).
+    pub fn merge(&mut self, other: &ResetStats) {
+        self.objects_tracked += other.objects_tracked;
+        self.objects_restored += other.objects_restored;
+        self.statics_restored += other.statics_restored;
     }
 }
 
@@ -159,6 +201,8 @@ pub struct Vm {
     /// Per-method attribution profiler + typed event trace, sized by the
     /// profile's [`ObserveLevel`] at construction (see [`crate::observe`]).
     pub(crate) observer: Observer,
+    /// Optional shared compile front-half cache (see [`crate::rir::share`]).
+    opt_share: std::sync::OnceLock<Arc<crate::rir::share::OptShare>>,
 }
 
 impl std::fmt::Debug for Vm {
@@ -178,7 +222,14 @@ impl Vm {
     /// Bind an already-verified module (differential tests reuse one
     /// verified module across many profiles).
     pub fn new_unverified(module: Module, profile: VmProfile) -> Arc<Vm> {
-        let module = Arc::new(module);
+        Self::new_shared(Arc::new(module), profile)
+    }
+
+    /// Bind an already-shared module without re-verifying or cloning it.
+    /// Engine fleets (the conform matrix) build every VM of a cell from
+    /// one `Arc<Module>`; all module-derived ids (methods, strings,
+    /// classes) are identical across those VMs by construction.
+    pub fn new_shared(module: Arc<Module>, profile: VmProfile) -> Arc<Vm> {
         let heap = Heap::new();
         let statics = Statics {
             prim: (0..module.n_static_prim).map(|_| AtomicU64::new(0)).collect(),
@@ -229,7 +280,19 @@ impl Vm {
             op_coverage: (0..hpcnet_cil::Op::KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
             op_coverage_on: AtomicBool::new(false),
             observer: Observer::new(profile.observe, n_methods),
+            opt_share: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attach a shared compile front-half cache (see [`crate::rir::share`]).
+    /// Must be called before the first method compiles; later calls are
+    /// ignored. VMs without a share compile independently.
+    pub fn set_opt_share(&self, share: Arc<crate::rir::share::OptShare>) {
+        let _ = self.opt_share.set(share);
+    }
+
+    pub(crate) fn opt_share(&self) -> Option<&Arc<crate::rir::share::OptShare>> {
+        self.opt_share.get()
     }
 
     /// Invoke a method by id. `args` must match the signature (receiver
@@ -353,6 +416,110 @@ impl Vm {
     /// The interned string object for a literal.
     pub fn literal(&self, id: StrId) -> Obj {
         self.literals[id.idx()].clone()
+    }
+
+    // ---- snapshot / reset ----
+
+    /// Capture the VM's mutable program state — heap (reachable from
+    /// statics and string literals), static fields, console and serial
+    /// buffers — so later runs can be undone with [`Vm::reset_to`].
+    ///
+    /// Must be called at a safepoint: no managed code running, all
+    /// `Sys.Start` threads joined (this method joins them). Telemetry
+    /// (counters, opcode coverage, observer events) is deliberately
+    /// *not* part of the snapshot: it keeps accumulating across resets,
+    /// and callers diff [`CountersSnapshot`]s around each run instead.
+    /// Code caches are likewise untouched — keeping warmed compiled code
+    /// across resets is the whole point.
+    pub fn snapshot(&self) -> VmSnapshot {
+        self.join_all_threads();
+        let statics_refs: Box<[Option<Obj>]> =
+            self.statics.refs.iter().map(|s| s.get()).collect();
+        let mut roots: Vec<Obj> = statics_refs.iter().flatten().cloned().collect();
+        roots.extend(self.literals.iter().cloned());
+        VmSnapshot {
+            heap: HeapSnapshot::capture(&self.heap, &roots),
+            statics_prim: self
+                .statics
+                .prim
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            statics_refs,
+            console: self.console.lock().clone(),
+            serial_sink: self.serial_sink.lock().clone(),
+        }
+    }
+
+    /// Roll every effect of runs since `snap` back: statics, mutated heap
+    /// objects (dirty-tracked — untouched objects are not rewritten),
+    /// console and serial buffers, heap accounting. After this the VM is
+    /// observationally identical to one freshly built and initialized,
+    /// except that compiled code and telemetry are retained.
+    ///
+    /// Reference cycles created *after* the snapshot are the one thing
+    /// not reclaimed here (reference counting frees everything acyclic
+    /// once statics are restored); hosts running adversarial programs
+    /// for long periods can run [`hpcnet_runtime::gc::collect`] on a
+    /// tracking heap between resets.
+    pub fn reset_to(&self, snap: &VmSnapshot) -> ResetStats {
+        self.join_all_threads();
+        let mut statics_restored = 0u64;
+        for (cell, &bits) in self.statics.prim.iter().zip(snap.statics_prim.iter()) {
+            if cell.load(Ordering::Relaxed) != bits {
+                cell.store(bits, Ordering::Relaxed);
+                statics_restored += 1;
+            }
+        }
+        for (slot, v) in self.statics.refs.iter().zip(snap.statics_refs.iter()) {
+            let cur = slot.get();
+            let same = match (&cur, v) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            };
+            if !same {
+                slot.set(v.clone());
+                statics_restored += 1;
+            }
+        }
+        let heap = snap.heap.restore(&self.heap);
+        *self.console.lock() = snap.console.clone();
+        *self.serial_sink.lock() = snap.serial_sink.clone();
+        ResetStats {
+            objects_tracked: heap.objects_tracked,
+            objects_restored: heap.objects_restored,
+            statics_restored,
+        }
+    }
+
+    /// Count state divergences from `snap` (0 ⇔ bitwise-identical heap
+    /// payloads, statics, and console/serial buffers). Test-oriented:
+    /// proves a reset reproduced the captured state exactly.
+    pub fn verify_snapshot(&self, snap: &VmSnapshot) -> usize {
+        let mut mismatches = snap.heap.verify();
+        for (cell, &bits) in self.statics.prim.iter().zip(snap.statics_prim.iter()) {
+            if cell.load(Ordering::Relaxed) != bits {
+                mismatches += 1;
+            }
+        }
+        for (slot, v) in self.statics.refs.iter().zip(snap.statics_refs.iter()) {
+            let same = match (&slot.get(), v) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            };
+            if !same {
+                mismatches += 1;
+            }
+        }
+        if *self.console.lock() != snap.console {
+            mismatches += 1;
+        }
+        if *self.serial_sink.lock() != snap.serial_sink {
+            mismatches += 1;
+        }
+        mismatches
     }
 
     // ---- console ----

@@ -52,7 +52,7 @@ pub enum MathKind {
 }
 
 /// How true multidimensional element accesses are compiled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MultiDimStyle {
     /// Inline flat-offset computation (CLR 1.1's optimized accessors).
     FlatOffset,
@@ -62,7 +62,7 @@ pub enum MultiDimStyle {
 }
 
 /// Optimization-pass configuration for the register tier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PassConfig {
     /// Constant propagation/folding.
     pub const_prop: bool,

@@ -94,10 +94,9 @@ impl std::fmt::Debug for CompiledMethod {
 /// instruction. Compile events surface through the same `JitCompile`
 /// typed-trace path as the exec tier.
 pub(crate) fn compile(vm: &Arc<Vm>, method: MethodId) -> VmResult<CompiledMethod> {
-    let mut lowered = lower::lower(vm, method, vm.profile.passes.inline, 0)?;
-    let opt = opt::optimize(vm, &mut lowered);
-    let rir = linear_scan(vm, method, lowered, &opt.force_spill_p);
-    opt::push_compile_events(vm, method, &rir, opt);
+    let (lowered, res) = crate::rir::share::front(vm, method)?;
+    let rir = linear_scan(vm, method, lowered, &res.force_spill_p);
+    opt::push_compile_events(vm, method, &rir, res);
     let ops = build_ops(vm, &rir);
     Ok(CompiledMethod { rir, ops })
 }
@@ -854,6 +853,7 @@ fn build_op(vm: &Arc<Vm>, inst: &RInst) -> OpFn {
                     if mask {
                         bits &= 0xFF;
                     }
+                    o.mark_dirty();
                     o.prim_data()
                         .get(i as usize)
                         .ok_or_else(|| {
@@ -869,6 +869,7 @@ fn build_op(vm: &Arc<Vm>, inst: &RInst) -> OpFn {
                     if mask {
                         bits &= 0xFF;
                     }
+                    o.mark_dirty();
                     o.prim_data()
                         .get(i as usize)
                         .ok_or_else(|| {
@@ -885,6 +886,7 @@ fn build_op(vm: &Arc<Vm>, inst: &RInst) -> OpFn {
                     if i < 0 || i as usize >= len {
                         return Err(vm.raise_index_oob(depth));
                     }
+                    o.mark_dirty();
                     o.ref_data()
                         .get(i as usize)
                         .ok_or_else(|| {
@@ -897,6 +899,7 @@ fn build_op(vm: &Arc<Vm>, inst: &RInst) -> OpFn {
                     let i = fr.pget(idx) as u32 as i32;
                     let v = fr.rget(s);
                     let o = fr.rref(arr).ok_or_else(|| vm.raise_null_ref(depth))?;
+                    o.mark_dirty();
                     o.ref_data()
                         .get(i as usize)
                         .ok_or_else(|| {

@@ -79,35 +79,49 @@ impl Cfg {
         }
     }
 
-    /// Immediate-style dominator sets via iterative bit-vector dataflow
-    /// (blocks are few; simplicity over the Lengauer–Tarjan constant).
-    /// `dom[b]` is the set of blocks dominating `b`; unreachable blocks
-    /// keep the full set and thus never contribute back edges.
-    fn dominators(&self) -> Vec<BTreeSet<usize>> {
+    /// Dominator sets via iterative bit-vector dataflow, one flat `u64`
+    /// row per block (blocks are few; simplicity over the Lengauer–Tarjan
+    /// constant). `row(b)` has bit `d` set when block `d` dominates `b`;
+    /// a block with no predecessors converges to `{b}` alone and thus
+    /// never contributes a non-trivial back edge.
+    fn dominators(&self) -> DomSets {
         let nb = self.ranges.len();
-        let all: BTreeSet<usize> = (0..nb).collect();
-        let mut dom: Vec<BTreeSet<usize>> = vec![all; nb];
-        dom[0] = BTreeSet::from([0]);
+        let words = nb.div_ceil(64);
+        let mut bits: Vec<u64> = vec![u64::MAX; nb * words];
+        bits[..words].fill(0);
+        bits[0] = 1; // entry dominated only by itself
+        let mut row = vec![0u64; words];
         let mut changed = true;
         while changed {
             changed = false;
             for b in 1..nb {
-                let mut new: Option<BTreeSet<usize>> = None;
+                row.fill(if self.preds[b].is_empty() { 0 } else { u64::MAX });
                 for &p in &self.preds[b] {
-                    new = Some(match new {
-                        None => dom[p].clone(),
-                        Some(acc) => acc.intersection(&dom[p]).copied().collect(),
-                    });
+                    for (r, d) in row.iter_mut().zip(&bits[p * words..(p + 1) * words]) {
+                        *r &= *d;
+                    }
                 }
-                let mut new = new.unwrap_or_default();
-                new.insert(b);
-                if new != dom[b] {
-                    dom[b] = new;
+                row[b / 64] |= 1u64 << (b % 64);
+                if row != bits[b * words..(b + 1) * words] {
+                    bits[b * words..(b + 1) * words].copy_from_slice(&row);
                     changed = true;
                 }
             }
         }
-        dom
+        DomSets { words, bits }
+    }
+}
+
+/// Flat bitset dominator matrix produced by [`Cfg::dominators`].
+struct DomSets {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl DomSets {
+    /// Does block `d` dominate block `b`?
+    fn dominates(&self, d: usize, b: usize) -> bool {
+        self.bits[b * self.words + d / 64] >> (d % 64) & 1 != 0
     }
 }
 
@@ -139,7 +153,7 @@ pub(crate) fn find_loops(l: &Lowered, cfg: &Cfg) -> Vec<NaturalLoop> {
     let mut latches_of: Vec<Vec<usize>> = vec![Vec::new(); nb];
     for b in 0..nb {
         for &s in &cfg.succs[b] {
-            if dom[b].contains(&s) {
+            if dom.dominates(s, b) {
                 latches_of[s].push(b);
             }
         }

@@ -25,7 +25,7 @@ use hpcnet_cil::{CilType, Intrinsic, NumTy, Op};
 use std::sync::Arc;
 
 /// Lowered (pre-allocation) method: virtual-register RIR.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Lowered {
     pub code: Vec<RInst>,
     pub eh: Vec<hpcnet_cil::EhRegion>,
@@ -35,10 +35,15 @@ pub(crate) struct Lowered {
     pub n_rvreg: u16,
 }
 
-/// Compile a method for the register tier under the VM's profile.
+/// Compile a method for the register tier under the VM's profile. The
+/// front half (lower + optimize) may be served from the VM's shared cache
+/// (see [`crate::rir::share`]); allocation always runs under this VM's
+/// register caps.
 pub fn compile(vm: &Arc<Vm>, method: MethodId) -> VmResult<RirMethod> {
-    let lowered = lower(vm, method, vm.profile.passes.inline, 0)?;
-    Ok(opt::optimize_and_allocate(vm, method, lowered))
+    let (lowered, res) = crate::rir::share::front(vm, method)?;
+    let compiled = opt::allocate(vm, method, lowered, &res.force_spill_p);
+    opt::push_compile_events(vm, method, &compiled, res);
+    Ok(compiled)
 }
 
 /// One stack cell's kind at a program point.

@@ -38,6 +38,7 @@ pub mod compile;
 pub mod lower;
 pub(crate) mod loops;
 pub mod opt;
+pub mod share;
 
 use hpcnet_cil::module::{EhRegion, MethodId};
 use hpcnet_cil::{BinOp, ClassId, CmpOp, ElemKind, Intrinsic, NumTy, StrId, UnOp};

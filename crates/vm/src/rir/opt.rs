@@ -27,19 +27,24 @@ use std::sync::Arc;
 /// What the pass pipeline did to a method, before allocation: the partial
 /// [`JitOutcome`] (enreg/spill filled in by the allocator's caller), the
 /// loop-rejection trace, and the force-spill set the allocator must honor.
+#[derive(Clone)]
 pub(crate) struct OptResult {
     pub outcome: JitOutcome,
     pub rejections: Vec<(u32, LoopRejectReason)>,
     pub force_spill_p: HashSet<u16>,
 }
 
-/// Run the profile's optimization passes over lowered code in place. Both
-/// register tiers share this pipeline — the exec tier hands the result to
-/// the use-count allocator below, the compiled tier to the linear-scan
+/// Run a pass configuration over lowered code in place. Both register
+/// tiers share this pipeline — the exec tier hands the result to the
+/// use-count allocator below, the compiled tier to the linear-scan
 /// allocator in [`crate::rir::compile`] — so a pass combination means the
 /// same thing on either tier.
-pub(crate) fn optimize(vm: &Arc<Vm>, l: &mut Lowered) -> OptResult {
-    let passes = vm.profile.passes;
+///
+/// This is a pure function of `(passes, l)`: per-VM counters are applied
+/// separately by [`apply_outcome_counters`] so the result can be memoized
+/// across engines (see [`crate::rir::share`]).
+pub(crate) fn optimize(passes: &PassConfig, l: &mut Lowered) -> OptResult {
+    let passes = *passes;
     if passes.const_prop {
         const_and_copy_prop(l, &passes);
     } else if passes.copy_prop {
@@ -58,9 +63,6 @@ pub(crate) fn optimize(vm: &Arc<Vm>, l: &mut Lowered) -> OptResult {
     if passes.bce {
         let n = eliminate_bounds_checks(l);
         outcome.bce_removed = n as u32;
-        vm.counters
-            .bounds_checks_eliminated
-            .fetch_add(n, Ordering::Relaxed);
     }
     if passes.dce {
         dead_code_elim(l);
@@ -74,21 +76,14 @@ pub(crate) fn optimize(vm: &Arc<Vm>, l: &mut Lowered) -> OptResult {
         let cfg = Cfg::build(l);
         let loops = find_loops(l, &cfg);
         outcome.loops_found = loops.len() as u32;
-        vm.counters
-            .loops_found
-            .fetch_add(loops.len() as u64, Ordering::Relaxed);
         if passes.abce {
             let (n, rej) = loop_aware_bce(l, &cfg, &loops);
             outcome.abce_removed = n as u32;
             rejections = rej;
-            vm.counters
-                .bounds_checks_eliminated
-                .fetch_add(n, Ordering::Relaxed);
         }
         if passes.licm {
             let n = loop_invariant_code_motion(l);
             outcome.licm_hoisted = n as u32;
-            vm.counters.licm_hoisted.fetch_add(n, Ordering::Relaxed);
         }
     }
     let force_spill_p = if passes.div_const_temp_quirk {
@@ -97,6 +92,21 @@ pub(crate) fn optimize(vm: &Arc<Vm>, l: &mut Lowered) -> OptResult {
         HashSet::new()
     };
     OptResult { outcome, rejections, force_spill_p }
+}
+
+/// Apply one compile's pass outcome to a VM's counters. Split out of
+/// [`optimize`] so a memoized front half (cache hit) bumps the consuming
+/// VM's counters exactly as a fresh compile would.
+pub(crate) fn apply_outcome_counters(vm: &Vm, o: &JitOutcome) {
+    vm.counters
+        .bounds_checks_eliminated
+        .fetch_add(o.bce_removed as u64 + o.abce_removed as u64, Ordering::Relaxed);
+    vm.counters
+        .loops_found
+        .fetch_add(o.loops_found as u64, Ordering::Relaxed);
+    vm.counters
+        .licm_hoisted
+        .fetch_add(o.licm_hoisted as u64, Ordering::Relaxed);
 }
 
 /// Emit the typed compile trace for a finished method: the `JitCompile`
@@ -122,14 +132,6 @@ pub(crate) fn push_compile_events(
         vm.observer
             .push_event(Event::LoopRejected { method, header_pc, reason });
     }
-}
-
-/// Run the profile's passes over lowered code and allocate registers.
-pub(crate) fn optimize_and_allocate(vm: &Arc<Vm>, method: MethodId, mut l: Lowered) -> RirMethod {
-    let opt = optimize(vm, &mut l);
-    let compiled = allocate(vm, method, l, &opt.force_spill_p);
-    push_compile_events(vm, method, &compiled, opt);
-    compiled
 }
 
 /// Basic-block leader set: entry, branch targets, post-terminator
@@ -1413,7 +1415,28 @@ fn dead_code_elim(l: &mut Lowered) {
     }
 }
 
+#[inline]
+fn bit_set(bs: &mut [u64], i: usize) {
+    bs[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn bit_clear(bs: &mut [u64], i: usize) {
+    bs[i / 64] &= !(1u64 << (i % 64));
+}
+
+#[inline]
+fn bit_get(bs: &[u64], i: usize) -> bool {
+    bs[i / 64] >> (i % 64) & 1 != 0
+}
+
 /// One liveness + sweep round; true if anything was removed.
+///
+/// Liveness state is kept in flat `u64` bitset rows (one row per block)
+/// and the per-instruction use/def sets are recorded once per round into
+/// a shared arena by running the slot rewriter over the instruction with
+/// identity mappings — no per-instruction clones or allocations, which is
+/// what keeps a fixpoint of rounds affordable on heavily-inlined methods.
 fn dce_round(l: &mut Lowered) -> bool {
     let n = l.code.len();
     if n == 0 {
@@ -1438,6 +1461,13 @@ fn dce_round(l: &mut Lowered) -> bool {
     // continuation (leave target or exception re-dispatch) — they are
     // treated as fully live below.
     let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    // Exception edges are kept separate from `succ`: a throw can occur at
+    // *any* instruction of a protected block, so everything live into the
+    // handler is live at every point of the block — defs inside the try
+    // must not kill those slots (the handler may observe the pre-store
+    // value). They bypass the kill set below instead of flowing through
+    // live_out.
+    let mut eh_succ: Vec<Vec<usize>> = vec![Vec::new(); nb];
     let mut endfinally_blocks: Vec<bool> = vec![false; nb];
     for b in 0..nb {
         let (start, end) = block_range(b);
@@ -1463,107 +1493,130 @@ fn dce_round(l: &mut Lowered) -> bool {
         for r in &l.eh {
             if (start as u32) < r.try_end && (end as u32) > r.try_start {
                 succ[b].push(block_of(r.handler_start));
+                eh_succ[b].push(block_of(r.handler_start));
             }
         }
         let _ = start;
     }
 
-    // Per-instruction uses/defs (as bitsets over the two vreg spaces).
+    // Per-instruction uses/defs over the combined vreg space (primitive
+    // slots first, then reference slots), recorded once into a flat arena.
     let np = l.n_pvreg as usize;
     let nr = l.n_rvreg as usize;
-    let idx = |is_ref: bool, v: u16| -> usize {
-        if is_ref {
-            np + v as usize
-        } else {
-            v as usize
-        }
-    };
     let total = np + nr;
-    let uses_defs = |inst: &RInst| -> (Vec<usize>, Vec<usize>) {
-        let mut c = inst.clone();
-        let all = std::cell::RefCell::new(Vec::<usize>::new());
-        rewrite_slots(
-            &mut c,
-            &mut |v| {
-                all.borrow_mut().push(idx(false, v));
-                v
-            },
-            &mut |v| {
-                all.borrow_mut().push(idx(true, v));
-                v
-            },
-        );
-        let mut all = all.into_inner();
-        let mut defs = Vec::new();
-        if let Some(d) = def_p(inst) {
-            defs.push(idx(false, d));
-            // one occurrence of the def slot was counted as a use
-            if let Some(pos) = all.iter().position(|&x| x == idx(false, d)) {
-                all.remove(pos);
+    let words = total.div_ceil(64);
+    const NONE: u32 = u32::MAX;
+    let mut slot_arena: Vec<u32> = Vec::with_capacity(n * 3);
+    let mut inst_uses: Vec<(u32, u32)> = Vec::with_capacity(n);
+    let mut inst_defs: Vec<[u32; 2]> = Vec::with_capacity(n);
+    {
+        let arena = std::cell::RefCell::new(&mut slot_arena);
+        for inst in l.code.iter_mut() {
+            let dp = def_p(inst).map(|d| d as u32);
+            let dr = def_r(inst).map(|d| np as u32 + d as u32);
+            let start = arena.borrow().len() as u32;
+            rewrite_slots(
+                inst,
+                &mut |v| {
+                    arena.borrow_mut().push(v as u32);
+                    v
+                },
+                &mut |v| {
+                    arena.borrow_mut().push(np as u32 + v as u32);
+                    v
+                },
+            );
+            let mut a = arena.borrow_mut();
+            let end = a.len() as u32;
+            // One occurrence of each def slot was recorded as a use;
+            // blank it so `x = x` still keeps `x` live.
+            for d in [dp, dr].into_iter().flatten() {
+                if let Some(p) = a[start as usize..end as usize].iter().position(|&x| x == d) {
+                    a[start as usize + p] = NONE;
+                }
             }
+            inst_uses.push((start, end));
+            inst_defs.push([dp.unwrap_or(NONE), dr.unwrap_or(NONE)]);
         }
-        if let Some(d) = def_r(inst) {
-            defs.push(idx(true, d));
-            if let Some(pos) = all.iter().position(|&x| x == idx(true, d)) {
-                all.remove(pos);
-            }
-        }
-        (all, defs)
-    };
+    }
 
-    // Block-level gen/kill.
-    let mut gen: Vec<Vec<bool>> = vec![vec![false; total]; nb];
-    let mut kill: Vec<Vec<bool>> = vec![vec![false; total]; nb];
+    // Block-level gen/kill, one bitset row per block.
+    let mut gen: Vec<u64> = vec![0; nb * words];
+    let mut kill: Vec<u64> = vec![0; nb * words];
     for b in 0..nb {
         let (start, end) = block_range(b);
+        let g = &mut gen[b * words..(b + 1) * words];
+        let k = &mut kill[b * words..(b + 1) * words];
         for i in (start..end).rev() {
-            let (uses, defs) = uses_defs(&l.code[i]);
-            for d in defs {
-                gen[b][d] = false;
-                kill[b][d] = true;
+            for d in inst_defs[i] {
+                if d != NONE {
+                    bit_clear(g, d as usize);
+                    bit_set(k, d as usize);
+                }
             }
-            for u in uses {
-                gen[b][u] = true;
+            let (us, ue) = inst_uses[i];
+            for &u in &slot_arena[us as usize..ue as usize] {
+                if u != NONE {
+                    bit_set(g, u as usize);
+                }
             }
         }
     }
     // Iterate to fixpoint: live_in = gen ∪ (live_out − kill).
-    let mut live_in: Vec<Vec<bool>> = vec![vec![false; total]; nb];
-    let mut live_out: Vec<Vec<bool>> = vec![vec![false; total]; nb];
+    let mut live_in: Vec<u64> = vec![0; nb * words];
+    let mut live_out: Vec<u64> = vec![0; nb * words];
+    let mut out_buf: Vec<u64> = vec![0; words];
+    let mut eh_buf: Vec<u64> = vec![0; words];
     let mut changed = true;
     while changed {
         changed = false;
         for b in (0..nb).rev() {
-            let mut out = vec![false; total];
-            if endfinally_blocks[b] {
-                out.fill(true);
-            }
+            out_buf.fill(if endfinally_blocks[b] { u64::MAX } else { 0 });
             for &s in &succ[b] {
-                for (o, i2) in out.iter_mut().zip(live_in[s].iter()) {
+                for (o, i2) in out_buf.iter_mut().zip(&live_in[s * words..(s + 1) * words]) {
                     *o |= *i2;
                 }
             }
-            let mut inn = gen[b].clone();
-            for k in 0..total {
-                if out[k] && !kill[b][k] {
-                    inn[k] = true;
+            // Handler live-in is live throughout the protected block and
+            // is immune to this block's kills.
+            eh_buf.fill(0);
+            for &s in &eh_succ[b] {
+                for (o, i2) in eh_buf.iter_mut().zip(&live_in[s * words..(s + 1) * words]) {
+                    *o |= *i2;
                 }
             }
-            if inn != live_in[b] || out != live_out[b] {
-                live_in[b] = inn;
-                live_out[b] = out;
+            let mut blk_changed = false;
+            for w in 0..words {
+                let inn =
+                    gen[b * words + w] | (out_buf[w] & !kill[b * words + w]) | eh_buf[w];
+                if inn != live_in[b * words + w] || out_buf[w] != live_out[b * words + w] {
+                    blk_changed = true;
+                }
+                live_in[b * words + w] = inn;
+                live_out[b * words + w] = out_buf[w];
+            }
+            if blk_changed {
                 changed = true;
             }
         }
     }
 
-    // Backward sweep per block: delete pure defs of dead slots.
+    // Backward sweep per block: delete pure defs of dead slots. Slots
+    // live into a reachable handler stay live at every pc of the
+    // protected block (a throw may observe the pre-kill value).
     let mut removed = false;
+    let mut live: Vec<u64> = vec![0; words];
     for b in 0..nb {
         let (start, end) = block_range(b);
-        let mut live = live_out[b].clone();
+        live.copy_from_slice(&live_out[b * words..(b + 1) * words]);
+        eh_buf.fill(0);
+        for &s in &eh_succ[b] {
+            for (o, i2) in eh_buf.iter_mut().zip(&live_in[s * words..(s + 1) * words]) {
+                *o |= *i2;
+            }
+        }
         for i in (start..end).rev() {
-            let (uses, defs) = uses_defs(&l.code[i]);
+            let defs = inst_defs[i];
             let pure = matches!(
                 &l.code[i],
                 RInst::MovP { .. }
@@ -1581,16 +1634,28 @@ fn dce_round(l: &mut Lowered) -> bool {
                 &l.code[i],
                 RInst::Bin { op, .. } if !matches!(op, BinOp::Div | BinOp::Rem)
             );
-            if pure && !defs.is_empty() && defs.iter().all(|&d| !live[d]) {
+            let has_def = defs[0] != NONE || defs[1] != NONE;
+            if pure
+                && has_def
+                && defs.iter().all(|&d| {
+                    d == NONE
+                        || (!bit_get(&live, d as usize) && !bit_get(&eh_buf, d as usize))
+                })
+            {
                 l.code[i] = RInst::Nop;
                 removed = true;
                 continue;
             }
-            for &d in &defs {
-                live[d] = false;
+            for d in defs {
+                if d != NONE {
+                    bit_clear(&mut live, d as usize);
+                }
             }
-            for u in uses {
-                live[u] = true;
+            let (us, ue) = inst_uses[i];
+            for &u in &slot_arena[us as usize..ue as usize] {
+                if u != NONE {
+                    bit_set(&mut live, u as usize);
+                }
             }
         }
     }
@@ -1695,7 +1760,7 @@ fn apply_div_const_quirk(l: &mut Lowered) -> HashSet<u16> {
 }
 
 /// Use-count-ranked register allocation under the profile's caps.
-fn allocate(
+pub(crate) fn allocate(
     vm: &Arc<Vm>,
     method: MethodId,
     mut l: Lowered,

@@ -1,0 +1,78 @@
+//! Cross-engine sharing of the profile-invariant compile front half.
+//!
+//! Lowering and the optimization pipeline are pure functions of the
+//! module, the [`PassConfig`], and the multidimensional-access style —
+//! register caps and the execution tier only matter to the allocators
+//! that run afterwards. The conform matrix executes every pass
+//! combination on both register tiers, so without sharing each engine
+//! pair lowers and optimizes the same methods twice. An [`OptShare`]
+//! attached to every VM of a sweep cell memoizes the front half keyed by
+//! `(method, passes, multidim)`; per-VM counters stay bitwise identical
+//! because the pass outcome (loops found, checks eliminated, hoists) is
+//! replayed onto each VM that consumes a cached entry.
+
+use crate::error::VmResult;
+use crate::machine::Vm;
+use crate::profile::{MultiDimStyle, PassConfig};
+use crate::rir::lower::{self, Lowered};
+use crate::rir::opt::{self, OptResult};
+use hpcnet_cil::module::MethodId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+type Key = (MethodId, PassConfig, MultiDimStyle);
+
+/// Memoized front-half output shared between engines executing the same
+/// module. Construct one per module (e.g. per conform seed) and attach it
+/// to every VM via [`Vm::set_opt_share`]; VMs without one compile exactly
+/// as before.
+#[derive(Default)]
+pub struct OptShare {
+    map: Mutex<HashMap<Key, Arc<(Lowered, OptResult)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OptShare {
+    pub fn new() -> OptShare {
+        OptShare::default()
+    }
+
+    /// `(hits, misses)` — front-half compiles served from the cache vs
+    /// computed. Deterministic for a fixed engine order.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+/// Lower + optimize `method` under the VM's profile, consulting the VM's
+/// [`OptShare`] when present. The pass-outcome counters (`loops_found`,
+/// `bounds_checks_eliminated`, `licm_hoisted`) are applied to this VM on
+/// both the hit and miss path, exactly as the unshared pipeline did.
+pub(crate) fn front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptResult)> {
+    let Some(share) = vm.opt_share() else {
+        let mut l = lower::lower(vm, method, vm.profile.passes.inline, 0)?;
+        let res = opt::optimize(&vm.profile.passes, &mut l);
+        opt::apply_outcome_counters(vm, &res.outcome);
+        return Ok((l, res));
+    };
+    let key = (method, vm.profile.passes, vm.profile.multidim);
+    if let Some(e) = share.map.lock().unwrap().get(&key).cloned() {
+        share.hits.fetch_add(1, Ordering::Relaxed);
+        opt::apply_outcome_counters(vm, &e.1.outcome);
+        return Ok((e.0.clone(), e.1.clone()));
+    }
+    let mut l = lower::lower(vm, method, vm.profile.passes.inline, 0)?;
+    let res = opt::optimize(&vm.profile.passes, &mut l);
+    opt::apply_outcome_counters(vm, &res.outcome);
+    share.misses.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new((l, res));
+    share
+        .map
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| entry.clone());
+    Ok((entry.0.clone(), entry.1.clone()))
+}
