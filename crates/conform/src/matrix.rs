@@ -284,7 +284,10 @@ pub fn run_matrix_at(
                 Err(e) => format!("init-{}", norm_result(&vm, Err(e.clone()))),
             };
             per_input.push(RunOutcome { result, console: vm.take_console() });
-            resets.absorb(vm.reset_to(&snap));
+            let reset = vm
+                .reset_to(&snap)
+                .expect("snapshot and VM are paired by construction");
+            resets.absorb(reset);
         }
         if ei == 0 {
             for (i, n) in vm.op_coverage_counts().into_iter().enumerate() {

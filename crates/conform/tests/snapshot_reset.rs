@@ -95,7 +95,7 @@ fn assert_reset_equals_fresh(module: &Arc<Module>, profile: VmProfile, entry: &s
                 "reset run {i} recompiled — snapshot reset failed to keep code warm"
             );
         }
-        vm.reset_to(&snap);
+        vm.reset_to(&snap).expect("own snapshot");
         assert_eq!(
             vm.verify_snapshot(&snap),
             0,
@@ -141,7 +141,7 @@ fn grande_kernels_reset_equals_fresh() {
         let vm = vm_for(&group, VmProfile::clr11());
         let snap = vm.snapshot();
         let a = run_entry(&vm, &entry, n).map(f64::to_bits);
-        vm.reset_to(&snap);
+        vm.reset_to(&snap).expect("own snapshot");
         assert_eq!(vm.verify_snapshot(&snap), 0);
         let b = run_entry(&vm, &entry, n).map(f64::to_bits);
         assert_eq!(a.ok(), b.ok(), "{id}: checksum changed across reset");
@@ -190,7 +190,7 @@ fn reset_isolates_static_state_across_runs() {
     for _ in 0..4 {
         let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(0), Value::I4(0)]);
         assert_eq!(norm(&vm, r), "i8:1", "every reset run starts from calls == 0");
-        vm.reset_to(&snap);
+        vm.reset_to(&snap).expect("own snapshot");
     }
     // Control: without reset the counter accumulates.
     let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(0), Value::I4(0)]);
@@ -224,9 +224,146 @@ fn reset_after_exception_unwind() {
                 "trap:DivideByZeroException",
                 "run {i}: leftover poisoned state leaked past a reset"
             );
-            vm.reset_to(&snap);
+            vm.reset_to(&snap).expect("own snapshot");
             assert_eq!(vm.verify_snapshot(&snap), 0);
         }
+    }
+}
+
+/// A snapshot only ever replays into the VM that took it. Two VMs built
+/// from the *same* module still refuse each other's snapshots: statics
+/// and heap handles are per-VM, and replaying them across VMs would
+/// cross-contaminate both — the exact corruption a VM-pooling service
+/// must detect rather than trust caller discipline to avoid.
+#[test]
+fn reset_rejects_snapshot_from_a_different_vm() {
+    let src = "class Gen {
+        static int counter;
+        static long Run(int a, int b) { counter = counter + a; return (long)counter; }
+    }";
+    let module = Arc::new(compile_verified(src).unwrap());
+    let vm_a = fresh_vm(&module, VmProfile::clr11());
+    let vm_b = fresh_vm(&module, VmProfile::clr11());
+    let snap_a = vm_a.snapshot();
+    let snap_b = vm_b.snapshot();
+
+    // Foreign snapshot: refused, with the mismatch named in the error.
+    let err = vm_b.reset_to(&snap_a).expect_err("foreign snapshot must be rejected");
+    assert!(
+        format!("{err}").contains("different VM") || format!("{err}").contains("foreign"),
+        "error should explain the identity mismatch: {err}"
+    );
+    // And it never verifies.
+    assert_ne!(vm_b.verify_snapshot(&snap_a), 0);
+
+    // The refusal touched nothing: vm_b's own snapshot still verifies
+    // clean and still resets.
+    assert_eq!(vm_b.verify_snapshot(&snap_b), 0);
+    let r = vm_b.invoke_by_name("Gen.Run", vec![Value::I4(7), Value::I4(0)]);
+    assert_eq!(norm(&vm_b, r), "i8:7");
+    vm_b.reset_to(&snap_b).expect("own snapshot");
+    assert_eq!(vm_b.verify_snapshot(&snap_b), 0);
+}
+
+/// Console/serial isolation across tenants: a job that writes output and
+/// *then* traps must not leak a single line (or serialized byte) into the
+/// next run's harvest, even when the harvest happens on the error path.
+/// This pins the serve layer's harvest-then-reset discipline at the VM
+/// level: after `take_console` + `reset_to`, the next tenant observes
+/// exactly the snapshot's (drained-empty) buffers.
+#[test]
+fn trapping_job_cannot_leak_console_or_serial_into_next_run() {
+    let src = "class Gen {
+        static long Run(int a, int b) {
+            if (a == 1) {
+                Console.WriteLine(\"tenant-A line 1\");
+                Console.WriteLine(\"tenant-A line 2\");
+                int[] boom = new int[2];
+                return (long)boom[5];   // traps IndexOutOfRange mid-output
+            }
+            Console.WriteLine(\"tenant-B only\");
+            return (long)b;
+        }
+    }";
+    let module = Arc::new(compile_verified(src).unwrap());
+    for profile in [VmProfile::sscli10(), VmProfile::clr11().with_tier(Tier::Compiled)] {
+        let vm = fresh_vm(&module, profile);
+        // Serve discipline: drain init-time output so the snapshot's
+        // buffers are empty and every job harvests only its own lines.
+        let _init_lines = vm.take_console();
+        let snap = vm.snapshot();
+
+        // Tenant A writes two lines, then traps. Harvest on the error path.
+        let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(1), Value::I4(0)]);
+        assert_eq!(norm(&vm, r), "trap:IndexOutOfRangeException");
+        let harvest_a = vm.take_console();
+        assert_eq!(harvest_a, vec!["tenant-A line 1", "tenant-A line 2"]);
+        vm.reset_to(&snap).expect("own snapshot");
+        assert_eq!(vm.verify_snapshot(&snap), 0, "tenant A left residue past the reset");
+
+        // Tenant B's harvest contains only tenant B's output.
+        let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(0), Value::I4(42)]);
+        assert_eq!(norm(&vm, r), "i8:42");
+        assert_eq!(vm.take_console(), vec!["tenant-B only"], "tenant A's lines leaked");
+        vm.reset_to(&snap).expect("own snapshot");
+        assert_eq!(vm.verify_snapshot(&snap), 0);
+    }
+}
+
+/// Fuel exhaustion is (a) deterministic — the same budget stops the same
+/// program at the same point on every run — and (b) fully rolled back by
+/// a reset: the next job on the same VM runs to completion untouched.
+#[test]
+fn fuel_exhaustion_is_deterministic_and_reset_isolated() {
+    let src = "class Gen {
+        static int progress;
+        static long Run(int a, int b) {
+            int i = 0;
+            while (i < a) { progress = progress + 1; i = i + 1; }
+            return (long)progress;
+        }
+    }";
+    let module = Arc::new(compile_verified(src).unwrap());
+    for profile in [
+        VmProfile::sscli10(),
+        VmProfile::clr11(),
+        VmProfile::clr11().with_tier(Tier::Compiled),
+    ] {
+        let vm = fresh_vm(&module, profile);
+        let snap = vm.snapshot();
+
+        // Exhaust: a 1_000_000-iteration loop under a tiny budget.
+        let mut outcomes = Vec::new();
+        for _ in 0..3 {
+            vm.set_fuel(Some(500));
+            let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(1_000_000), Value::I4(0)]);
+            outcomes.push(norm(&vm, r));
+            assert_eq!(vm.fuel_remaining(), Some(0));
+            vm.set_fuel(None);
+            vm.reset_to(&snap).expect("own snapshot");
+            assert_eq!(vm.verify_snapshot(&snap), 0, "exhausted run left residue");
+        }
+        assert!(
+            outcomes.iter().all(|o| o.starts_with("err:Limit")),
+            "budget must surface as VmError::Limit: {outcomes:?} ({})",
+            vm.profile.name
+        );
+        assert!(
+            outcomes.windows(2).all(|w| w[0] == w[1]),
+            "fuel exhaustion must be deterministic: {outcomes:?}"
+        );
+
+        // Disarmed again: the same VM finishes a real job, from clean state.
+        let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(10), Value::I4(0)]);
+        assert_eq!(norm(&vm, r), "i8:10", "{}", vm.profile.name);
+        // And a sufficient budget is not charged for straight-line work.
+        vm.reset_to(&snap).expect("own snapshot");
+        vm.set_fuel(Some(1_000_000));
+        let r = vm.invoke_by_name("Gen.Run", vec![Value::I4(10), Value::I4(0)]);
+        assert_eq!(norm(&vm, r), "i8:10");
+        let spent = 1_000_000 - vm.fuel_remaining().unwrap();
+        assert!(spent > 0 && spent < 1_000, "unexpected fuel spend {spent}");
+        vm.set_fuel(None);
     }
 }
 
@@ -257,7 +394,7 @@ fn reset_survives_cycle_collection() {
         // run allocated becomes garbage once the reset detaches it.
         let roots: Vec<_> = vm.statics.refs.iter().filter_map(|s| s.get()).collect();
         gc::collect(&vm.heap, &roots);
-        vm.reset_to(&snap);
+        vm.reset_to(&snap).expect("own snapshot");
         assert_eq!(vm.verify_snapshot(&snap), 0, "GC between runs corrupted snapshot state");
     }
     assert!(results.iter().all(|r| r == &results[0]), "{results:?}");

@@ -22,6 +22,8 @@
 
 use std::sync::Arc;
 
+pub mod json;
+
 pub use hpcnet_cil::{disasm, MethodId, Module};
 pub use hpcnet_grande::{
     compile_group, find_entry, registry, run_entry, vm_for, BenchGroup, Entry, Suite, Unit,

@@ -13,10 +13,58 @@
 //! hpcnet-report bench --check BENCH_grande.json
 //! hpcnet-report profile loop.for   # attribution artifact (PROFILE_loop.for.json)
 //! hpcnet-report profile scimark.fft --overhead
+//! hpcnet-report serve --jobs 120 --workers 2   # job-service artifact (BENCH_serve.json)
+//! hpcnet-report serve --check BENCH_serve.json
 //! ```
+//!
+//! Error discipline: a bad flag, a missing value, or an unreadable path is
+//! a *user* mistake, reported on stderr with the relevant subcommand's
+//! usage and a non-zero exit — never a panic. The only panics left in this
+//! binary are genuine internal bugs.
 
 use hpcnet_harness::{all_reports, Config};
 use std::time::Duration;
+
+/// Report a usage error: message + the failing subcommand's usage text on
+/// stderr, exit 2 (the "bad invocation" code, distinct from runtime
+/// failures' 1).
+fn fail_usage(usage: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!("{usage}");
+    std::process::exit(2);
+}
+
+/// Report a runtime failure (I/O, measurement, validation): exit 1.
+fn fail_run(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Pull and parse the value of `flag` from `it`, or die with usage.
+fn flag_value<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+    what: &str,
+    usage: &str,
+) -> T {
+    match it.next() {
+        None => fail_usage(usage, &format!("{flag} needs {what}")),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(usage, &format!("{flag} needs {what}, got {v:?}"))),
+    }
+}
+
+fn write_or_die(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        fail_run(&format!("cannot write {path}: {e}"));
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_run(&format!("cannot read {path}: {e}")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,24 +91,33 @@ fn main() {
         run_profile(&args[1..]);
         return;
     }
+    // `serve` runs the multi-tenant job service over a deterministic mixed
+    // workload and emits BENCH_serve.json (docs/ARCHITECTURE.md).
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+        return;
+    }
     let mut cfg = Config::default();
     let mut csv_dir: Option<String> = None;
     let mut relative = false;
     let mut wanted: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--large" => cfg.large = true,
             "--quick" => cfg.min_time = Duration::from_millis(30),
             "--min-time-ms" => {
-                let ms: u64 = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--min-time-ms needs a number");
+                let ms: u64 = flag_value(&mut it, "--min-time-ms", "a number", &graph_usage());
                 cfg.min_time = Duration::from_millis(ms);
             }
-            "--csv" => csv_dir = Some(it.next().expect("--csv needs a directory")),
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(dir.clone()),
+                None => fail_usage(&graph_usage(), "--csv needs a directory"),
+            },
             "--relative" => relative = true,
+            other if other.starts_with('-') => {
+                fail_usage(&graph_usage(), &format!("unknown graph flag {other}"));
+            }
             other => wanted.push(other.to_string()),
         }
     }
@@ -79,9 +136,11 @@ fn main() {
             }
         }
         if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail_run(&format!("cannot create csv dir {dir}: {e}"));
+            }
             let path = format!("{dir}/{name}{}.csv", if cfg.large { "_large" } else { "" });
-            std::fs::write(&path, table.to_csv()).expect("write csv");
+            write_or_die(&path, &table.to_csv());
             eprintln!("wrote {path}");
         }
         ran += 1;
@@ -89,21 +148,19 @@ fn main() {
     if ran == 0 {
         // Anything that is neither a subcommand nor a known graph name
         // lands here: refuse loudly with the usage text, exit non-zero.
-        eprintln!(
-            "unknown subcommand or report {:?}; known: all {}\n",
-            wanted.join(" "),
-            reports
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join(" ")
+        fail_usage(
+            &usage(),
+            &format!(
+                "unknown subcommand or report {:?}; known: all {}",
+                wanted.join(" "),
+                reports.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+            ),
         );
-        eprintln!("{}", usage());
-        std::process::exit(2);
     }
 }
 
 fn run_profile(args: &[String]) {
+    let u = profile_usage();
     let mut cfg = hpcnet_harness::profile::ProfileConfig::default();
     let mut entry: Option<String> = None;
     let mut out: Option<String> = None;
@@ -118,29 +175,25 @@ fn run_profile(args: &[String]) {
                 min_time = Duration::from_millis(30);
             }
             "--large" => cfg.large = true,
-            "--n" => {
-                cfg.n = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--n needs a number"),
-                );
-            }
-            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
-            "--check" => check = Some(it.next().expect("--check needs a path").clone()),
+            "--n" => cfg.n = Some(flag_value(&mut it, "--n", "a number", &u)),
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => fail_usage(&u, "--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => fail_usage(&u, "--check needs a path"),
+            },
             "--overhead" => overhead = true,
             other if other.starts_with('-') => {
-                eprintln!("unknown profile flag {other}");
-                std::process::exit(2);
+                fail_usage(&u, &format!("unknown profile flag {other}"));
             }
             other => entry = Some(other.to_string()),
         }
     }
     // Validation-only mode: parse + schema-check an existing artifact.
     if let Some(path) = check {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        });
+        let text = read_or_die(&path);
         match hpcnet_harness::profile::check_document(&text) {
             Ok(()) => println!("{path}: schema-valid profile document"),
             Err(problems) => {
@@ -154,28 +207,23 @@ fn run_profile(args: &[String]) {
         return;
     }
     let entry = entry.unwrap_or_else(|| {
-        eprintln!("profile needs a benchmark entry id (e.g. loop.for, scimark.fft)");
-        std::process::exit(2);
+        fail_usage(&u, "profile needs a benchmark entry id (e.g. loop.for, scimark.fft)")
     });
     // `--overhead`: time the entry at every ObserveLevel instead of
     // writing the (time-free) JSON artifact.
     if overhead {
-        let t = hpcnet_harness::profile::overhead_table(&entry, min_time).unwrap_or_else(|e| {
-            eprintln!("overhead measurement failed: {e}");
-            std::process::exit(1);
-        });
+        let t = hpcnet_harness::profile::overhead_table(&entry, min_time)
+            .unwrap_or_else(|e| fail_run(&format!("overhead measurement failed: {e}")));
         println!("{}", t.render());
         return;
     }
-    let run = hpcnet_harness::profile::run_profile(&entry, &cfg).unwrap_or_else(|e| {
-        eprintln!("profile failed: {e}");
-        std::process::exit(1);
-    });
+    let run = hpcnet_harness::profile::run_profile(&entry, &cfg)
+        .unwrap_or_else(|e| fail_run(&format!("profile failed: {e}")));
     println!("{}", run.hot.render());
     println!("{}", run.attribution.render());
     let out = out.unwrap_or_else(|| format!("PROFILE_{entry}.json"));
     let text = run.doc.render();
-    std::fs::write(&out, &text).expect("write profile json");
+    write_or_die(&out, &text);
     // Self-check the exact bytes written, mirroring `bench`.
     if let Err(problems) = hpcnet_harness::profile::check_document(&text) {
         eprintln!("{out}: emitted document FAILED schema validation:");
@@ -188,6 +236,7 @@ fn run_profile(args: &[String]) {
 }
 
 fn run_bench(args: &[String]) {
+    let u = bench_usage();
     let mut cfg = Config::default();
     let mut out = String::from("BENCH_grande.json");
     let mut check: Option<String> = None;
@@ -197,26 +246,23 @@ fn run_bench(args: &[String]) {
             "--quick" => cfg.min_time = Duration::from_millis(30),
             "--large" => cfg.large = true,
             "--min-time-ms" => {
-                let ms: u64 = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--min-time-ms needs a number");
+                let ms: u64 = flag_value(&mut it, "--min-time-ms", "a number", &u);
                 cfg.min_time = Duration::from_millis(ms);
             }
-            "--out" => out = it.next().expect("--out needs a path").clone(),
-            "--check" => check = Some(it.next().expect("--check needs a path").clone()),
-            other => {
-                eprintln!("unknown bench flag {other}");
-                std::process::exit(2);
-            }
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => fail_usage(&u, "--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => fail_usage(&u, "--check needs a path"),
+            },
+            other => fail_usage(&u, &format!("unknown bench flag {other}")),
         }
     }
     // Validation-only mode: parse + schema-check an existing artifact.
     if let Some(path) = check {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        });
+        let text = read_or_die(&path);
         match hpcnet_harness::bench::check_document(&text) {
             Ok(()) => println!("{path}: schema-valid bench document"),
             Err(problems) => {
@@ -229,15 +275,13 @@ fn run_bench(args: &[String]) {
         }
         return;
     }
-    let run = hpcnet_harness::bench::run_bench(&cfg).unwrap_or_else(|e| {
-        eprintln!("bench failed: {e}");
-        std::process::exit(1);
-    });
+    let run = hpcnet_harness::bench::run_bench(&cfg)
+        .unwrap_or_else(|e| fail_run(&format!("bench failed: {e}")));
     for t in &run.tables {
         println!("{}", t.render());
     }
     let text = run.doc.render();
-    std::fs::write(&out, &text).expect("write bench json");
+    write_or_die(&out, &text);
     // Self-check: re-validate the exact bytes written before declaring
     // success, so a schema regression can never ship a bad artifact.
     if let Err(problems) = hpcnet_harness::bench::check_document(&text) {
@@ -251,44 +295,28 @@ fn run_bench(args: &[String]) {
 }
 
 fn run_conform(args: &[String]) {
+    let u = conform_usage();
     let mut cfg = conform::ConformConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--programs" => {
-                cfg.programs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--programs needs a number");
-            }
-            "--seed" => {
-                cfg.start_seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number");
-            }
+            "--programs" => cfg.programs = flag_value(&mut it, "--programs", "a number", &u),
+            "--seed" => cfg.start_seed = flag_value(&mut it, "--seed", "a number", &u),
             "--no-corpus" => cfg.corpus_dir = None,
             "--workers" => {
-                cfg.workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--workers needs a number (0 = all cores)");
+                cfg.workers = flag_value(&mut it, "--workers", "a number (0 = all cores)", &u);
             }
-            "--wave" => {
-                cfg.wave = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--wave needs a number (0 = default)");
-            }
+            "--wave" => cfg.wave = flag_value(&mut it, "--wave", "a number (0 = default)", &u),
             "--observe" => {
-                let level = it.next().expect("--observe needs off|counters|trace");
-                cfg.observe = hpcnet_harness::ObserveLevel::parse(level)
-                    .unwrap_or_else(|| panic!("--observe needs off|counters|trace, got {level}"));
+                let level = match it.next() {
+                    Some(l) => l,
+                    None => fail_usage(&u, "--observe needs off|counters|trace"),
+                };
+                cfg.observe = hpcnet_harness::ObserveLevel::parse(level).unwrap_or_else(|| {
+                    fail_usage(&u, &format!("--observe needs off|counters|trace, got {level:?}"))
+                });
             }
-            other => {
-                eprintln!("unknown conform flag {other}");
-                std::process::exit(2);
-            }
+            other => fail_usage(&u, &format!("unknown conform flag {other}")),
         }
     }
     let report = conform::run_conformance(&cfg);
@@ -298,32 +326,167 @@ fn run_conform(args: &[String]) {
     }
 }
 
-fn usage() -> String {
-    "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
-     \n\
-     usage: hpcnet-report <subcommand|graph ...|all> [flags]\n\
-     \n\
-     subcommands:\n\
-       conform   differential conformance fuzz sweep over every profile and\n\
-                 pass combination; exits non-zero on any divergence\n\
-       bench     warmup-aware statistical measurement protocol; writes a\n\
-                 schema-validated BENCH_grande.json (docs/MEASUREMENT.md)\n\
-       profile   per-method attribution profile of one benchmark entry under\n\
-                 the CLI lineup; writes PROFILE_<entry>.json (docs/OBSERVABILITY.md)\n\
-     \n\
-     graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4 ablation opt\n\
+fn run_serve(args: &[String]) {
+    let u = serve_usage();
+    let mut jobs = 120usize;
+    let mut workers = 2usize;
+    let mut seed = 7u64;
+    let mut hog_fuel = 4096u64;
+    let mut default_fuel: Option<u64> = None;
+    let mut verify = true;
+    let mut check_determinism = false;
+    let mut out = String::from("BENCH_serve.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => jobs = flag_value(&mut it, "--jobs", "a number", &u),
+            "--workers" => {
+                workers = flag_value(&mut it, "--workers", "a number (0 = all cores)", &u);
+            }
+            "--seed" => seed = flag_value(&mut it, "--seed", "a number", &u),
+            "--hog-fuel" => hog_fuel = flag_value(&mut it, "--hog-fuel", "a number", &u),
+            "--fuel" => {
+                let f: u64 = flag_value(&mut it, "--fuel", "a number (0 = unlimited)", &u);
+                default_fuel = if f == 0 { None } else { Some(f) };
+            }
+            "--no-verify" => verify = false,
+            "--check-determinism" => check_determinism = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => fail_usage(&u, "--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => fail_usage(&u, "--check needs a path"),
+            },
+            other => fail_usage(&u, &format!("unknown serve flag {other}")),
+        }
+    }
+    // Validation-only mode: parse + schema-check an existing artifact.
+    if let Some(path) = check {
+        let text = read_or_die(&path);
+        match hpcnet_serve::report::check_document(&text) {
+            Ok(()) => println!("{path}: schema-valid serve document"),
+            Err(problems) => {
+                eprintln!("{path}: INVALID serve document:");
+                for p in problems {
+                    eprintln!("  - {p}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if jobs == 0 {
+        fail_usage(&u, "--jobs must be at least 1");
+    }
+    if workers == 0 {
+        workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    }
+    let workload = hpcnet_serve::workload::mixed_workload(jobs, seed, hog_fuel);
+    let cfg = hpcnet_serve::ServeConfig { workers, default_fuel, verify };
+    let report = hpcnet_serve::run_service(&workload, &cfg);
+    print!("{}", hpcnet_serve::report::summary(&report));
+    let doc = hpcnet_serve::report::document(&report);
+    if report.total_leaks() > 0 {
+        fail_run(&format!(
+            "cross-tenant isolation FAILED: {} leaked locations",
+            report.total_leaks()
+        ));
+    }
+    // `--check-determinism`: re-run the identical workload on one worker
+    // and require a byte-identical per-job subtree (scheduling freedom
+    // must never reach tenant-visible results).
+    if check_determinism {
+        let solo = hpcnet_serve::run_service(
+            &workload,
+            &hpcnet_serve::ServeConfig { workers: 1, ..cfg },
+        );
+        let a = hpcnet_serve::report::jobs_fingerprint(&doc);
+        let b = hpcnet_serve::report::jobs_fingerprint(&hpcnet_serve::report::document(&solo));
+        if a != b {
+            fail_run(&format!(
+                "per-job outcomes differ between {workers} worker(s) and 1 worker"
+            ));
+        }
+        eprintln!("determinism: per-job outcomes identical at {workers} worker(s) and 1");
+    }
+    let text = doc.render();
+    write_or_die(&out, &text);
+    // Self-check the exact bytes written, mirroring `bench` and `profile`.
+    if let Err(problems) = hpcnet_serve::report::check_document(&text) {
+        eprintln!("{out}: emitted document FAILED schema validation:");
+        for p in problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out} ({} bytes, schema-valid)", text.len());
+}
+
+fn graph_usage() -> String {
+    "graphs: g1 g3 g4 g5 g6 g7 g8 g9 g10 g12 t2 t4 ablation opt\n\
        (g10 --large reproduces Graph 11; g1 covers Graphs 1 and 2;\n\
         opt prints per-profile JIT pass counters and writes BENCH_opt.json)\n\
-     graph flags: [--large] [--quick] [--min-time-ms N] [--csv DIR] [--relative]\n\
-     \n\
-     conform flags: [--programs N] [--seed S] [--no-corpus] [--observe off|counters|trace]\n\
-                    [--workers N (0 = all cores)] [--wave N]\n\
-     bench flags:   [--quick] [--large] [--min-time-ms N] [--out FILE] | --check FILE\n\
-     profile usage: profile <entry> [--quick] [--large] [--n N] [--out FILE]\n\
+     graph flags: [--large] [--quick] [--min-time-ms N] [--csv DIR] [--relative]"
+        .to_string()
+}
+
+fn conform_usage() -> String {
+    "conform flags: [--programs N] [--seed S] [--no-corpus] [--observe off|counters|trace]\n\
+                    [--workers N (0 = all cores)] [--wave N]"
+        .to_string()
+}
+
+fn bench_usage() -> String {
+    "bench flags:   [--quick] [--large] [--min-time-ms N] [--out FILE] | --check FILE"
+        .to_string()
+}
+
+fn profile_usage() -> String {
+    "profile usage: profile <entry> [--quick] [--large] [--n N] [--out FILE]\n\
                     [--overhead] | profile --check FILE\n\
        (--overhead times the entry at every ObserveLevel instead of writing\n\
         the JSON artifact; the artifact itself is deterministic and time-free)"
         .to_string()
+}
+
+fn serve_usage() -> String {
+    "serve flags:   [--jobs N] [--workers N (0 = all cores)] [--seed S]\n\
+                    [--fuel N (default per-job budget, 0 = unlimited)] [--hog-fuel N]\n\
+                    [--no-verify] [--check-determinism] [--out FILE] | --check FILE"
+        .to_string()
+}
+
+fn usage() -> String {
+    format!(
+        "hpcnet-report — regenerate the paper's evaluation tables/figures\n\
+         \n\
+         usage: hpcnet-report <subcommand|graph ...|all> [flags]\n\
+         \n\
+         subcommands:\n\
+           conform   differential conformance fuzz sweep over every profile and\n\
+                     pass combination; exits non-zero on any divergence\n\
+           bench     warmup-aware statistical measurement protocol; writes a\n\
+                     schema-validated BENCH_grande.json (docs/MEASUREMENT.md)\n\
+           profile   per-method attribution profile of one benchmark entry under\n\
+                     the CLI lineup; writes PROFILE_<entry>.json (docs/OBSERVABILITY.md)\n\
+           serve     multi-tenant compile-and-run job service on warmed snapshot/reset\n\
+                     VMs and the shared code cache; writes BENCH_serve.json\n\
+         \n\
+         {}\n\
+         \n\
+         {}\n\
+         {}\n\
+         {}\n\
+         {}",
+        graph_usage(),
+        conform_usage(),
+        bench_usage(),
+        profile_usage(),
+        serve_usage(),
+    )
 }
 
 fn print_help() {

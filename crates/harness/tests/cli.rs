@@ -14,13 +14,14 @@ fn help_lists_every_subcommand_with_descriptions() {
     let out = report().arg("--help").output().expect("run hpcnet-report");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for sub in ["conform", "bench", "profile"] {
+    for sub in ["conform", "bench", "profile", "serve"] {
         assert!(text.contains(sub), "help must list `{sub}`:\n{text}");
     }
     // One-line descriptions, not just names.
     assert!(text.contains("conformance"), "{text}");
     assert!(text.contains("BENCH_grande.json"), "{text}");
     assert!(text.contains("PROFILE_<entry>.json"), "{text}");
+    assert!(text.contains("BENCH_serve.json"), "{text}");
 }
 
 #[test]
@@ -40,6 +41,97 @@ fn profile_without_entry_exits_nonzero() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("entry"), "{err}");
+}
+
+/// Bad flag values on every subcommand's argument path die with a stderr
+/// error + that subcommand's usage + exit code 2 — never a panic (no
+/// `RUST_BACKTRACE` hint, no "panicked at").
+#[test]
+fn malformed_flag_values_fail_with_usage_not_panic() {
+    let cases: &[&[&str]] = &[
+        &["--min-time-ms", "soon"],
+        &["--csv"],
+        &["bench", "--min-time-ms"],
+        &["bench", "--out"],
+        &["bench", "--frob"],
+        &["profile", "--n", "xyz"],
+        &["profile", "--check"],
+        &["conform", "--programs", "many"],
+        &["conform", "--observe", "loudly"],
+        &["conform", "--workers"],
+        &["serve", "--jobs", "abc"],
+        &["serve", "--workers", "-3"],
+        &["serve", "--fuel"],
+        &["serve", "--what"],
+    ];
+    for args in cases {
+        let out = report().args(*args).output().expect("run hpcnet-report");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{args:?} stderr missing error:\n{err}");
+        assert!(
+            err.contains("flags:") || err.contains("usage:"),
+            "{args:?} stderr missing usage:\n{err}"
+        );
+        assert!(!err.contains("panicked"), "{args:?} panicked:\n{err}");
+    }
+}
+
+/// Unreadable artifact paths are runtime failures (exit 1), also unpanicked.
+#[test]
+fn unreadable_check_paths_fail_cleanly() {
+    for sub in ["bench", "profile", "serve"] {
+        let out = report()
+            .args([sub, "--check", "/nonexistent/definitely-missing.json"])
+            .output()
+            .expect("run hpcnet-report");
+        assert_eq!(out.status.code(), Some(1), "{sub} --check must exit 1");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("cannot read"), "{sub}: {err}");
+        assert!(!err.contains("panicked"), "{sub} panicked:\n{err}");
+    }
+}
+
+/// The serve subcommand end to end: run a small workload, self-check the
+/// artifact, re-validate it via `--check`, and reject a non-serve shape.
+#[test]
+fn serve_writes_a_schema_valid_artifact_and_rechecks_it() {
+    let dir = std::env::temp_dir().join("hpcnet-cli-serve-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_serve.json");
+    let out = report()
+        .args([
+            "serve",
+            "--jobs",
+            "26",
+            "--workers",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run hpcnet-report");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "serve failed:\n{err}");
+    assert!(err.contains("schema-valid"), "{err}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"suite\": \"serve\""), "artifact written");
+
+    let check = report()
+        .args(["serve", "--check", path.to_str().unwrap()])
+        .output()
+        .expect("run hpcnet-report");
+    assert!(check.status.success());
+    assert!(String::from_utf8_lossy(&check.stdout).contains("schema-valid"));
+
+    let bad = dir.join("not-serve.json");
+    std::fs::write(&bad, "{\"schema_version\": 1.0, \"suite\": \"grande\"}\n").unwrap();
+    let reject = report()
+        .args(["serve", "--check", bad.to_str().unwrap()])
+        .output()
+        .expect("run hpcnet-report");
+    assert_eq!(reject.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&reject.stderr).contains("INVALID"));
 }
 
 #[test]

@@ -7,7 +7,7 @@
 //! objects stay alive no matter what later runs do.
 //!
 //! Capture clears every object's dirty flag; the mutating accessors on
-//! [`HeapObj`] set it again. [`HeapSnapshot::restore`] therefore rewrites
+//! [`crate::object::HeapObj`] set it again. [`HeapSnapshot::restore`] therefore rewrites
 //! only the objects a run actually touched — the copy-on-write discipline
 //! that makes thousands of isolated executions per second possible in
 //! coverage-guided fuzzers — and resets the heap's allocation accounting,

@@ -1,0 +1,218 @@
+//! Deterministic mixed workloads for exercising and benchmarking the
+//! service.
+//!
+//! A workload interleaves four job species over a small set of distinct
+//! programs, so a run of `n` jobs exercises every service path:
+//!
+//! * **conform-generated programs** — [`conform::gen`] seeds rendered to
+//!   MiniC# source; structurally rich (arrays, statics, exception
+//!   regions, multi-dim) and deterministic by construction;
+//! * **handwritten kernels** — small loops, a sieve, a statics
+//!   accumulator (whose output would drift across tenants if snapshot
+//!   reset ever failed to restore statics), and a program that always
+//!   traps *after* printing (pinning harvest-before-reset isolation);
+//! * **pre-compiled CIL submissions** — the same kernels compiled by the
+//!   caller and posted as modules, taking the `verify`-only cache path;
+//! * **a fuel hog** — an over-budget loop submitted with a small fuel
+//!   budget, so every workload proves a runaway tenant dies as a per-job
+//!   `limit` error without harming its worker.
+//!
+//! Jobs are assigned round-robin over the program set (repeats are what
+//! make the cache hit) with arguments varied per job id; the whole
+//! workload is a pure function of `(n, seed)`, so two services given the
+//! same workload must produce byte-identical per-job outcomes.
+
+use crate::{JobPayload, JobSpec};
+use conform::gen::{generate, render};
+use hpcnet_vm::VmProfile;
+
+/// The always-traps-after-printing kernel: `(b % 2) + 5` is in `4..=6`,
+/// all out of range for `new int[4]`, whatever the inputs.
+const TRAP_SRC: &str = "\
+class Gen {
+    static long Run(int a, int b) {
+        Console.WriteLine(\"I:\" + a);
+        Console.WriteLine(\"I:\" + b);
+        int[] xs = new int[4];
+        xs[((b % 2) + 5)] = a;
+        return 0L;
+    }
+}
+";
+
+/// Tight accumulation loop — the bread-and-butter warm job.
+const SUM_SRC: &str = "\
+class Gen {
+    static long Run(int a, int b) {
+        long acc = 0L;
+        for (int i = 0; i < 5000; i++) {
+            acc = (acc + (long)((i * a) ^ (i + b)));
+        }
+        return acc;
+    }
+}
+";
+
+/// A small sieve; prints its count so console harvest is exercised on the
+/// success path too.
+const SIEVE_SRC: &str = "\
+class Gen {
+    static long Run(int a, int b) {
+        int n = (300 + ((a % 50) + 50));
+        int[] comp = new int[(n + 1)];
+        int count = 0;
+        for (int i = 2; i <= n; i++) {
+            if (comp[i] == 0) {
+                count = (count + 1);
+                for (int j = (i + i); j <= n; j = (j + i)) { comp[j] = 1; }
+            }
+        }
+        Console.WriteLine(\"primes:\" + count);
+        return (long)count;
+    }
+}
+";
+
+/// Mutates module statics and prints the running tally. Under correct
+/// snapshot reset every tenant sees a tally derived only from its own
+/// arguments; a reset that failed to restore statics would leak one
+/// tenant's accumulation into the next and break worker-count
+/// determinism instantly.
+const STATICS_SRC: &str = "\
+class Gen {
+    static long tally = 0L;
+    static int runs = 0;
+    static long Run(int a, int b) {
+        runs = (runs + 1);
+        tally = (tally + ((long)a * 31L) + (long)b);
+        Console.WriteLine(\"L:\" + tally);
+        Console.WriteLine(\"I:\" + runs);
+        return (tally ^ (long)runs);
+    }
+}
+";
+
+/// Far exceeds any sane fuel budget: ~100M taken branches.
+const HOG_SRC: &str = "\
+class Gen {
+    static long Run(int a, int b) {
+        long acc = (long)a;
+        for (int i = 0; i < 100000000; i++) {
+            acc = (acc + (long)(i ^ b));
+        }
+        return acc;
+    }
+}
+";
+
+/// Conform-generated seeds folded into the mix per workload.
+const GEN_PROGRAMS: usize = 6;
+
+/// One reusable program template in the round-robin set.
+struct Template {
+    label: String,
+    payload: JobPayload,
+    /// Per-job fuel override (the hog's small budget).
+    fuel: Option<u64>,
+}
+
+/// Build the deterministic `n`-job mixed workload for `seed`. `hog_fuel`
+/// is the budget handed to the over-long job (small enough to trip on
+/// every profile, large enough that normal kernels never do).
+pub fn mixed_workload(n: usize, seed: u64, hog_fuel: u64) -> Vec<JobSpec> {
+    let mut templates: Vec<Template> = Vec::new();
+    for i in 0..GEN_PROGRAMS as u64 {
+        let program = generate(seed.wrapping_add(i));
+        templates.push(Template {
+            label: format!("gen-{}", seed.wrapping_add(i)),
+            payload: JobPayload::MiniCs(render(&program)),
+            fuel: None,
+        });
+    }
+    for (label, src) in [
+        ("kernel-sum", SUM_SRC),
+        ("kernel-sieve", SIEVE_SRC),
+        ("kernel-statics", STATICS_SRC),
+        ("kernel-trap", TRAP_SRC),
+    ] {
+        templates.push(Template {
+            label: label.into(),
+            payload: JobPayload::MiniCs(src.into()),
+            fuel: None,
+        });
+    }
+    // The CIL species: the caller compiles, the service only verifies.
+    // Same source content as the MiniC# kernels, but a distinct cache key
+    // (domain-separated hash), hence distinct artifacts.
+    for (label, src) in [("cil-sum", SUM_SRC), ("cil-statics", STATICS_SRC)] {
+        let module = hpcnet_minics::compile(src)
+            .expect("workload kernels always compile");
+        templates.push(Template {
+            label: label.into(),
+            payload: JobPayload::Cil(module),
+            fuel: None,
+        });
+    }
+    templates.push(Template {
+        label: "hog".into(),
+        payload: JobPayload::MiniCs(HOG_SRC.into()),
+        fuel: Some(hog_fuel),
+    });
+
+    let profiles = [
+        VmProfile::clr11(),
+        VmProfile::clr11_compiled(),
+        VmProfile::mono023(),
+    ];
+    (0..n)
+        .map(|i| {
+            let pi = i % templates.len();
+            let t = &templates[pi];
+            // Every 10th job runs the (slow, faithful) interpreter profile
+            // for tier diversity; otherwise the profile is pinned to the
+            // program, so repeat submissions land on an already-warmed VM
+            // instead of forcing a new (content, profile) pool entry.
+            let profile = if i % 10 == 9 && t.label != "hog" {
+                VmProfile::sscli10()
+            } else {
+                profiles[pi % profiles.len()]
+            };
+            JobSpec {
+                id: i as u64,
+                program: t.label.clone(),
+                payload: t.payload.clone(),
+                entry: "Gen.Run".into(),
+                args: ((i as i32 % 17) - 8, ((i as i32) * 7) % 23),
+                profile,
+                fuel: t.fuel,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let a = mixed_workload(120, 42, 4096);
+        let b = mixed_workload(120, 42, 4096);
+        assert_eq!(a.len(), 120);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program, y.program);
+            assert_eq!(x.args, y.args);
+            assert_eq!(x.payload.content_key(), y.payload.content_key());
+        }
+        assert!(a.iter().any(|j| j.payload.kind() == "cil"));
+        assert!(a.iter().any(|j| j.program == "hog" && j.fuel == Some(4096)));
+        assert!(a.iter().any(|j| j.profile.name == VmProfile::sscli10().name));
+    }
+
+    #[test]
+    fn handwritten_kernels_compile() {
+        for src in [TRAP_SRC, SUM_SRC, SIEVE_SRC, STATICS_SRC, HOG_SRC] {
+            conform::matrix::compile_verified(src).expect("kernel compiles");
+        }
+    }
+}

@@ -109,7 +109,12 @@ impl<'v> Threaded<'v> {
             }
             match (self.code.ops[pc as usize])(&mut self.fr, self.vm, self.depth) {
                 Ok(Flow::Next) => pc += 1,
-                Ok(Flow::Jump(t)) => pc = t,
+                Ok(Flow::Jump(t)) => {
+                    // Fuel: one unit per taken branch (see `Vm::set_fuel`)
+                    // — same charge points as the interpreter tier.
+                    self.vm.charge_fuel()?;
+                    pc = t;
+                }
                 Ok(Flow::Return(v)) => return Ok(RunEnd::Return(v)),
                 Ok(Flow::EndFinally) => {
                     if finally_bound.is_some() {

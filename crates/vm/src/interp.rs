@@ -87,7 +87,14 @@ impl<'v> Interp<'v> {
         loop {
             match self.step(pc) {
                 Ok(Flow::Next) => pc += 1,
-                Ok(Flow::Jump(t)) => pc = t,
+                Ok(Flow::Jump(t)) => {
+                    // Fuel is charged on taken branches (plus managed
+                    // calls, in `invoke_at_depth`): any runaway program
+                    // must do one or the other, and charging here keeps
+                    // straight-line code free of per-op accounting.
+                    self.vm.charge_fuel()?;
+                    pc = t;
+                }
                 Ok(Flow::Return(v)) => return Ok(RunEnd::Return(v)),
                 Ok(Flow::EndFinally) => {
                     if finally_bound.is_some() {

@@ -60,7 +60,14 @@ impl WellKnown {
 /// [`Vm::reset_to`]. Holding one keeps every captured heap object alive,
 /// so a warmed VM — loaded module, compiled and threaded code — can be
 /// reused across thousands of isolated runs at microsecond cost.
+///
+/// A snapshot is bound to the VM that took it: it carries that VM's
+/// identity token, and [`Vm::reset_to`] refuses to replay it into any
+/// other VM (restoring foreign statics/heap handles would silently
+/// corrupt both VMs — load-bearing once a service pools warmed VMs).
 pub struct VmSnapshot {
+    /// Identity of the [`Vm`] this snapshot was captured from.
+    vm_id: u64,
     heap: HeapSnapshot,
     statics_prim: Box<[u64]>,
     statics_refs: Box<[Option<Obj>]>,
@@ -169,8 +176,14 @@ impl CountersSnapshot {
     }
 }
 
+/// Process-wide VM identity source (see [`Vm::id`]). Never reused, so a
+/// [`VmSnapshot`] can always be matched to the exact VM that took it.
+static NEXT_VM_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A module bound to an execution profile.
 pub struct Vm {
+    /// Unique identity of this VM instance (snapshot ownership checks).
+    id: u64,
     pub module: Arc<Module>,
     pub profile: VmProfile,
     pub heap: Heap,
@@ -198,6 +211,13 @@ pub struct Vm {
     /// per-opcode "executed at least once" accounting.
     op_coverage: Box<[AtomicU64]>,
     op_coverage_on: AtomicBool,
+    /// Fuel (step-budget) guard: when `fuel_on`, every managed call and
+    /// every taken branch decrements `fuel`; hitting zero aborts the run
+    /// with [`VmError::Limit`]. The deterministic per-job timeout of the
+    /// serve layer — wall clocks vary across machines, branch counts do
+    /// not (see [`Vm::set_fuel`]).
+    fuel_on: AtomicBool,
+    fuel: std::sync::atomic::AtomicI64,
     /// Per-method attribution profiler + typed event trace, sized by the
     /// profile's [`ObserveLevel`] at construction (see [`crate::observe`]).
     pub(crate) observer: Observer,
@@ -258,6 +278,7 @@ impl Vm {
         }
         let n_methods = module.methods.len();
         Arc::new(Vm {
+            id: NEXT_VM_ID.fetch_add(1, Ordering::Relaxed),
             well_known: WellKnown::resolve(&module),
             math: match profile.math {
                 MathKind::Fast => MathTable::fast(),
@@ -279,9 +300,72 @@ impl Vm {
             max_depth: std::sync::atomic::AtomicU32::new(256),
             op_coverage: (0..hpcnet_cil::Op::KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
             op_coverage_on: AtomicBool::new(false),
+            fuel_on: AtomicBool::new(false),
+            fuel: std::sync::atomic::AtomicI64::new(0),
             observer: Observer::new(profile.observe, n_methods),
             opt_share: std::sync::OnceLock::new(),
         })
+    }
+
+    /// This VM's unique identity (every constructed VM gets a fresh one;
+    /// ids are never reused within a process). Snapshots record it so
+    /// [`Vm::reset_to`] can reject a snapshot taken from a different VM.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    // ---- fuel (deterministic step budget) ----
+
+    /// Arm or disarm the fuel guard. `Some(n)` grants a budget of `n`
+    /// steps — one step per managed call and per taken branch, across
+    /// every execution tier — after which the running job aborts with
+    /// [`VmError::Limit`]. `None` disarms the guard (the default; the
+    /// only cost when disarmed is one relaxed load per branch).
+    ///
+    /// Step counts are a pure function of the executed program and the
+    /// profile, so fuel exhaustion is bitwise-deterministic: the same job
+    /// on the same profile exhausts at the same point on every machine
+    /// and every worker — the property the serve layer's per-job timeout
+    /// needs that a wall-clock deadline cannot give.
+    pub fn set_fuel(&self, budget: Option<u64>) {
+        match budget {
+            Some(n) => {
+                self.fuel
+                    .store(i64::try_from(n).unwrap_or(i64::MAX), Ordering::Relaxed);
+                self.fuel_on.store(true, Ordering::Relaxed);
+            }
+            None => {
+                self.fuel_on.store(false, Ordering::Relaxed);
+                self.fuel.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Remaining fuel, or `None` when the guard is disarmed. Exhausted
+    /// runs report `Some(0)`.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        if !self.fuel_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(self.fuel.load(Ordering::Relaxed).max(0) as u64)
+    }
+
+    /// Spend one unit of fuel (no-op when disarmed). Called by every
+    /// tier's dispatch loop on taken branches and by [`Vm::invoke_at_depth`]
+    /// on managed calls — any runaway program must do one or the other.
+    #[inline]
+    pub(crate) fn charge_fuel(&self) -> VmResult<()> {
+        if !self.fuel_on.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let prev = self.fuel.fetch_sub(1, Ordering::Relaxed);
+        if prev <= 0 {
+            // Clamp so `fuel_remaining` reads 0, not a negative count
+            // racing further down.
+            self.fuel.store(0, Ordering::Relaxed);
+            return Err(VmError::Limit("fuel budget exhausted".into()));
+        }
+        Ok(())
     }
 
     /// Attach a shared compile front-half cache (see [`crate::rir::share`]).
@@ -327,6 +411,7 @@ impl Vm {
                 self.module.method(method).name
             )));
         }
+        self.charge_fuel()?;
         self.counters.calls.fetch_add(1, Ordering::Relaxed);
         if self.observer.enabled() {
             let before = self.observer.enter(method);
@@ -438,6 +523,7 @@ impl Vm {
         let mut roots: Vec<Obj> = statics_refs.iter().flatten().cloned().collect();
         roots.extend(self.literals.iter().cloned());
         VmSnapshot {
+            vm_id: self.id,
             heap: HeapSnapshot::capture(&self.heap, &roots),
             statics_prim: self
                 .statics
@@ -457,12 +543,27 @@ impl Vm {
     /// observationally identical to one freshly built and initialized,
     /// except that compiled code and telemetry are retained.
     ///
+    /// Errors (without touching any state) if `snap` was captured from a
+    /// different VM: replaying foreign statics and heap handles would
+    /// silently cross-contaminate both VMs — exactly the corruption a
+    /// VM-pooling service must never risk, so the mismatch is detected
+    /// by identity token rather than trusted to caller discipline.
+    ///
     /// Reference cycles created *after* the snapshot are the one thing
     /// not reclaimed here (reference counting frees everything acyclic
     /// once statics are restored); hosts running adversarial programs
     /// for long periods can run [`hpcnet_runtime::gc::collect`] on a
     /// tracking heap between resets.
-    pub fn reset_to(&self, snap: &VmSnapshot) -> ResetStats {
+    pub fn reset_to(&self, snap: &VmSnapshot) -> VmResult<ResetStats> {
+        if snap.vm_id != self.id {
+            return Err(VmError::Internal(format!(
+                "reset_to: snapshot belongs to VM #{} but this is VM #{} \
+                 (module {:p}); refusing to replay foreign state",
+                snap.vm_id,
+                self.id,
+                Arc::as_ptr(&self.module),
+            )));
+        }
         self.join_all_threads();
         let mut statics_restored = 0u64;
         for (cell, &bits) in self.statics.prim.iter().zip(snap.statics_prim.iter()) {
@@ -486,17 +587,22 @@ impl Vm {
         let heap = snap.heap.restore(&self.heap);
         *self.console.lock() = snap.console.clone();
         *self.serial_sink.lock() = snap.serial_sink.clone();
-        ResetStats {
+        Ok(ResetStats {
             objects_tracked: heap.objects_tracked,
             objects_restored: heap.objects_restored,
             statics_restored,
-        }
+        })
     }
 
     /// Count state divergences from `snap` (0 ⇔ bitwise-identical heap
     /// payloads, statics, and console/serial buffers). Test-oriented:
-    /// proves a reset reproduced the captured state exactly.
+    /// proves a reset reproduced the captured state exactly. A snapshot
+    /// taken from a different VM never verifies: it reports one mismatch
+    /// immediately instead of comparing unrelated state.
     pub fn verify_snapshot(&self, snap: &VmSnapshot) -> usize {
+        if snap.vm_id != self.id {
+            return 1;
+        }
         let mut mismatches = snap.heap.verify();
         for (cell, &bits) in self.statics.prim.iter().zip(snap.statics_prim.iter()) {
             if cell.load(Ordering::Relaxed) != bits {
