@@ -30,6 +30,7 @@ use crate::gen::{generate, render, Program};
 use crate::matrix::{compile_verified, run_matrix_at, scan_emitted, Coverage, ProgramResult};
 use crate::ConformConfig;
 use hpcnet_cil::{Module, Op};
+use hpcnet_core::MetricsRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -133,11 +134,23 @@ fn novelty(case: &SeedCase, executed: &[u64]) -> usize {
 }
 
 /// Phases A + B: compile everything, then execute in novelty-ordered
-/// waves. Returns one entry per seed, in ascending seed order.
-pub(crate) fn execute_sweep(cfg: &ConformConfig) -> Vec<SeedRun> {
+/// waves. Returns one entry per seed, in ascending seed order, plus a
+/// registry of schedule metrics (wave count, wave sizes, scheduled-seed
+/// novelty). The wave schedule is a pure function of the seed range and
+/// wave size, so every metric here is worker-count-independent — CI
+/// diffs rendered reports across worker counts, and nothing in the
+/// registry may break that. The metrics DO depend on the configured
+/// wave size (that is their point), so they live in
+/// [`crate::ConformReport::schedule`], apart from the wave-invariant
+/// report body.
+pub(crate) fn execute_sweep(cfg: &ConformConfig) -> (Vec<SeedRun>, MetricsRegistry) {
     let workers = effective_workers(cfg);
     let wave_size = effective_wave(cfg);
     let cases = compile_all(cfg, workers);
+
+    let mut metrics = MetricsRegistry::new();
+    metrics.inc("fleet.waves", 0);
+    metrics.set_gauge("fleet.wave_config", wave_size as f64);
 
     let mut executed: Vec<u64> = vec![0; Op::KIND_COUNT];
     let mut results: Vec<Option<ProgramResult>> = (0..cases.len()).map(|_| None).collect();
@@ -156,6 +169,11 @@ pub(crate) fn execute_sweep(cfg: &ConformConfig) -> Vec<SeedRun> {
         let take = wave_size.min(scored.len());
         let wave: Vec<usize> = scored[..take].iter().map(|&(_, i)| i).collect();
         pending.retain(|i| !wave.contains(i));
+        metrics.inc("fleet.waves", 1);
+        metrics.record("fleet.wave_size", wave.len() as u64);
+        for &(n, _) in &scored[..take] {
+            metrics.record("fleet.scheduled_novelty", n as u64);
+        }
 
         let wave_results = parallel_map(workers, &wave, |&i| {
             let c = cases[i].compiled.as_ref().expect("wave holds compiled cases");
@@ -169,11 +187,12 @@ pub(crate) fn execute_sweep(cfg: &ConformConfig) -> Vec<SeedRun> {
         }
     }
 
-    cases
+    let runs = cases
         .into_iter()
         .zip(results)
         .map(|(case, result)| SeedRun { case, result })
-        .collect()
+        .collect();
+    (runs, metrics)
 }
 
 #[cfg(test)]
@@ -221,10 +240,16 @@ mod tests {
             workers: 2,
             wave: 2, // force multiple waves
         };
-        let runs = execute_sweep(&cfg);
+        let (runs, metrics) = execute_sweep(&cfg);
         assert_eq!(runs.len(), 4);
         let seeds: Vec<u64> = runs.iter().map(|r| r.case.seed).collect();
         assert_eq!(seeds, vec![300, 301, 302, 303]);
         assert!(runs.iter().all(|r| r.result.is_some()));
+        // 4 seeds at wave size 2 = 2 waves, and every compiled seed was
+        // scheduled exactly once.
+        assert_eq!(metrics.counter("fleet.waves"), Some(2));
+        assert_eq!(metrics.histogram("fleet.wave_size").unwrap().count(), 2);
+        assert_eq!(metrics.histogram("fleet.wave_size").unwrap().max(), 2);
+        assert_eq!(metrics.histogram("fleet.scheduled_novelty").unwrap().count(), 4);
     }
 }

@@ -33,6 +33,8 @@ pub mod matrix;
 pub mod shrink;
 
 use gen::{render, Program};
+use hpcnet_core::MetricsRegistry;
+pub use hpcnet_core::{MetricValue, MetricsSnapshot};
 use hpcnet_vm::ObserveLevel;
 use matrix::{compile_verified, run_matrix_at, Coverage, Divergence, ResetAgg};
 use std::path::{Path, PathBuf};
@@ -101,6 +103,17 @@ pub struct ConformReport {
     pub coverage: Coverage,
     /// Snapshot-reset reuse and compile-sharing totals across the sweep.
     pub resets: ResetAgg,
+    /// Sweep facts (run counts, coverage kinds, reset reuse, compile
+    /// sharing) as one canonical metrics snapshot — the same type serve
+    /// and the tracer print. Every entry is a pure function of the seed
+    /// range alone: [`ConformReport::render`] includes it, and CI
+    /// byte-compares that rendering across worker counts AND wave sizes.
+    pub metrics: MetricsSnapshot,
+    /// Fleet schedule metrics (wave count, wave sizes, scheduled-seed
+    /// novelty). Worker-count-independent but deliberately wave-shaped,
+    /// so they render separately ([`ConformReport::render_schedule`]),
+    /// outside the wave-invariant report body.
+    pub schedule: MetricsSnapshot,
 }
 
 impl ConformReport {
@@ -128,20 +141,8 @@ impl ConformReport {
                 out.push_str(&format!("    reproducer: {}\n", p.display()));
             }
         }
-        out.push_str(&format!(
-            "reset reuse: {} snapshots over {} fresh VM builds, {} resets \
-             ({} of {} tracked objects restored, {} static slots)\n",
-            self.resets.snapshots,
-            self.resets.fresh_builds,
-            self.resets.resets,
-            self.resets.objects_restored,
-            self.resets.objects_tracked,
-            self.resets.statics_restored,
-        ));
-        out.push_str(&format!(
-            "compile sharing: {} front-half hits / {} misses\n",
-            self.resets.front_hits, self.resets.front_misses,
-        ));
+        out.push_str("sweep metrics:\n");
+        out.push_str(&self.metrics.render());
         out.push_str("per-opcode coverage (emitted / executed):\n");
         for (i, name) in hpcnet_cil::OP_KIND_NAMES.iter().enumerate() {
             let (e, x) = (self.coverage.emitted[i], self.coverage.executed[i]);
@@ -156,6 +157,15 @@ impl ConformReport {
         } else {
             out.push_str(&format!("UNEXECUTED emitted kinds: {missing:?}\n"));
         }
+        out
+    }
+
+    /// The fleet schedule snapshot as text — printed apart from
+    /// [`ConformReport::render`] because wave size legitimately shapes
+    /// it (the wave-invariance check byte-compares `render()` only).
+    pub fn render_schedule(&self) -> String {
+        let mut out = String::from("fleet schedule (worker-count-independent, wave-shaped):\n");
+        out.push_str(&self.schedule.render());
         out
     }
 
@@ -211,7 +221,8 @@ pub fn run_conformance(cfg: &ConformConfig) -> ConformReport {
         engines: matrix::engine_matrix().len(),
         ..Default::default()
     };
-    for run in fleet::execute_sweep(cfg) {
+    let (runs, schedule) = fleet::execute_sweep(cfg);
+    for run in runs {
         let seed = run.case.seed;
         let res = match (&run.case.compiled, run.result) {
             (Err(e), _) => {
@@ -252,6 +263,35 @@ pub fn run_conformance(cfg: &ConformConfig) -> ConformReport {
             shrink_attempts: attempts,
         });
     }
+    // The sweep registry: run counts, coverage, reset reuse, and compile
+    // sharing — pure functions of the seed range, never of scheduling or
+    // wave size, so they belong in the byte-compared report body.
+    let mut metrics = MetricsRegistry::new();
+    metrics.inc("conform.runs", report.runs as u64);
+    metrics.inc("conform.divergences", report.divergent.len() as u64);
+    metrics.inc("conform.seeds.rejected", report.rejected.len() as u64);
+    metrics.inc(
+        "conform.seeds.compiled",
+        report.programs - report.rejected.len() as u64,
+    );
+    metrics.inc(
+        "coverage.kinds_emitted",
+        report.coverage.emitted.iter().filter(|&&n| n > 0).count() as u64,
+    );
+    metrics.inc(
+        "coverage.kinds_executed",
+        report.coverage.executed.iter().filter(|&&n| n > 0).count() as u64,
+    );
+    metrics.inc("reset.snapshots", report.resets.snapshots);
+    metrics.inc("reset.fresh_builds", report.resets.fresh_builds);
+    metrics.inc("reset.resets", report.resets.resets);
+    metrics.inc("reset.objects_restored", report.resets.objects_restored);
+    metrics.inc("reset.objects_tracked", report.resets.objects_tracked);
+    metrics.inc("reset.statics_restored", report.resets.statics_restored);
+    metrics.inc("share.front_hits", report.resets.front_hits);
+    metrics.inc("share.front_misses", report.resets.front_misses);
+    report.metrics = metrics.snapshot();
+    report.schedule = schedule.snapshot();
     report
 }
 

@@ -20,12 +20,20 @@ fn cfg(workers: usize, wave: usize) -> ConformConfig {
 
 #[test]
 fn worker_count_never_changes_a_byte() {
-    let baseline = run_conformance(&cfg(1, 0)).render();
+    let base = run_conformance(&cfg(1, 0));
     for workers in [2, 8] {
-        let got = run_conformance(&cfg(workers, 0)).render();
+        let got = run_conformance(&cfg(workers, 0));
         assert_eq!(
-            baseline, got,
+            base.render(),
+            got.render(),
             "report diverged between --workers 1 and --workers {workers}"
+        );
+        // The fleet schedule metrics are wave-shaped but must still be a
+        // pure function of the seed range, not of worker interleaving.
+        assert_eq!(
+            base.render_schedule(),
+            got.render_schedule(),
+            "schedule metrics diverged between --workers 1 and --workers {workers}"
         );
     }
 }
@@ -56,7 +64,20 @@ fn fleet_reports_reuse_statistics() {
         "expected at least one front-half hit per miss: {:?}",
         report.resets
     );
+    // The reuse/sharing facts surface through the unified metrics
+    // snapshot, in the rendered report and as typed lookups.
     let text = report.render();
-    assert!(text.contains("reset reuse:"), "{text}");
-    assert!(text.contains("compile sharing:"), "{text}");
+    assert!(text.contains("sweep metrics:"), "{text}");
+    assert!(text.contains("reset.resets"), "{text}");
+    assert!(text.contains("share.front_hits"), "{text}");
+    assert_eq!(
+        report.metrics.get("reset.resets"),
+        Some(&conform::MetricValue::Counter(report.resets.resets))
+    );
+    // And the schedule snapshot knows how many waves ran: 30 programs at
+    // the default wave size (256) is a single wave.
+    assert_eq!(
+        report.schedule.get("fleet.waves"),
+        Some(&conform::MetricValue::Counter(1))
+    );
 }

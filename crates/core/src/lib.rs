@@ -23,6 +23,11 @@
 use std::sync::Arc;
 
 pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{percentile, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use trace::{Clock, CountingClock, Span, VirtualClock, WallClock};
 
 pub use hpcnet_cil::{disasm, MethodId, Module};
 pub use hpcnet_grande::{
@@ -35,7 +40,8 @@ pub use hpcnet_cil::OP_KIND_NAMES;
 pub use hpcnet_vm::machine::run_on_big_stack;
 pub use hpcnet_vm::{
     print_rir, Counters, CountersSnapshot, EhDispatchKind, Event, JitOutcome, LoopRejectReason,
-    MethodProfile, ObserveLevel, ObserveReport, PassConfig, Tier, Vm, VmError, VmProfile,
+    MethodProfile, ObserveLevel, ObserveReport, PassConfig, PhaseTiming, Tier, Vm, VmError,
+    VmPhase, VmProfile,
 };
 
 /// An empty optimization pipeline (for ablation studies).

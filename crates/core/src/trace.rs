@@ -1,0 +1,373 @@
+//! Structured span tracing with deterministic structure and pluggable
+//! time.
+//!
+//! A [`Span`] is one named region of work with nested children — the
+//! serve layer records one span tree per job (cache lookup → acquire →
+//! execute → reset → verify). Spans split their payload in two:
+//!
+//! * **structural** data — the name, deterministic `args`, and the child
+//!   tree — is a pure function of the work performed. Two runs of the
+//!   same job list produce byte-identical structural output regardless
+//!   of worker count, scheduling, or machine speed. Span IDs are
+//!   assigned at render time by preorder walk, so they are deterministic
+//!   too.
+//! * **timing** data — `start_ns`/`dur_ns` plus free-form `notes` for
+//!   values that depend on scheduling (which worker won a compile race,
+//!   queue position, …). This half only appears in the timed and Chrome
+//!   exports and is never byte-compared.
+//!
+//! Time comes from a [`Clock`] passed in by the caller, never from a
+//! global: production uses [`WallClock`], determinism tests use
+//! [`VirtualClock`] (each read advances a counter by a fixed step, so
+//! durations are a pure function of read order), and overhead tests use
+//! [`CountingClock`] to prove a code path performs zero time reads.
+//!
+//! Chrome export ([`Span::chrome_events`]) emits trace-event "X"
+//! (complete) events loadable in `chrome://tracing` or Perfetto; see
+//! docs/OBSERVABILITY.md for the artifact layout.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source. Implementations must be cheap
+/// and thread-safe; `now_ns` is called on job hot paths.
+pub trait Clock: Send + Sync {
+    fn now_ns(&self) -> u64;
+}
+
+/// Real time, anchored at construction so values stay small.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic time: every read returns the previous value plus a
+/// fixed step. Durations become "number of clock reads × step", a pure
+/// function of code path — ideal for pinning trace output in tests.
+pub struct VirtualClock {
+    next: AtomicU64,
+    step: u64,
+}
+
+impl VirtualClock {
+    pub fn new(step: u64) -> VirtualClock {
+        VirtualClock {
+            next: AtomicU64::new(0),
+            step,
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+/// Counts reads without returning meaningful time. Overhead regression
+/// tests install one and assert the count stays zero on untraced paths.
+pub struct CountingClock {
+    reads: AtomicU64,
+}
+
+impl CountingClock {
+    pub fn new() -> CountingClock {
+        CountingClock {
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingClock {
+    fn default() -> CountingClock {
+        CountingClock::new()
+    }
+}
+
+impl Clock for CountingClock {
+    fn now_ns(&self) -> u64 {
+        self.reads.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// One traced region of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Phase name from a fixed vocabulary (`"job"`, `"execute"`, …).
+    pub name: String,
+    /// Deterministic key/value facts about the work (program name,
+    /// status, result). Included in structural output and byte-compared
+    /// across runs — never put anything scheduling-dependent here.
+    pub args: Vec<(String, String)>,
+    /// Scheduling-dependent annotations (cold-vs-hit, worker lane).
+    /// Timed/Chrome output only.
+    pub notes: Vec<(String, String)>,
+    /// Clock reading at entry.
+    pub start_ns: u64,
+    /// Duration; 0 until [`Span::finish`].
+    pub dur_ns: u64,
+    /// Nested sub-spans, in execution order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Open a span at the clock's current time.
+    pub fn begin(clock: &dyn Clock, name: &str) -> Span {
+        Span {
+            name: name.to_string(),
+            args: Vec::new(),
+            notes: Vec::new(),
+            start_ns: clock.now_ns(),
+            dur_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Close the span at the clock's current time.
+    pub fn finish(&mut self, clock: &dyn Clock) {
+        self.dur_ns = clock.now_ns().saturating_sub(self.start_ns);
+    }
+
+    /// Add a deterministic fact (structural output).
+    pub fn arg(&mut self, key: &str, value: impl Into<String>) {
+        self.args.push((key.to_string(), value.into()));
+    }
+
+    /// Add a scheduling-dependent annotation (timed output only).
+    pub fn note(&mut self, key: &str, value: impl Into<String>) {
+        self.notes.push((key.to_string(), value.into()));
+    }
+
+    /// Run `f` as a timed child span of `self`.
+    pub fn child<T>(&mut self, clock: &dyn Clock, name: &str, f: impl FnOnce(&mut Span) -> T) -> T {
+        let mut span = Span::begin(clock, name);
+        let out = f(&mut span);
+        span.finish(clock);
+        self.children.push(span);
+        out
+    }
+
+    /// The deterministic half: ids (preorder), names, args, and the
+    /// child tree — no times, no notes. Byte-identical across worker
+    /// counts for the same work.
+    pub fn structural(&self) -> Json {
+        let mut next_id = 0u64;
+        self.structural_walk(&mut next_id)
+    }
+
+    fn structural_walk(&self, next_id: &mut u64) -> Json {
+        let id = *next_id;
+        *next_id += 1;
+        Json::obj(vec![
+            ("id", Json::num(id as f64)),
+            ("name", Json::Str(self.name.clone())),
+            ("args", pairs_json(&self.args)),
+            (
+                "children",
+                Json::Arr(
+                    self.children
+                        .iter()
+                        .map(|c| c.structural_walk(next_id))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The full span: structure plus wall-clock times and notes.
+    pub fn timed(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("start_ns", Json::num(self.start_ns as f64)),
+            ("dur_ns", Json::num(self.dur_ns as f64)),
+            ("args", pairs_json(&self.args)),
+            ("notes", pairs_json(&self.notes)),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(|c| c.timed()).collect()),
+            ),
+        ])
+    }
+
+    /// Append this tree as Chrome trace-event "X" (complete) events.
+    /// `ts`/`dur` are microseconds (fractional); `pid`/`tid` place the
+    /// tree on a lane in the viewer.
+    pub fn chrome_events(&self, pid: u64, tid: u64, out: &mut Vec<Json>) {
+        let mut fields: Vec<(String, Json)> = self
+            .args
+            .iter()
+            .chain(self.notes.iter())
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.dedup_by(|a, b| a.0 == b.0);
+        out.push(Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("cat", Json::Str("hpcnet".into())),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::num(self.start_ns as f64 / 1000.0)),
+            ("dur", Json::num(self.dur_ns as f64 / 1000.0)),
+            ("pid", Json::num(pid as f64)),
+            ("tid", Json::num(tid as f64)),
+            ("args", Json::Obj(fields)),
+        ]));
+        for c in &self.children {
+            c.chrome_events(pid, tid, out);
+        }
+    }
+
+    /// Total spans in the tree (self included).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(Span::span_count).sum::<usize>()
+    }
+
+    /// Depth-first search for the first child span with `name`.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Time `f` as a standalone span.
+pub fn timed<T>(clock: &dyn Clock, name: &str, f: impl FnOnce(&mut Span) -> T) -> (Span, T) {
+    let mut span = Span::begin(clock, name);
+    let out = f(&mut span);
+    span.finish(clock);
+    (span, out)
+}
+
+fn pairs_json(pairs: &[(String, String)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tree(clock: &dyn Clock) -> Span {
+        let (span, _) = timed(clock, "job", |job| {
+            job.arg("program", "sieve");
+            job.note("worker", "3");
+            job.child(clock, "cache-lookup", |s| s.arg("kind", "source"));
+            job.child(clock, "execute", |s| {
+                s.child(clock, "inner", |_| {});
+            });
+        });
+        span
+    }
+
+    #[test]
+    fn structural_output_ignores_time_and_notes() {
+        let a = demo_tree(&VirtualClock::new(10));
+        let mut b = demo_tree(&VirtualClock::new(7_000));
+        b.note("extra", "volatile");
+        assert_eq!(a.structural().render(), b.structural().render());
+        // But args do participate.
+        let mut c = demo_tree(&VirtualClock::new(10));
+        c.arg("status", "ok");
+        assert_ne!(a.structural().render(), c.structural().render());
+    }
+
+    #[test]
+    fn structural_ids_are_preorder() {
+        let span = demo_tree(&VirtualClock::new(1));
+        let doc = span.structural();
+        assert_eq!(doc.get("id").unwrap().as_f64(), Some(0.0));
+        let kids = doc.get("children").unwrap().as_arr().unwrap();
+        assert_eq!(kids[0].get("id").unwrap().as_f64(), Some(1.0));
+        assert_eq!(kids[1].get("id").unwrap().as_f64(), Some(2.0));
+        let inner = kids[1].get("children").unwrap().as_arr().unwrap();
+        assert_eq!(inner[0].get("id").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn virtual_clock_gives_deterministic_durations() {
+        let span = demo_tree(&VirtualClock::new(10));
+        // Reads: begin(job)=0, begin(lookup)=10, finish(lookup)=20,
+        // begin(execute)=30, begin(inner)=40, finish(inner)=50,
+        // finish(execute)=60, finish(job)=70.
+        assert_eq!(span.start_ns, 0);
+        assert_eq!(span.dur_ns, 70);
+        assert_eq!(span.find("execute").unwrap().dur_ns, 30);
+        assert_eq!(span.find("inner").unwrap().dur_ns, 10);
+        // And a second identical run renders identical timed output.
+        assert_eq!(
+            span.timed().render(),
+            demo_tree(&VirtualClock::new(10)).timed().render()
+        );
+    }
+
+    #[test]
+    fn counting_clock_counts() {
+        let clock = CountingClock::new();
+        assert_eq!(clock.reads(), 0);
+        demo_tree(&clock);
+        assert_eq!(clock.reads(), 8);
+    }
+
+    #[test]
+    fn chrome_events_cover_every_span() {
+        let span = demo_tree(&VirtualClock::new(1000));
+        let mut events = Vec::new();
+        span.chrome_events(1, 4, &mut events);
+        assert_eq!(events.len(), span.span_count());
+        for e in &events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert_eq!(e.get("tid").unwrap().as_f64(), Some(4.0));
+        }
+        // args + notes fold into chrome args.
+        let root = &events[0];
+        assert_eq!(
+            root.get("args").unwrap().get("program").unwrap().as_str(),
+            Some("sieve")
+        );
+        assert_eq!(
+            root.get("args").unwrap().get("worker").unwrap().as_str(),
+            Some("3")
+        );
+        // The document parses back.
+        let doc = Json::Arr(events);
+        assert!(Json::parse(&doc.render()).is_ok());
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

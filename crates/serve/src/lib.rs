@@ -31,10 +31,12 @@
 
 pub mod cache;
 pub mod report;
+pub mod trace;
 pub mod workload;
 
 use crate::cache::{hash_module, hash_source, CodeCache, ModuleArtifact};
 use hpcnet_cil::{verify_module, Module};
+use hpcnet_core::trace::{Clock, Span, WallClock};
 use hpcnet_minics::STARTUP_INIT;
 use hpcnet_runtime::Value;
 use hpcnet_vm::{ResetStats, Vm, VmError, VmProfile, VmSnapshot};
@@ -95,11 +97,15 @@ pub struct ServeConfig {
     pub default_fuel: Option<u64>,
     /// Audit heap + statics against the snapshot after every job.
     pub verify: bool,
+    /// Record a per-job span tree (see [`trace`]). When false the job
+    /// path performs no span allocation and no clock reads beyond the
+    /// existing latency stamp.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { workers: 2, default_fuel: None, verify: true }
+        ServeConfig { workers: 2, default_fuel: None, verify: true, trace: false }
     }
 }
 
@@ -149,6 +155,12 @@ pub struct JobRecord {
     pub reset: ResetStats,
     /// Locations diverging from the snapshot after reset (0 = isolated).
     pub leaks: usize,
+    /// Worker lane that executed the job (scheduling-dependent).
+    pub lane: usize,
+    /// The job's span tree when [`ServeConfig::trace`] was set. The
+    /// tree's *structure* (names, args, children) is a pure function of
+    /// the outcome; its times and notes are telemetry.
+    pub spans: Option<Span>,
 }
 
 /// Everything one service run produced.
@@ -189,15 +201,6 @@ impl ServiceReport {
     }
 }
 
-/// Nearest-rank percentile over `sorted` (ascending). `p` in `[0, 100]`.
-pub fn percentile(sorted: &[u64], p: u32) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p as usize * sorted.len() + 99) / 100).max(1);
-    sorted[rank - 1]
-}
-
 fn norm_value(v: &Value) -> String {
     match v {
         Value::I4(x) => format!("i4:{x}"),
@@ -210,7 +213,7 @@ fn norm_value(v: &Value) -> String {
 }
 
 /// Compile + verify a payload into a cacheable artifact.
-fn build_artifact(payload: &JobPayload) -> Result<ModuleArtifact, String> {
+pub(crate) fn build_artifact(payload: &JobPayload) -> Result<ModuleArtifact, String> {
     let module = match payload {
         JobPayload::MiniCs(src) => conform::matrix::compile_verified(src)?,
         JobPayload::Cil(m) => {
@@ -237,6 +240,17 @@ struct WarmVm {
 /// slot, so `records` is scheduling-independent even though assignment of
 /// jobs to workers is not.
 pub fn run_service(jobs: &[JobSpec], cfg: &ServeConfig) -> ServiceReport {
+    run_service_with_clock(jobs, cfg, &WallClock::new())
+}
+
+/// [`run_service`] with an explicit span-timing clock. Tests drive this
+/// with a virtual or counting clock; the clock is only read when
+/// [`ServeConfig::trace`] is set.
+pub fn run_service_with_clock(
+    jobs: &[JobSpec],
+    cfg: &ServeConfig,
+    clock: &dyn Clock,
+) -> ServiceReport {
     let workers = cfg.workers.max(1).min(jobs.len().max(1));
     let cache = CodeCache::new();
     let warmed = AtomicU64::new(0);
@@ -246,16 +260,19 @@ pub fn run_service(jobs: &[JobSpec], cfg: &ServeConfig) -> ServiceReport {
         (0..jobs.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
+        for lane in 0..workers {
+            let (cache, warmed, discarded, next, slots) =
+                (&cache, &warmed, &discarded, &next, &slots);
+            s.spawn(move || {
                 let mut pool: HashMap<(u64, String), WarmVm> = HashMap::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    let rec =
-                        execute_job(&cache, &mut pool, &jobs[i], cfg, &warmed, &discarded);
+                    let rec = execute_job(
+                        cache, &mut pool, &jobs[i], cfg, warmed, discarded, lane, clock,
+                    );
                     *slots[i].lock().unwrap() = Some(rec);
                 }
             });
@@ -280,6 +297,22 @@ pub fn run_service(jobs: &[JobSpec], cfg: &ServeConfig) -> ServiceReport {
     }
 }
 
+/// Run `f` as a child span of `root` when tracing is on; otherwise run
+/// it bare. Keeps the job path free of span allocation and clock reads
+/// when [`ServeConfig::trace`] is off.
+fn spanned<T>(
+    root: &mut Option<Span>,
+    clock: &dyn Clock,
+    name: &str,
+    f: impl FnOnce(Option<&mut Span>) -> T,
+) -> T {
+    match root {
+        Some(r) => r.child(clock, name, |s| f(Some(s))),
+        None => f(None),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     cache: &CodeCache,
     pool: &mut HashMap<(u64, String), WarmVm>,
@@ -287,9 +320,24 @@ fn execute_job(
     cfg: &ServeConfig,
     warmed: &AtomicU64,
     discarded: &AtomicU64,
+    lane: usize,
+    clock: &dyn Clock,
 ) -> JobRecord {
     let t0 = Instant::now();
     let kind = job.payload.kind();
+    // Root span args are facts of the *submission* — deterministic by
+    // construction. Scheduling facts (lane, cold-vs-hit) go in notes.
+    let mut root = if cfg.trace {
+        let mut s = Span::begin(clock, "job");
+        s.arg("id", job.id.to_string());
+        s.arg("program", job.program.clone());
+        s.arg("kind", kind);
+        s.arg("profile", job.profile.name);
+        s.note("lane", lane.to_string());
+        Some(s)
+    } else {
+        None
+    };
     let base = |status: &'static str, result: String, console: Vec<String>| JobOutcome {
         id: job.id,
         program: job.program.clone(),
@@ -302,22 +350,39 @@ fn execute_job(
         throws: 0,
         fuel_used: None,
     };
-    let fail = |outcome: JobOutcome, cold_compile: bool| JobRecord {
-        outcome,
-        latency_ns: t0.elapsed().as_nanos() as u64,
-        cold_compile,
-        cold_vm: false,
-        did_reset: false,
-        reset: ResetStats::default(),
-        leaks: 0,
+    let fail = |outcome: JobOutcome, cold_compile: bool, mut root: Option<Span>| {
+        if let Some(r) = root.as_mut() {
+            r.arg("status", outcome.status);
+            r.arg("result", outcome.result.clone());
+            r.finish(clock);
+        }
+        JobRecord {
+            outcome,
+            latency_ns: t0.elapsed().as_nanos() as u64,
+            cold_compile,
+            cold_vm: false,
+            did_reset: false,
+            reset: ResetStats::default(),
+            leaks: 0,
+            lane,
+            spans: root,
+        }
     };
 
     // 1. Cache lookup: compile once per content, under that key's lock.
     let key = job.payload.content_key();
-    let (compiled, cold_compile) = cache.get_or_compile(key, || build_artifact(&job.payload));
+    let (compiled, cold_compile) = spanned(&mut root, clock, "cache-lookup", |sp| {
+        let (compiled, cold) = cache.get_or_compile(key, || build_artifact(&job.payload));
+        if let Some(s) = sp {
+            // Which job wins the compile race depends on scheduling, so
+            // cold-vs-hit is a note, never an arg.
+            s.note("cold_compile", if cold { "true" } else { "false" });
+        }
+        (compiled, cold)
+    });
     let artifact = match compiled {
         Ok(a) => a,
-        Err(e) => return fail(base("compile-error", e, Vec::new()), cold_compile),
+        Err(e) => return fail(base("compile-error", e, Vec::new()), cold_compile, root),
     };
 
     // 2. Warm-VM lookup. The pool key pairs the content hash with the full
@@ -326,32 +391,42 @@ fn execute_job(
     //    not share a VM.
     let pool_key = (key, format!("{:?}", job.profile));
     let mut cold_vm = false;
-    if !pool.contains_key(&pool_key) {
-        let vm = Vm::new_shared(artifact.module.clone(), job.profile);
-        vm.set_opt_share(artifact.share.clone());
-        if vm.module.find_method(STARTUP_INIT).is_some() {
-            if let Err(e) = vm.invoke_by_name(STARTUP_INIT, vec![]) {
-                // Static init is per-module state, so its failure is the
-                // same for every tenant of this content; don't pool a VM
-                // whose baseline state never materialized.
-                let msg = match e {
-                    VmError::Exception(obj) => {
-                        format!("init-trap:{}", class_name(&vm, &obj))
+    let acquired: Result<(), (String, Vec<String>)> =
+        spanned(&mut root, clock, "acquire-vm", |sp| {
+            if !pool.contains_key(&pool_key) {
+                let vm = Vm::new_shared(artifact.module.clone(), job.profile);
+                vm.set_opt_share(artifact.share.clone());
+                if vm.module.find_method(STARTUP_INIT).is_some() {
+                    if let Err(e) = vm.invoke_by_name(STARTUP_INIT, vec![]) {
+                        // Static init is per-module state, so its failure is
+                        // the same for every tenant of this content; don't
+                        // pool a VM whose baseline never materialized.
+                        let msg = match e {
+                            VmError::Exception(obj) => {
+                                format!("init-trap:{}", class_name(&vm, &obj))
+                            }
+                            VmError::Limit(m) => format!("init-limit:{m}"),
+                            VmError::Internal(m) => format!("init-internal:{m}"),
+                        };
+                        return Err((msg, vm.take_console()));
                     }
-                    VmError::Limit(m) => format!("init-limit:{m}"),
-                    VmError::Internal(m) => format!("init-internal:{m}"),
-                };
-                return fail(base("internal", msg, vm.take_console()), cold_compile);
+                }
+                // Isolation hinges on this drain: the snapshot must capture
+                // an empty console, or init-time lines would replay into
+                // every tenant's harvest.
+                let _ = vm.take_console();
+                let snap = vm.snapshot();
+                warmed.fetch_add(1, Ordering::Relaxed);
+                pool.insert(pool_key.clone(), WarmVm { vm, snap });
+                cold_vm = true;
             }
-        }
-        // Isolation hinges on this drain: the snapshot must capture an
-        // empty console, or init-time lines would replay into every
-        // tenant's harvest.
-        let _ = vm.take_console();
-        let snap = vm.snapshot();
-        warmed.fetch_add(1, Ordering::Relaxed);
-        pool.insert(pool_key.clone(), WarmVm { vm, snap });
-        cold_vm = true;
+            if let Some(s) = sp {
+                s.note("cold_vm", if cold_vm { "true" } else { "false" });
+            }
+            Ok(())
+        });
+    if let Err((msg, console)) = acquired {
+        return fail(base("internal", msg, console), cold_compile, root);
     }
     let warm = pool.get(&pool_key).expect("just ensured");
 
@@ -364,14 +439,16 @@ fn execute_job(
     let vm = warm.vm.clone();
     let entry = job.entry.clone();
     let (a, b) = job.args;
-    let run = catch_unwind(AssertUnwindSafe(move || {
-        let r = vm.invoke_by_name(&entry, vec![Value::I4(a), Value::I4(b)]);
-        // Managed threads share the VM's fuel meter, so a runaway spawned
-        // thread exhausts the same budget; join before harvesting so the
-        // console is quiescent.
-        vm.join_all_threads();
-        r
-    }));
+    let run = spanned(&mut root, clock, "execute", |_| {
+        catch_unwind(AssertUnwindSafe(move || {
+            let r = vm.invoke_by_name(&entry, vec![Value::I4(a), Value::I4(b)]);
+            // Managed threads share the VM's fuel meter, so a runaway
+            // spawned thread exhausts the same budget; join before
+            // harvesting so the console is quiescent.
+            vm.join_all_threads();
+            r
+        }))
+    });
     let fuel_used = budget.map(|b| b.saturating_sub(warm.vm.fuel_remaining().unwrap_or(0)));
     warm.vm.set_fuel(None);
 
@@ -399,18 +476,28 @@ fn execute_job(
 
     // 5. Reset to the warm baseline and audit isolation. A VM that
     //    panicked, failed its reset, or leaked is discarded — the next
-    //    job of its pool key warms a fresh one.
+    //    job of its pool key warms a fresh one. Span structure here only
+    //    branches on deterministic facts (`poisoned` follows from the
+    //    job's status; reset/verify outcomes are a function of the job's
+    //    own mutations because every pooled VM starts at its baseline).
     let mut reset = ResetStats::default();
     let mut leaks = 0usize;
     let mut did_reset = false;
     let mut drop_vm = poisoned;
     if !poisoned {
-        match warm.vm.reset_to(&warm.snap) {
+        let reset_ok = spanned(&mut root, clock, "reset", |_| warm.vm.reset_to(&warm.snap));
+        match reset_ok {
             Ok(r) => {
                 reset = r;
                 did_reset = true;
                 if cfg.verify {
-                    leaks = warm.vm.verify_snapshot(&warm.snap);
+                    leaks = spanned(&mut root, clock, "verify", |sp| {
+                        let leaks = warm.vm.verify_snapshot(&warm.snap);
+                        if let Some(s) = sp {
+                            s.arg("leaks", leaks.to_string());
+                        }
+                        leaks
+                    });
                     drop_vm = leaks > 0;
                 }
             }
@@ -422,6 +509,12 @@ fn execute_job(
         discarded.fetch_add(1, Ordering::Relaxed);
     }
 
+    let spans = root.map(|mut r| {
+        r.arg("status", status);
+        r.arg("result", result.clone());
+        r.finish(clock);
+        r
+    });
     JobRecord {
         outcome: JobOutcome {
             calls: delta.calls,
@@ -435,6 +528,8 @@ fn execute_job(
         did_reset,
         reset,
         leaks,
+        lane,
+        spans,
     }
 }
 

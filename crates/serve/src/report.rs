@@ -14,15 +14,20 @@
 //! validates the exact bytes it wrote before declaring success, and
 //! [`check_document`] lets CI (or a consumer) re-validate any file.
 
-use crate::{percentile, JobRecord, ServiceReport};
+use crate::{JobRecord, ServiceReport};
 use hpcnet_core::json::Json;
+use hpcnet_core::Histogram;
 
-pub const SCHEMA_VERSION: f64 = 1.0;
+pub const SCHEMA_VERSION: f64 = 1.1;
+
+/// Older document versions [`validate`] still accepts (1.0 predates the
+/// shared-histogram latency splits, which added `mean`).
+pub const ACCEPTED_SCHEMA_VERSIONS: &[f64] = &[1.0, SCHEMA_VERSION];
 
 /// Statuses a job can report; anything else fails validation.
 pub const STATUSES: &[&str] = &["ok", "trap", "limit", "compile-error", "internal", "panic"];
 
-fn environment() -> Json {
+pub(crate) fn environment() -> Json {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     Json::obj(vec![
         ("os", Json::Str(std::env::consts::OS.to_string())),
@@ -55,14 +60,17 @@ fn job_json(r: &JobRecord) -> Json {
     ])
 }
 
-fn latency_split(latencies: &mut Vec<u64>) -> Json {
-    latencies.sort_unstable();
+/// One latency split rendered from the shared core histogram — replaces
+/// the old sort-the-vector-per-percentile helper. Quantiles are log2
+/// bucket estimates (≤2× relative error); `max` is exact.
+fn latency_split(h: &Histogram) -> Json {
     Json::obj(vec![
-        ("count", Json::num(latencies.len() as f64)),
-        ("p50", Json::num(percentile(latencies, 50) as f64)),
-        ("p90", Json::num(percentile(latencies, 90) as f64)),
-        ("p99", Json::num(percentile(latencies, 99) as f64)),
-        ("max", Json::num(latencies.last().copied().unwrap_or(0) as f64)),
+        ("count", Json::num(h.count() as f64)),
+        ("p50", Json::num(h.quantile(0.50) as f64)),
+        ("p90", Json::num(h.quantile(0.90) as f64)),
+        ("p99", Json::num(h.quantile(0.99) as f64)),
+        ("max", Json::num(h.max() as f64)),
+        ("mean", Json::num(h.mean() as f64)),
     ])
 }
 
@@ -72,21 +80,20 @@ pub fn document(report: &ServiceReport) -> Json {
     let minics = report.records.iter().filter(|r| r.outcome.kind == "minics").count();
     let cil = report.records.len() - minics;
 
-    let mut all: Vec<u64> = report.records.iter().map(|r| r.latency_ns).collect();
-    // "Cold" from the tenant's seat: the job paid for a compile or a VM
-    // warm-up; "warm" jobs rode entirely on cached state.
-    let mut cold: Vec<u64> = report
-        .records
-        .iter()
-        .filter(|r| r.cold_compile || r.cold_vm)
-        .map(|r| r.latency_ns)
-        .collect();
-    let mut warm: Vec<u64> = report
-        .records
-        .iter()
-        .filter(|r| !(r.cold_compile || r.cold_vm))
-        .map(|r| r.latency_ns)
-        .collect();
+    // One pass over the records builds all three splits. "Cold" from the
+    // tenant's seat: the job paid for a compile or a VM warm-up; "warm"
+    // jobs rode entirely on cached state.
+    let mut all = Histogram::new();
+    let mut warm = Histogram::new();
+    let mut cold = Histogram::new();
+    for r in &report.records {
+        all.record(r.latency_ns);
+        if r.cold_compile || r.cold_vm {
+            cold.record(r.latency_ns);
+        } else {
+            warm.record(r.latency_ns);
+        }
+    }
 
     let mut agg = hpcnet_vm::ResetStats::default();
     for r in &report.records {
@@ -147,9 +154,9 @@ pub fn document(report: &ServiceReport) -> Json {
                 (
                     "latency_ns",
                     Json::obj(vec![
-                        ("all", latency_split(&mut all)),
-                        ("warm", latency_split(&mut warm)),
-                        ("cold", latency_split(&mut cold)),
+                        ("all", latency_split(&all)),
+                        ("warm", latency_split(&warm)),
+                        ("cold", latency_split(&cold)),
                     ]),
                 ),
             ]),
@@ -163,16 +170,20 @@ pub fn jobs_fingerprint(doc: &Json) -> Option<String> {
     doc.get("jobs").map(Json::render)
 }
 
-struct Check {
-    problems: Vec<String>,
+pub(crate) struct Check {
+    pub(crate) problems: Vec<String>,
 }
 
 impl Check {
-    fn fail(&mut self, path: &str, what: &str) {
+    pub(crate) fn new() -> Check {
+        Check { problems: Vec::new() }
+    }
+
+    pub(crate) fn fail(&mut self, path: &str, what: &str) {
         self.problems.push(format!("{path}: {what}"));
     }
 
-    fn num(&mut self, v: &Json, path: &str, key: &str) -> Option<f64> {
+    pub(crate) fn num(&mut self, v: &Json, path: &str, key: &str) -> Option<f64> {
         match v.get(key).and_then(Json::as_f64) {
             Some(n) => Some(n),
             None => {
@@ -182,7 +193,7 @@ impl Check {
         }
     }
 
-    fn str_field(&mut self, v: &Json, path: &str, key: &str) -> Option<String> {
+    pub(crate) fn str_field(&mut self, v: &Json, path: &str, key: &str) -> Option<String> {
         match v.get(key).and_then(Json::as_str) {
             Some(s) => Some(s.to_string()),
             None => {
@@ -192,7 +203,7 @@ impl Check {
         }
     }
 
-    fn obj<'j>(&mut self, v: &'j Json, path: &str, key: &str) -> &'j Json {
+    pub(crate) fn obj<'j>(&mut self, v: &'j Json, path: &str, key: &str) -> &'j Json {
         match v.get(key) {
             Some(o @ Json::Obj(_)) => o,
             _ => {
@@ -211,9 +222,9 @@ fn validate_split(c: &mut Check, v: &Json, path: &str) {
 
 /// Validate a parsed `BENCH_serve.json`. Returns every problem found.
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
-    let mut c = Check { problems: Vec::new() };
+    let mut c = Check::new();
     match doc.get("schema_version").and_then(Json::as_f64) {
-        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) if ACCEPTED_SCHEMA_VERSIONS.contains(&v) => {}
         Some(v) => c.fail("$", &format!("unsupported schema_version {v}")),
         None => c.fail("$", "missing numeric schema_version"),
     }
@@ -302,8 +313,10 @@ pub fn check_document(text: &str) -> Result<(), Vec<String>> {
 
 /// Human-readable run summary for the CLI.
 pub fn summary(report: &ServiceReport) -> String {
-    let mut all: Vec<u64> = report.records.iter().map(|r| r.latency_ns).collect();
-    all.sort_unstable();
+    let mut all = Histogram::new();
+    for r in &report.records {
+        all.record(r.latency_ns);
+    }
     let cold = report
         .records
         .iter()
@@ -338,9 +351,9 @@ pub fn summary(report: &ServiceReport) -> String {
     ));
     out.push_str(&format!(
         "latency: p50 {}µs p99 {}µs max {}µs ({} cold / {} warm jobs)\n",
-        percentile(&all, 50) / 1_000,
-        percentile(&all, 99) / 1_000,
-        all.last().copied().unwrap_or(0) / 1_000,
+        all.quantile(0.50) / 1_000,
+        all.quantile(0.99) / 1_000,
+        all.max() / 1_000,
         cold,
         report.records.len() - cold,
     ));

@@ -7,7 +7,7 @@ use hpcnet_serve::{run_service, JobPayload, JobSpec, ServeConfig};
 use hpcnet_vm::VmProfile;
 
 fn cfg(workers: usize) -> ServeConfig {
-    ServeConfig { workers, default_fuel: None, verify: true }
+    ServeConfig { workers, default_fuel: None, verify: true, trace: false }
 }
 
 /// The acceptance-criteria core: the per-job half of the report is a pure

@@ -1,0 +1,161 @@
+//! Span-trace guarantees: the structural half of `TRACE_serve.json` is a
+//! pure function of the workload (byte-identical across worker counts),
+//! spans follow the job lifecycle vocabulary, tracing is strictly opt-in,
+//! and both export formats survive their own validators.
+
+use hpcnet_core::json::Json;
+use hpcnet_core::trace::VirtualClock;
+use hpcnet_core::MetricValue;
+use hpcnet_serve::trace::{
+    chrome_trace, document, service_metrics, structural_fingerprint, JOB_PHASES,
+};
+use hpcnet_serve::workload::mixed_workload;
+use hpcnet_serve::{run_service, run_service_with_clock, ServeConfig};
+
+fn cfg(workers: usize, trace: bool) -> ServeConfig {
+    ServeConfig { workers, default_fuel: None, verify: true, trace }
+}
+
+/// The tentpole acceptance criterion: the `structural` subtree renders
+/// byte-identically at 1, 2, and 8 workers. Timing differs (scheduling
+/// is real), structure may not.
+#[test]
+fn structural_subtree_identical_across_worker_counts() {
+    let jobs = mixed_workload(40, 7, 4096);
+    let mut fingerprints = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let clock = VirtualClock::new(100);
+        let report = run_service_with_clock(&jobs, &cfg(workers, true), &clock);
+        let doc = document(&report, Json::Null);
+        hpcnet_serve::trace::validate(&doc).expect("trace document validates");
+        fingerprints.push(structural_fingerprint(&doc).expect("structural subtree present"));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "1 vs 2 workers diverged");
+    assert_eq!(fingerprints[0], fingerprints[2], "1 vs 8 workers diverged");
+}
+
+/// Every traced job's span tree follows the lifecycle vocabulary: root
+/// named `job` carrying the submission facts plus final status, children
+/// drawn from [`JOB_PHASES`] in lifecycle order, and phase coverage that
+/// matches the job's outcome.
+#[test]
+fn spans_cover_the_job_lifecycle() {
+    let jobs = mixed_workload(24, 3, 4096);
+    let report = run_service(&jobs, &cfg(2, true));
+    assert_eq!(report.records.len(), jobs.len());
+    for r in &report.records {
+        let root = r.spans.as_ref().expect("tracing on: every record has spans");
+        assert_eq!(root.name, "job");
+        let arg = |k: &str| root.args.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str());
+        assert_eq!(arg("id").unwrap(), r.outcome.id.to_string());
+        assert_eq!(arg("status").unwrap(), r.outcome.status);
+        // Children come from the fixed vocabulary, in lifecycle order.
+        let order: Vec<usize> = root
+            .children
+            .iter()
+            .map(|c| {
+                JOB_PHASES
+                    .iter()
+                    .position(|p| *p == c.name)
+                    .unwrap_or_else(|| panic!("unknown phase span '{}'", c.name))
+            })
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "phases out of order: {order:?}");
+        // Every job performs a cache lookup; successful jobs run the full
+        // lifecycle including isolation verification.
+        assert_eq!(root.children[0].name, "cache-lookup");
+        let has = |p: &str| root.children.iter().any(|c| c.name == p);
+        if r.outcome.status == "ok" {
+            for p in JOB_PHASES {
+                assert!(has(p), "ok job {} missing phase '{p}'", r.outcome.id);
+            }
+        }
+        if r.outcome.status == "compile-error" {
+            assert_eq!(root.children.len(), 1, "compile errors stop at the lookup");
+        }
+    }
+}
+
+/// Tracing is opt-in: with `trace: false` no record carries a span tree,
+/// and outcomes are unaffected by turning it on.
+#[test]
+fn tracing_off_records_no_spans_and_never_changes_outcomes() {
+    let jobs = mixed_workload(20, 5, 4096);
+    let off = run_service(&jobs, &cfg(2, false));
+    assert!(off.records.iter().all(|r| r.spans.is_none()));
+    let on = run_service(&jobs, &cfg(2, true));
+    assert!(on.records.iter().all(|r| r.spans.is_some()));
+    let outcomes = |rep: &hpcnet_serve::ServiceReport| -> Vec<(String, String)> {
+        rep.records
+            .iter()
+            .map(|r| (r.outcome.status.to_string(), r.outcome.result.clone()))
+            .collect()
+    };
+    assert_eq!(outcomes(&off), outcomes(&on), "tracing changed a job outcome");
+}
+
+/// The Chrome export round-trips through the JSON parser and has the
+/// trace-event shape: thread-name metadata per lane plus one complete
+/// (`X`) event per span, all on `pid` 1.
+#[test]
+fn chrome_export_round_trips_and_has_event_shape() {
+    let jobs = mixed_workload(16, 9, 4096);
+    let report = run_service(&jobs, &cfg(2, true));
+    let text = chrome_trace(&report).render();
+    let doc = Json::parse(&text).expect("chrome export parses back");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut meta = 0usize;
+    let mut complete = 0usize;
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                meta += 1;
+                assert_eq!(e.get("name").and_then(Json::as_str), Some("thread_name"));
+            }
+            Some("X") => {
+                complete += 1;
+                for key in ["ts", "dur", "pid", "tid"] {
+                    assert!(e.get(key).and_then(Json::as_f64).is_some(), "missing {key}");
+                }
+                assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(meta >= 1, "at least one lane is named");
+    // One X event per span across all jobs.
+    let spans: usize = report
+        .records
+        .iter()
+        .filter_map(|r| r.spans.as_ref())
+        .map(|s| s.span_count())
+        .sum();
+    assert_eq!(complete, spans);
+}
+
+/// The unified metrics snapshot agrees with the report's own counters —
+/// the same numbers the text summary prints, from one source of truth.
+#[test]
+fn service_metrics_agree_with_the_report() {
+    let jobs = mixed_workload(30, 1, 4096);
+    let report = run_service(&jobs, &cfg(2, false));
+    let m = service_metrics(&report);
+    assert_eq!(m.get("serve.jobs"), Some(&MetricValue::Counter(jobs.len() as u64)));
+    assert_eq!(m.get("serve.cache.hits"), Some(&MetricValue::Counter(report.cache_hits)));
+    assert_eq!(m.get("serve.cache.misses"), Some(&MetricValue::Counter(report.cache_misses)));
+    let ok = report.records.iter().filter(|r| r.outcome.status == "ok").count();
+    assert_eq!(m.get("serve.jobs.ok"), Some(&MetricValue::Counter(ok as u64)));
+    match m.get("serve.latency_ns") {
+        Some(MetricValue::Histogram(h)) => {
+            assert_eq!(h.count(), report.records.len() as u64);
+            let max = report.records.iter().map(|r| r.latency_ns).max().unwrap();
+            assert_eq!(h.max(), max);
+        }
+        other => panic!("serve.latency_ns should be a histogram, got {other:?}"),
+    }
+    match m.get("serve.cache.hit_rate") {
+        Some(MetricValue::Gauge(g)) => assert!((g - report.hit_rate()).abs() < 1e-12),
+        other => panic!("serve.cache.hit_rate should be a gauge, got {other:?}"),
+    }
+}

@@ -49,7 +49,7 @@ pub use machine::{
 };
 pub use observe::{
     EhDispatchKind, Event, JitOutcome, LoopRejectReason, MethodProfile, ObserveLevel,
-    ObserveReport,
+    ObserveReport, PhaseTiming, VmPhase, VM_PHASE_COUNT,
 };
 pub use profile::{MathKind, MultiDimStyle, PassConfig, Tier, VmProfile};
 pub use rir::compile::CompiledMethod;

@@ -8,7 +8,7 @@
 
 use crate::error::{VmError, VmResult};
 use crate::interp;
-use crate::observe::{ObserveLevel, ObserveReport, Observer};
+use crate::observe::{ObserveLevel, ObserveReport, Observer, PhaseTiming, VmPhase};
 use crate::profile::{MathKind, Tier, VmProfile};
 use crate::rir::RirMethod;
 use hpcnet_cil::{
@@ -491,6 +491,22 @@ impl Vm {
         self.observer.level()
     }
 
+    /// Install the observer's phase-timing time source (first caller
+    /// wins; the default is the process wall clock). Only
+    /// [`ObserveLevel::Trace`] ever reads it — overhead tests install a
+    /// counting clock and assert zero reads at lower levels.
+    pub fn set_trace_clock(&self, clock: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        self.observer.set_clock(clock);
+    }
+
+    /// Per-phase VM timing (JIT passes, EH unwind) accumulated at
+    /// [`ObserveLevel::Trace`]; empty below it. Durations come from the
+    /// installed trace clock, so unlike [`Vm::observe_report`] this is
+    /// *not* deterministic under the default wall clock.
+    pub fn phase_timings(&self) -> Vec<PhaseTiming> {
+        self.observer.phase_timings()
+    }
+
     /// Adjust the managed call-depth guard. Hosts running deeply recursive
     /// kernels (Fibonacci, Hanoi, game search) on big-stack threads may
     /// raise it; see [`run_on_big_stack`].
@@ -715,18 +731,19 @@ impl Vm {
     /// real string-building work proportional to call depth; the JVM
     /// profiles do one pass (Graph 5's effect).
     fn throw_overhead(&self, depth: u32) {
+        let t = self.observer.phase_start();
         let units = self.profile.exception_cost_units;
-        if units == 0 {
-            return;
-        }
-        let mut trace = String::with_capacity(16 * (depth as usize + 1));
-        for u in 0..units {
-            trace.clear();
-            for d in 0..=depth {
-                let _ = write!(trace, " at frame {d}/{u};");
+        if units != 0 {
+            let mut trace = String::with_capacity(16 * (depth as usize + 1));
+            for u in 0..units {
+                trace.clear();
+                for d in 0..=depth {
+                    let _ = write!(trace, " at frame {d}/{u};");
+                }
+                std::hint::black_box(&trace);
             }
-            std::hint::black_box(&trace);
         }
+        self.observer.phase_end(VmPhase::EhUnwind, t);
     }
 
     /// Can `sub` be treated as an instance of `sup`?

@@ -43,7 +43,7 @@ use crate::rir::RInst;
 use hpcnet_cil::{MethodId, Op, OP_KIND_NAMES};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// How much the VM records while executing (a knob on
 /// [`crate::profile::VmProfile`]; `Off` in every stock profile).
@@ -86,6 +86,91 @@ pub const EVENT_CAP: usize = 4096;
 
 /// An [`Event::AllocMilestone`] is emitted every this-many allocations.
 pub const ALLOC_MILESTONE_EVERY: u64 = 1024;
+
+/// A VM-internal phase the observer times at [`ObserveLevel::Trace`].
+///
+/// Unlike every other observed quantity these are *durations*, so they
+/// are inherently nondeterministic and live outside [`ObserveReport`]
+/// (which stays bit-identical across runs). Consumers drain them
+/// separately via [`crate::machine::Vm::phase_timings`]. Below `Trace`
+/// no clock is ever read — the serve-layer overhead tests pin that with
+/// a counting clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmPhase {
+    /// CIL → RIR lowering (front-half cache misses only; a shared-cache
+    /// hit performs no lowering and records nothing).
+    JitLower,
+    /// The optimization pipeline over lowered RIR (misses only).
+    JitOptimize,
+    /// Register/slot allocation (runs per VM on both register tiers,
+    /// hit or miss).
+    JitAllocate,
+    /// The per-throw unwind/stack-trace cost model
+    /// (`exception_cost_units`).
+    EhUnwind,
+}
+
+/// Number of [`VmPhase`] variants.
+pub const VM_PHASE_COUNT: usize = 4;
+
+impl VmPhase {
+    /// All phases, in the order reports list them.
+    pub const ALL: [VmPhase; VM_PHASE_COUNT] = [
+        VmPhase::JitLower,
+        VmPhase::JitOptimize,
+        VmPhase::JitAllocate,
+        VmPhase::EhUnwind,
+    ];
+
+    /// Stable kebab-case name (used by the TRACE json schema).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VmPhase::JitLower => "jit-lower",
+            VmPhase::JitOptimize => "jit-optimize",
+            VmPhase::JitAllocate => "jit-allocate",
+            VmPhase::EhUnwind => "eh-unwind",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            VmPhase::JitLower => 0,
+            VmPhase::JitOptimize => 1,
+            VmPhase::JitAllocate => 2,
+            VmPhase::EhUnwind => 3,
+        }
+    }
+}
+
+/// Accumulated timing for one [`VmPhase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseTiming {
+    pub phase: VmPhase,
+    /// Times the phase ran.
+    pub count: u64,
+    /// Total nanoseconds across all runs (per the installed clock).
+    pub total_ns: u64,
+}
+
+/// The observer's time source — swappable so tests drive phase timing
+/// from a virtual or counting clock (`Vm::set_trace_clock`).
+struct PhaseClock(Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl std::fmt::Debug for PhaseClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PhaseClock(..)")
+    }
+}
+
+/// Process-wide wall-clock default, anchored at first use so readings
+/// stay small.
+fn default_now_ns() -> u64 {
+    static ORIGIN: OnceLock<std::time::Instant> = OnceLock::new();
+    ORIGIN
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
 
 /// Why the loop-aware bounds-check pass rejected a natural loop (one
 /// reason per loop, the first disqualifier found — the same order the
@@ -238,6 +323,12 @@ pub(crate) struct Observer {
     allocs_total: AtomicU64,
     events: Mutex<Vec<Event>>,
     events_dropped: AtomicU64,
+    /// Per-[`VmPhase`] run counts and total nanoseconds; only written at
+    /// `Trace` level (below it [`Observer::phase_start`] never reads the
+    /// clock).
+    phase_counts: [AtomicU64; VM_PHASE_COUNT],
+    phase_ns: [AtomicU64; VM_PHASE_COUNT],
+    clock: OnceLock<PhaseClock>,
 }
 
 impl Observer {
@@ -253,6 +344,9 @@ impl Observer {
             allocs_total: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
             events_dropped: AtomicU64::new(0),
+            phase_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            clock: OnceLock::new(),
         }
     }
 
@@ -348,6 +442,59 @@ impl Observer {
         if self.tracing() {
             self.push_event(Event::EhDispatch { method, kind });
         }
+    }
+
+    // ---- phase timing (Trace level only) ----
+
+    /// Take a clock reading at phase entry — `None` (no clock read at
+    /// all) below `Trace`. Pass the token to [`Observer::phase_end`].
+    #[inline(always)]
+    pub(crate) fn phase_start(&self) -> Option<u64> {
+        if self.level != ObserveLevel::Trace {
+            return None;
+        }
+        Some(self.clock_now())
+    }
+
+    /// Close a phase opened by [`Observer::phase_start`]; a `None` token
+    /// is free.
+    #[inline]
+    pub(crate) fn phase_end(&self, phase: VmPhase, start: Option<u64>) {
+        let Some(s) = start else { return };
+        let dur = self.clock_now().saturating_sub(s);
+        self.phase_counts[phase.idx()].fetch_add(1, Ordering::Relaxed);
+        self.phase_ns[phase.idx()].fetch_add(dur, Ordering::Relaxed);
+    }
+
+    fn clock_now(&self) -> u64 {
+        match self.clock.get() {
+            Some(c) => (c.0)(),
+            None => default_now_ns(),
+        }
+    }
+
+    /// Install the phase-timing time source (first caller wins; the
+    /// default is the process wall clock).
+    pub(crate) fn set_clock(&self, f: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        let _ = self.clock.set(PhaseClock(f));
+    }
+
+    /// Phases that ran at least once, in [`VmPhase::ALL`] order.
+    pub(crate) fn phase_timings(&self) -> Vec<PhaseTiming> {
+        VmPhase::ALL
+            .iter()
+            .filter_map(|&phase| {
+                let count = self.phase_counts[phase.idx()].load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                Some(PhaseTiming {
+                    phase,
+                    count,
+                    total_ns: self.phase_ns[phase.idx()].load(Ordering::Relaxed),
+                })
+            })
+            .collect()
     }
 
     /// Append an event, bounded by [`EVENT_CAP`].
@@ -617,5 +764,39 @@ mod tests {
         let obs = Observer::new(ObserveLevel::Off, 100);
         assert!(!obs.enabled());
         assert_eq!(obs.cells.len(), 0);
+    }
+
+    #[test]
+    fn phase_timing_only_reads_clock_at_trace() {
+        use std::sync::atomic::AtomicU64;
+        for level in [ObserveLevel::Off, ObserveLevel::Counters, ObserveLevel::Trace] {
+            let obs = Observer::new(level, 1);
+            let reads = Arc::new(AtomicU64::new(0));
+            let r = reads.clone();
+            obs.set_clock(Arc::new(move || r.fetch_add(1, Ordering::Relaxed) * 50));
+            let t = obs.phase_start();
+            obs.phase_end(VmPhase::JitLower, t);
+            if level == ObserveLevel::Trace {
+                assert_eq!(reads.load(Ordering::Relaxed), 2);
+                let timings = obs.phase_timings();
+                assert_eq!(timings.len(), 1);
+                assert_eq!(timings[0].phase, VmPhase::JitLower);
+                assert_eq!(timings[0].count, 1);
+                assert_eq!(timings[0].total_ns, 50);
+            } else {
+                assert!(t.is_none());
+                assert_eq!(reads.load(Ordering::Relaxed), 0, "{level:?} read the clock");
+                assert!(obs.phase_timings().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<_> = VmPhase::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(names, ["jit-lower", "jit-optimize", "jit-allocate", "eh-unwind"]);
+        for (i, p) in VmPhase::ALL.iter().enumerate() {
+            assert_eq!(p.idx(), i);
+        }
     }
 }

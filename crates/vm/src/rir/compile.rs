@@ -95,7 +95,9 @@ impl std::fmt::Debug for CompiledMethod {
 /// typed-trace path as the exec tier.
 pub(crate) fn compile(vm: &Arc<Vm>, method: MethodId) -> VmResult<CompiledMethod> {
     let (lowered, res) = crate::rir::share::front(vm, method)?;
+    let t = vm.observer.phase_start();
     let rir = linear_scan(vm, method, lowered, &res.force_spill_p);
+    vm.observer.phase_end(crate::observe::VmPhase::JitAllocate, t);
     opt::push_compile_events(vm, method, &rir, res);
     let ops = build_ops(vm, &rir);
     Ok(CompiledMethod { rir, ops })

@@ -41,7 +41,9 @@ pub(crate) struct Lowered {
 /// register caps.
 pub fn compile(vm: &Arc<Vm>, method: MethodId) -> VmResult<RirMethod> {
     let (lowered, res) = crate::rir::share::front(vm, method)?;
+    let t = vm.observer.phase_start();
     let compiled = opt::allocate(vm, method, lowered, &res.force_spill_p);
+    vm.observer.phase_end(crate::observe::VmPhase::JitAllocate, t);
     opt::push_compile_events(vm, method, &compiled, res);
     Ok(compiled)
 }

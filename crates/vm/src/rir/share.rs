@@ -13,6 +13,7 @@
 
 use crate::error::VmResult;
 use crate::machine::Vm;
+use crate::observe::VmPhase;
 use crate::profile::{MultiDimStyle, PassConfig};
 use crate::rir::lower::{self, Lowered};
 use crate::rir::opt::{self, OptResult};
@@ -52,8 +53,7 @@ impl OptShare {
 /// both the hit and miss path, exactly as the unshared pipeline did.
 pub(crate) fn front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptResult)> {
     let Some(share) = vm.opt_share() else {
-        let mut l = lower::lower(vm, method, vm.profile.passes.inline, 0)?;
-        let res = opt::optimize(&vm.profile.passes, &mut l);
+        let (l, res) = timed_front(vm, method)?;
         opt::apply_outcome_counters(vm, &res.outcome);
         return Ok((l, res));
     };
@@ -63,8 +63,7 @@ pub(crate) fn front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptRes
         opt::apply_outcome_counters(vm, &e.1.outcome);
         return Ok((e.0.clone(), e.1.clone()));
     }
-    let mut l = lower::lower(vm, method, vm.profile.passes.inline, 0)?;
-    let res = opt::optimize(&vm.profile.passes, &mut l);
+    let (l, res) = timed_front(vm, method)?;
     opt::apply_outcome_counters(vm, &res.outcome);
     share.misses.fetch_add(1, Ordering::Relaxed);
     let entry = Arc::new((l, res));
@@ -75,4 +74,17 @@ pub(crate) fn front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptRes
         .entry(key)
         .or_insert_with(|| entry.clone());
     Ok((entry.0.clone(), entry.1.clone()))
+}
+
+/// The actual front-half work, with per-phase observer timing (a no-op
+/// below `ObserveLevel::Trace`). Cache hits never reach here, so hit
+/// paths record no phases.
+fn timed_front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptResult)> {
+    let t = vm.observer.phase_start();
+    let mut l = lower::lower(vm, method, vm.profile.passes.inline, 0)?;
+    vm.observer.phase_end(VmPhase::JitLower, t);
+    let t = vm.observer.phase_start();
+    let res = opt::optimize(&vm.profile.passes, &mut l);
+    vm.observer.phase_end(VmPhase::JitOptimize, t);
+    Ok((l, res))
 }
