@@ -1,0 +1,23 @@
+// conform reproducer — derived-index shape: bound hoisted through a local
+//   (hand-written pin for the guarded-versioning tier, not a fuzzer capture)
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(55, 1023)
+// oracle result: i8:26544469951217019
+// input: Gen.Run(0, -1)
+// status: PIN — shape coverage. The loop bound is `n`, a local holding
+//   `ai.Length`, not a direct `arr.Length` read — the shape idiom ABCE
+//   rejects and guarded loop versioning (`loop_versioning`) recovers by
+//   emitting an up-front `n <= ai.Length` guard selecting a check-free
+//   clone (`CertKind::Versioned`). All engines must agree with the
+//   unoptimized oracle on the result.
+
+class Gen {
+    static long Run(int a, int b) {
+        long chk = 0L;
+        int[] ai = new int[10];
+        int n = ai.Length;
+        for (int i0 = 0; i0 < n; i0++) { ai[i0] = (a ^ (b + i0)); }
+        for (int i1 = 0; i1 < n; i1++) { chk = ((chk * 31L) + (long)ai[i1]); }
+        return chk;
+    }
+}

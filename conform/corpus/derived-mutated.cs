@@ -1,0 +1,30 @@
+// conform reproducer — derived-index shape: mid-loop array reassignment
+//   (hand-written pin for the elision soundness hazard, not a fuzzer capture)
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(40, 3)
+// oracle result: i8:923521000000
+// input: Gen.Run(-1, 0)
+// status: PIN — hazard coverage. The offset loop reassigns `ai` to a
+//   shorter array mid-iteration, so the derived access `ai[i1 + 2]` MUST
+//   trap at i1 == 5 (index 7 on int[4]) on every engine. Any tier that
+//   elides the check keyed on the original length — or versions the loop
+//   without invalidating on the reassignment — would run past the bound
+//   and diverge from the oracle's IndexOutOfRangeException path.
+
+class Gen {
+    static long Run(int a, int b) {
+        long chk = 0L;
+        int[] ai = new int[16];
+        for (int i0 = 0; i0 < ai.Length; i0++) { ai[i0] = (a + (i0 * b)); }
+        try {
+            for (int i1 = 0; i1 < ai.Length - 2; i1++) {
+                if (i1 == 5) { ai = new int[4]; }
+                ai[i1 + 2] = (ai[i1 + 2] + ai[i1]);
+            }
+        } catch (IndexOutOfRangeException ex0) {
+            chk = (chk + 1000000L);
+        }
+        for (int c0 = 0; c0 < ai.Length; c0++) { chk = ((chk * 31L) + (long)ai[c0]); }
+        return chk;
+    }
+}

@@ -1,0 +1,23 @@
+// conform reproducer — derived-index shape: counter ± constant offset
+//   (hand-written pin for the range-ABCE tier, not a fuzzer capture)
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(12345, -7)
+// oracle result: i8:1562916988961149331
+// input: Gen.Run(-2147483648, 2147483647)
+// status: PIN — shape coverage. Both loops access `ai[i + k]` / `ai[i - k]`
+//   with a compensating bound (`i < ai.Length - 3`, `i = 1`). The symbolic
+//   range pass (`range_abce`, crates/vm/src/rir/range.rs) proves these
+//   in-bounds and elides the checks with a `CertKind::Loop` cert; every
+//   engine must agree with the unoptimized oracle on the result.
+
+class Gen {
+    static long Run(int a, int b) {
+        long chk = 0L;
+        int[] ai = new int[16];
+        for (int i0 = 0; i0 < ai.Length; i0++) { ai[i0] = (a + (i0 * b)); }
+        for (int i1 = 0; i1 < ai.Length - 3; i1++) { ai[i1 + 3] = (ai[i1 + 3] + ai[i1]); }
+        for (int i2 = 1; i2 < ai.Length; i2++) { ai[i2 - 1] = (ai[i2 - 1] ^ ai[i2]); }
+        for (int c0 = 0; c0 < ai.Length; c0++) { chk = ((chk * 31L) + (long)ai[c0]); }
+        return chk;
+    }
+}

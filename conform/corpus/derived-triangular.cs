@@ -1,0 +1,26 @@
+// conform reproducer — derived-index shape: triangular nest
+//   (hand-written pin for the range-ABCE tier, not a fuzzer capture)
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(901, 17)
+// oracle result: i8:-4627379897064745920
+// input: Gen.Run(-3, -2147483648)
+// status: PIN — shape coverage. The inner loop's bound is the outer
+//   counter (`j < i`), so `ai[j]` is provable only through the transitive
+//   fact j < i < ai.Length — the loop-variant-bound case symbolic range
+//   analysis (`range_abce`) handles and plain idiom ABCE cannot. All
+//   engines must agree with the unoptimized oracle on the result.
+
+class Gen {
+    static long Run(int a, int b) {
+        long chk = 0L;
+        int[] ai = new int[12];
+        for (int i0 = 0; i0 < ai.Length; i0++) { ai[i0] = (a - (i0 * b)); }
+        for (int i1 = 0; i1 < ai.Length; i1++) {
+            for (int j0 = 0; j0 < i1; j0++) {
+                ai[j0] = (ai[j0] + ai[i1]);
+            }
+        }
+        for (int c0 = 0; c0 < ai.Length; c0++) { chk = ((chk * 31L) + (long)ai[c0]); }
+        return chk;
+    }
+}

@@ -1,0 +1,401 @@
+// conform reproducer — seed 330
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(0, 1)
+// oracle result: trap:IndexOutOfRangeException
+// status: FIXED — pinned regression. At time of capture the structural
+//   `bce` matcher (first diverging: Java IBM 1.3.1 [abce=0 licm=0],
+//   "internal:unchecked access out of bounds") elided the check on
+//   `al[i0]` in the `i0 < 12` loop because an unrelated ternary compare
+//   `i0 != al.Length` registered as a bounds guard — al has 8 elements,
+//   so the unchecked access ran past the array at i0 == 8 instead of
+//   trapping. Fixed by strengthening the cert checker (guards must be
+//   strict-order compares whose in-bounds edge dominates the access,
+//   crates/vm/src/rir/audit.rs) and trial-committing every `bce` elision
+//   through it (crates/vm/src/rir/opt.rs).
+
+// conform seed 330
+class Gen {
+    static int sI = (-123456);
+    static long sL = 1L;
+    static double sD = 0.0;
+    static int H0(int x, int y) { return ((x + 12345) / (((7 ^ (-1)) & 15) + 1)); }
+    static long H1(long x, int y) { return Math.Max(sL, sL); }
+    static double H2(double x, double y) { return sD; }
+    static int R0(int n, int x) {
+        if (n < 1) { return x; }
+        return (R0((n - 1), (x + 35)) ^ n);
+    }
+    static long Run(int a, int b) {
+        int v0 = 3;
+        int v1 = (-2);
+        int v2 = 11;
+        long w0 = 5L;
+        long w1 = (-17L);
+        double d0 = 1.5;
+        double d1 = (-0.25);
+        bool b0 = true;
+        bool b1 = false;
+        int[] ai = new int[8];
+        long[] al = new long[8];
+        double[] ad = new double[8];
+        int[][] jj = new int[4][];
+        for (int p0 = 0; p0 < jj.Length; p0++) { jj[p0] = new int[8]; }
+        double[,] rr = new double[4, 4];
+        v0 = a;
+        v1 = b;
+        ai[0] = a;
+        ai[1] = b;
+        w0 = ((long)a * (long)b);
+        d0 = ((double)a * 0.5);
+        for (int i0 = 0; i0 < 12; i0++) {
+            w1 = ((H1((w1 << i0), (v1 >> b)) << ((i0 != al.Length) ? H0(rr.GetLength(0), ad.Length) : ((int)w0))) / ((al[i0] & 15L) + 1L));
+        }
+        long chk = 0L;
+        double dsum = 0.0;
+        for (int c0 = 0; c0 < ai.Length; c0++) { chk = ((chk * 31L) + (long)ai[c0]); }
+        for (int c1 = 0; c1 < al.Length; c1++) { chk = ((chk * 31L) + al[c1]); }
+        for (int c2 = 0; c2 < ad.Length; c2++) { dsum = (dsum + ad[c2]); }
+        for (int c3 = 0; c3 < jj.Length; c3++) {
+            for (int c4 = 0; c4 < jj[c3].Length; c4++) { chk = ((chk * 31L) + (long)jj[c3][c4]); }
+        }
+        for (int c5 = 0; c5 < rr.GetLength(0); c5++) {
+            for (int c6 = 0; c6 < rr.GetLength(1); c6++) { dsum = (dsum + rr[c5, c6]); }
+        }
+        chk = ((chk * 31L) + (long)v0);
+        chk = ((chk * 31L) + (long)v1);
+        chk = ((chk * 31L) + (long)v2);
+        chk = ((chk * 31L) + w0);
+        chk = ((chk * 31L) + w1);
+        dsum = (dsum + d0);
+        dsum = (dsum + d1);
+        chk = (chk ^ (b0 ? 2L : 0L));
+        chk = (chk ^ (b1 ? 4L : 0L));
+        chk = ((chk * 31L) + (long)sI);
+        chk = ((chk * 31L) + sL);
+        dsum = (dsum + sD);
+        Console.WriteLine(dsum);
+        return chk;
+    }
+}
+
+/* disassembly
+.method static int64 Gen::Run(int32, int32)
+  .locals ([0] int32, [1] int32, [2] int32, [3] int64, [4] int64, [5] float64, [6] float64, [7] bool, [8] bool, [9] int32[], [10] int64[], [11] float64[], [12] int32[][], [13] int32, [14] float64[,], [15] int32, [16] int64, [17] float64, [18] int32, [19] int32, [20] int32, [21] int32, [22] int32, [23] int32, [24] int32)
+  .maxstack 4
+  IL_0000: ldc.i4 0x3
+  IL_0001: stloc.0
+  IL_0002: ldc.i4 0xfffffffe
+  IL_0003: stloc.1
+  IL_0004: ldc.i4 0xb
+  IL_0005: stloc.2
+  IL_0006: ldc.i8 0x5
+  IL_0007: stloc.3
+  IL_0008: ldc.i8 0xffffffffffffffef
+  IL_0009: stloc.4
+  IL_000a: ldc.r8 1.5
+  IL_000b: stloc.5
+  IL_000c: ldc.r8 -0.25
+  IL_000d: stloc.6
+  IL_000e: ldc.i4 0x1
+  IL_000f: stloc.7
+  IL_0010: ldc.i4 0x0
+  IL_0011: stloc.8
+  IL_0012: ldc.i4 0x8
+  IL_0013: newarr i4
+  IL_0014: stloc.9
+  IL_0015: ldc.i4 0x8
+  IL_0016: newarr i8
+  IL_0017: stloc.10
+  IL_0018: ldc.i4 0x8
+  IL_0019: newarr r8
+  IL_001a: stloc.11
+  IL_001b: ldc.i4 0x4
+  IL_001c: newarr ref
+  IL_001d: stloc.12
+  IL_001e: ldc.i4 0x0
+  IL_001f: stloc.13
+  IL_0020: ldloc.13
+  IL_0021: ldloc.12
+  IL_0022: ldlen
+  IL_0023: bge IL_002e
+  IL_0024: ldloc.12
+  IL_0025: ldloc.13
+  IL_0026: ldc.i4 0x8
+  IL_0027: newarr i4
+  IL_0028: stelem.ref
+  IL_0029: ldloc.13
+  IL_002a: ldc.i4 0x1
+  IL_002b: add
+  IL_002c: stloc.13
+  IL_002d: br IL_0020
+  IL_002e: ldc.i4 0x4
+  IL_002f: ldc.i4 0x4
+  IL_0030: newmarr.r8 rank=2
+  IL_0031: stloc.14
+  IL_0032: ldarg.0
+  IL_0033: stloc.0
+  IL_0034: ldarg.1
+  IL_0035: stloc.1
+  IL_0036: ldloc.9
+  IL_0037: ldc.i4 0x0
+  IL_0038: ldarg.0
+  IL_0039: stelem.i4
+  IL_003a: ldloc.9
+  IL_003b: ldc.i4 0x1
+  IL_003c: ldarg.1
+  IL_003d: stelem.i4
+  IL_003e: ldarg.0
+  IL_003f: conv.i8
+  IL_0040: ldarg.1
+  IL_0041: conv.i8
+  IL_0042: mul
+  IL_0043: stloc.3
+  IL_0044: ldarg.0
+  IL_0045: conv.r8
+  IL_0046: ldc.r8 0.5
+  IL_0047: mul
+  IL_0048: stloc.5
+  IL_0049: ldc.i4 0x0
+  IL_004a: stloc.15
+  IL_004b: ldloc.15
+  IL_004c: ldc.i4 0xc
+  IL_004d: bge IL_0070
+  IL_004e: ldloc.4
+  IL_004f: ldloc.15
+  IL_0050: shl
+  IL_0051: ldloc.1
+  IL_0052: ldarg.1
+  IL_0053: shr
+  IL_0054: call Gen::H1
+  IL_0055: ldloc.15
+  IL_0056: ldloc.10
+  IL_0057: ldlen
+  IL_0058: beq IL_005f
+  IL_0059: ldloc.14
+  IL_005a: ldmlen dim=0
+  IL_005b: ldloc.11
+  IL_005c: ldlen
+  IL_005d: call Gen::H0
+  IL_005e: br IL_0061
+  IL_005f: ldloc.3
+  IL_0060: conv.i4
+  IL_0061: shl
+  IL_0062: ldloc.10
+  IL_0063: ldloc.15
+  IL_0064: ldelem.i8
+  IL_0065: ldc.i8 0xf
+  IL_0066: and
+  IL_0067: ldc.i8 0x1
+  IL_0068: add
+  IL_0069: div
+  IL_006a: stloc.4
+  IL_006b: ldloc.15
+  IL_006c: ldc.i4 0x1
+  IL_006d: add
+  IL_006e: stloc.15
+  IL_006f: br IL_004b
+  IL_0070: ldc.i8 0x0
+  IL_0071: stloc.16
+  IL_0072: ldc.r8 0
+  IL_0073: stloc.17
+  IL_0074: ldc.i4 0x0
+  IL_0075: stloc.18
+  IL_0076: ldloc.18
+  IL_0077: ldloc.9
+  IL_0078: ldlen
+  IL_0079: bge IL_0088
+  IL_007a: ldloc.16
+  IL_007b: ldc.i8 0x1f
+  IL_007c: mul
+  IL_007d: ldloc.9
+  IL_007e: ldloc.18
+  IL_007f: ldelem.i4
+  IL_0080: conv.i8
+  IL_0081: add
+  IL_0082: stloc.16
+  IL_0083: ldloc.18
+  IL_0084: ldc.i4 0x1
+  IL_0085: add
+  IL_0086: stloc.18
+  IL_0087: br IL_0076
+  IL_0088: ldc.i4 0x0
+  IL_0089: stloc.19
+  IL_008a: ldloc.19
+  IL_008b: ldloc.10
+  IL_008c: ldlen
+  IL_008d: bge IL_009b
+  IL_008e: ldloc.16
+  IL_008f: ldc.i8 0x1f
+  IL_0090: mul
+  IL_0091: ldloc.10
+  IL_0092: ldloc.19
+  IL_0093: ldelem.i8
+  IL_0094: add
+  IL_0095: stloc.16
+  IL_0096: ldloc.19
+  IL_0097: ldc.i4 0x1
+  IL_0098: add
+  IL_0099: stloc.19
+  IL_009a: br IL_008a
+  IL_009b: ldc.i4 0x0
+  IL_009c: stloc.20
+  IL_009d: ldloc.20
+  IL_009e: ldloc.11
+  IL_009f: ldlen
+  IL_00a0: bge IL_00ac
+  IL_00a1: ldloc.17
+  IL_00a2: ldloc.11
+  IL_00a3: ldloc.20
+  IL_00a4: ldelem.r8
+  IL_00a5: add
+  IL_00a6: stloc.17
+  IL_00a7: ldloc.20
+  IL_00a8: ldc.i4 0x1
+  IL_00a9: add
+  IL_00aa: stloc.20
+  IL_00ab: br IL_009d
+  IL_00ac: ldc.i4 0x0
+  IL_00ad: stloc.21
+  IL_00ae: ldloc.21
+  IL_00af: ldloc.12
+  IL_00b0: ldlen
+  IL_00b1: bge IL_00cf
+  IL_00b2: ldc.i4 0x0
+  IL_00b3: stloc.22
+  IL_00b4: ldloc.22
+  IL_00b5: ldloc.12
+  IL_00b6: ldloc.21
+  IL_00b7: ldelem.ref
+  IL_00b8: ldlen
+  IL_00b9: bge IL_00ca
+  IL_00ba: ldloc.16
+  IL_00bb: ldc.i8 0x1f
+  IL_00bc: mul
+  IL_00bd: ldloc.12
+  IL_00be: ldloc.21
+  IL_00bf: ldelem.ref
+  IL_00c0: ldloc.22
+  IL_00c1: ldelem.i4
+  IL_00c2: conv.i8
+  IL_00c3: add
+  IL_00c4: stloc.16
+  IL_00c5: ldloc.22
+  IL_00c6: ldc.i4 0x1
+  IL_00c7: add
+  IL_00c8: stloc.22
+  IL_00c9: br IL_00b4
+  IL_00ca: ldloc.21
+  IL_00cb: ldc.i4 0x1
+  IL_00cc: add
+  IL_00cd: stloc.21
+  IL_00ce: br IL_00ae
+  IL_00cf: ldc.i4 0x0
+  IL_00d0: stloc.23
+  IL_00d1: ldloc.23
+  IL_00d2: ldloc.14
+  IL_00d3: ldmlen dim=0
+  IL_00d4: bge IL_00ec
+  IL_00d5: ldc.i4 0x0
+  IL_00d6: stloc.24
+  IL_00d7: ldloc.24
+  IL_00d8: ldloc.14
+  IL_00d9: ldmlen dim=1
+  IL_00da: bge IL_00e7
+  IL_00db: ldloc.17
+  IL_00dc: ldloc.14
+  IL_00dd: ldloc.23
+  IL_00de: ldloc.24
+  IL_00df: ldmelem.r8 rank=2
+  IL_00e0: add
+  IL_00e1: stloc.17
+  IL_00e2: ldloc.24
+  IL_00e3: ldc.i4 0x1
+  IL_00e4: add
+  IL_00e5: stloc.24
+  IL_00e6: br IL_00d7
+  IL_00e7: ldloc.23
+  IL_00e8: ldc.i4 0x1
+  IL_00e9: add
+  IL_00ea: stloc.23
+  IL_00eb: br IL_00d1
+  IL_00ec: ldloc.16
+  IL_00ed: ldc.i8 0x1f
+  IL_00ee: mul
+  IL_00ef: ldloc.0
+  IL_00f0: conv.i8
+  IL_00f1: add
+  IL_00f2: stloc.16
+  IL_00f3: ldloc.16
+  IL_00f4: ldc.i8 0x1f
+  IL_00f5: mul
+  IL_00f6: ldloc.1
+  IL_00f7: conv.i8
+  IL_00f8: add
+  IL_00f9: stloc.16
+  IL_00fa: ldloc.16
+  IL_00fb: ldc.i8 0x1f
+  IL_00fc: mul
+  IL_00fd: ldloc.2
+  IL_00fe: conv.i8
+  IL_00ff: add
+  IL_0100: stloc.16
+  IL_0101: ldloc.16
+  IL_0102: ldc.i8 0x1f
+  IL_0103: mul
+  IL_0104: ldloc.3
+  IL_0105: add
+  IL_0106: stloc.16
+  IL_0107: ldloc.16
+  IL_0108: ldc.i8 0x1f
+  IL_0109: mul
+  IL_010a: ldloc.4
+  IL_010b: add
+  IL_010c: stloc.16
+  IL_010d: ldloc.17
+  IL_010e: ldloc.5
+  IL_010f: add
+  IL_0110: stloc.17
+  IL_0111: ldloc.17
+  IL_0112: ldloc.6
+  IL_0113: add
+  IL_0114: stloc.17
+  IL_0115: ldloc.16
+  IL_0116: ldloc.7
+  IL_0117: brfalse IL_011a
+  IL_0118: ldc.i8 0x2
+  IL_0119: br IL_011b
+  IL_011a: ldc.i8 0x0
+  IL_011b: xor
+  IL_011c: stloc.16
+  IL_011d: ldloc.16
+  IL_011e: ldloc.8
+  IL_011f: brfalse IL_0122
+  IL_0120: ldc.i8 0x4
+  IL_0121: br IL_0123
+  IL_0122: ldc.i8 0x0
+  IL_0123: xor
+  IL_0124: stloc.16
+  IL_0125: ldloc.16
+  IL_0126: ldc.i8 0x1f
+  IL_0127: mul
+  IL_0128: ldsfld Gen::sI
+  IL_0129: conv.i8
+  IL_012a: add
+  IL_012b: stloc.16
+  IL_012c: ldloc.16
+  IL_012d: ldc.i8 0x1f
+  IL_012e: mul
+  IL_012f: ldsfld Gen::sL
+  IL_0130: add
+  IL_0131: stloc.16
+  IL_0132: ldloc.17
+  IL_0133: ldsfld Gen::sD
+  IL_0134: add
+  IL_0135: stloc.17
+  IL_0136: ldloc.17
+  IL_0137: call [runtime]Console.WriteLineR8
+  IL_0138: ldloc.16
+  IL_0139: ret
+  IL_013a: ldc.i8 0x0
+  IL_013b: ret
+*/

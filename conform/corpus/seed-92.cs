@@ -1,0 +1,394 @@
+// conform reproducer — seed 92
+// replay: see docs/TESTING.md ("Replaying a corpus reproducer")
+// input: Gen.Run(0, 1)
+// oracle result: trap:Exception
+// status: FIXED — pinned regression. At time of capture the elision-cert
+//   audit (first reported: Java IBM 1.3.1 [abce=0 licm=0]) rejected a
+//   sound idiom elision whose loop counter has no explicit `ConstP 0`
+//   def: the counter relies on implicit zero-initialization of locals,
+//   which the checker now accepts for non-argument slots.
+
+// conform seed 92
+class Gen {
+    static int sI = 1000;
+    static long sL = 0L;
+    static double sD = 3.25;
+    static int H0(int x, int y) { return ((true ? (-1) : sI) >> (sI | x)); }
+    static long H1(long x, int y) { return (-1L); }
+    static double H2(double x, double y) { return sD; }
+    static int R0(int n, int x) {
+        if (n < 1) { return x; }
+        return (R0((n - 1), (x + 32)) ^ n);
+    }
+    static long Run(int a, int b) {
+        int v0 = 3;
+        int v1 = (-2);
+        int v2 = 11;
+        long w0 = 5L;
+        long w1 = (-17L);
+        double d0 = 1.5;
+        double d1 = (-0.25);
+        bool b0 = true;
+        bool b1 = false;
+        int[] ai = new int[8];
+        long[] al = new long[8];
+        double[] ad = new double[8];
+        int[][] jj = new int[4][];
+        for (int p0 = 0; p0 < jj.Length; p0++) { jj[p0] = new int[8]; }
+        double[,] rr = new double[4, 4];
+        v0 = a;
+        v1 = b;
+        ai[0] = a;
+        ai[1] = b;
+        w0 = ((long)a * (long)b);
+        d0 = ((double)a * 0.5);
+        throw new Exception();
+        for (int i0 = 0; i0 < ad.Length; i0++) {
+            try {
+                d0 = (((0L != (0L & sL)) && (!(d0 == 0.001))) ? ad[i0] : ad[i0]);
+            } catch (Exception ex0) {
+            }
+        }
+        long chk = 0L;
+        double dsum = 0.0;
+        for (int c0 = 0; c0 < ai.Length; c0++) { chk = ((chk * 31L) + (long)ai[c0]); }
+        for (int c1 = 0; c1 < al.Length; c1++) { chk = ((chk * 31L) + al[c1]); }
+        for (int c2 = 0; c2 < ad.Length; c2++) { dsum = (dsum + ad[c2]); }
+        for (int c3 = 0; c3 < jj.Length; c3++) {
+            for (int c4 = 0; c4 < jj[c3].Length; c4++) { chk = ((chk * 31L) + (long)jj[c3][c4]); }
+        }
+        for (int c5 = 0; c5 < rr.GetLength(0); c5++) {
+            for (int c6 = 0; c6 < rr.GetLength(1); c6++) { dsum = (dsum + rr[c5, c6]); }
+        }
+        chk = ((chk * 31L) + (long)v0);
+        chk = ((chk * 31L) + (long)v1);
+        chk = ((chk * 31L) + (long)v2);
+        chk = ((chk * 31L) + w0);
+        chk = ((chk * 31L) + w1);
+        dsum = (dsum + d0);
+        dsum = (dsum + d1);
+        chk = (chk ^ (b0 ? 2L : 0L));
+        chk = (chk ^ (b1 ? 4L : 0L));
+        chk = ((chk * 31L) + (long)sI);
+        chk = ((chk * 31L) + sL);
+        dsum = (dsum + sD);
+        Console.WriteLine(dsum);
+        return chk;
+    }
+}
+
+/* disassembly
+.method static int64 Gen::Run(int32, int32)
+  .locals ([0] int32, [1] int32, [2] int32, [3] int64, [4] int64, [5] float64, [6] float64, [7] bool, [8] bool, [9] int32[], [10] int64[], [11] float64[], [12] int32[][], [13] int32, [14] float64[,], [15] int32, [16] class#0, [17] int64, [18] float64, [19] int32, [20] int32, [21] int32, [22] int32, [23] int32, [24] int32, [25] int32)
+  .maxstack 4
+  .try IL_0051..IL_0062 handler IL_0062..IL_0064 Catch(ClassId(0))
+  IL_0000: ldc.i4 0x3
+  IL_0001: stloc.0
+  IL_0002: ldc.i4 0xfffffffe
+  IL_0003: stloc.1
+  IL_0004: ldc.i4 0xb
+  IL_0005: stloc.2
+  IL_0006: ldc.i8 0x5
+  IL_0007: stloc.3
+  IL_0008: ldc.i8 0xffffffffffffffef
+  IL_0009: stloc.4
+  IL_000a: ldc.r8 1.5
+  IL_000b: stloc.5
+  IL_000c: ldc.r8 -0.25
+  IL_000d: stloc.6
+  IL_000e: ldc.i4 0x1
+  IL_000f: stloc.7
+  IL_0010: ldc.i4 0x0
+  IL_0011: stloc.8
+  IL_0012: ldc.i4 0x8
+  IL_0013: newarr i4
+  IL_0014: stloc.9
+  IL_0015: ldc.i4 0x8
+  IL_0016: newarr i8
+  IL_0017: stloc.10
+  IL_0018: ldc.i4 0x8
+  IL_0019: newarr r8
+  IL_001a: stloc.11
+  IL_001b: ldc.i4 0x4
+  IL_001c: newarr ref
+  IL_001d: stloc.12
+  IL_001e: ldc.i4 0x0
+  IL_001f: stloc.13
+  IL_0020: ldloc.13
+  IL_0021: ldloc.12
+  IL_0022: ldlen
+  IL_0023: bge IL_002e
+  IL_0024: ldloc.12
+  IL_0025: ldloc.13
+  IL_0026: ldc.i4 0x8
+  IL_0027: newarr i4
+  IL_0028: stelem.ref
+  IL_0029: ldloc.13
+  IL_002a: ldc.i4 0x1
+  IL_002b: add
+  IL_002c: stloc.13
+  IL_002d: br IL_0020
+  IL_002e: ldc.i4 0x4
+  IL_002f: ldc.i4 0x4
+  IL_0030: newmarr.r8 rank=2
+  IL_0031: stloc.14
+  IL_0032: ldarg.0
+  IL_0033: stloc.0
+  IL_0034: ldarg.1
+  IL_0035: stloc.1
+  IL_0036: ldloc.9
+  IL_0037: ldc.i4 0x0
+  IL_0038: ldarg.0
+  IL_0039: stelem.i4
+  IL_003a: ldloc.9
+  IL_003b: ldc.i4 0x1
+  IL_003c: ldarg.1
+  IL_003d: stelem.i4
+  IL_003e: ldarg.0
+  IL_003f: conv.i8
+  IL_0040: ldarg.1
+  IL_0041: conv.i8
+  IL_0042: mul
+  IL_0043: stloc.3
+  IL_0044: ldarg.0
+  IL_0045: conv.r8
+  IL_0046: ldc.r8 0.5
+  IL_0047: mul
+  IL_0048: stloc.5
+  IL_0049: newobj Exception::.ctor
+  IL_004a: throw
+  IL_004b: ldc.i4 0x0
+  IL_004c: stloc.15
+  IL_004d: ldloc.15
+  IL_004e: ldloc.11
+  IL_004f: ldlen
+  IL_0050: bge IL_0069
+  IL_0051: ldc.i8 0x0
+  IL_0052: ldc.i8 0x0
+  IL_0053: ldsfld Gen::sL
+  IL_0054: and
+  IL_0055: beq IL_005d
+  IL_0056: ldloc.5
+  IL_0057: ldc.r8 0.001
+  IL_0058: beq IL_005d
+  IL_0059: ldloc.11
+  IL_005a: ldloc.15
+  IL_005b: ldelem.r8
+  IL_005c: br IL_0060
+  IL_005d: ldloc.11
+  IL_005e: ldloc.15
+  IL_005f: ldelem.r8
+  IL_0060: stloc.5
+  IL_0061: leave IL_0064
+  IL_0062: stloc.16
+  IL_0063: leave IL_0064
+  IL_0064: ldloc.15
+  IL_0065: ldc.i4 0x1
+  IL_0066: add
+  IL_0067: stloc.15
+  IL_0068: br IL_004d
+  IL_0069: ldc.i8 0x0
+  IL_006a: stloc.17
+  IL_006b: ldc.r8 0
+  IL_006c: stloc.18
+  IL_006d: ldc.i4 0x0
+  IL_006e: stloc.19
+  IL_006f: ldloc.19
+  IL_0070: ldloc.9
+  IL_0071: ldlen
+  IL_0072: bge IL_0081
+  IL_0073: ldloc.17
+  IL_0074: ldc.i8 0x1f
+  IL_0075: mul
+  IL_0076: ldloc.9
+  IL_0077: ldloc.19
+  IL_0078: ldelem.i4
+  IL_0079: conv.i8
+  IL_007a: add
+  IL_007b: stloc.17
+  IL_007c: ldloc.19
+  IL_007d: ldc.i4 0x1
+  IL_007e: add
+  IL_007f: stloc.19
+  IL_0080: br IL_006f
+  IL_0081: ldc.i4 0x0
+  IL_0082: stloc.20
+  IL_0083: ldloc.20
+  IL_0084: ldloc.10
+  IL_0085: ldlen
+  IL_0086: bge IL_0094
+  IL_0087: ldloc.17
+  IL_0088: ldc.i8 0x1f
+  IL_0089: mul
+  IL_008a: ldloc.10
+  IL_008b: ldloc.20
+  IL_008c: ldelem.i8
+  IL_008d: add
+  IL_008e: stloc.17
+  IL_008f: ldloc.20
+  IL_0090: ldc.i4 0x1
+  IL_0091: add
+  IL_0092: stloc.20
+  IL_0093: br IL_0083
+  IL_0094: ldc.i4 0x0
+  IL_0095: stloc.21
+  IL_0096: ldloc.21
+  IL_0097: ldloc.11
+  IL_0098: ldlen
+  IL_0099: bge IL_00a5
+  IL_009a: ldloc.18
+  IL_009b: ldloc.11
+  IL_009c: ldloc.21
+  IL_009d: ldelem.r8
+  IL_009e: add
+  IL_009f: stloc.18
+  IL_00a0: ldloc.21
+  IL_00a1: ldc.i4 0x1
+  IL_00a2: add
+  IL_00a3: stloc.21
+  IL_00a4: br IL_0096
+  IL_00a5: ldc.i4 0x0
+  IL_00a6: stloc.22
+  IL_00a7: ldloc.22
+  IL_00a8: ldloc.12
+  IL_00a9: ldlen
+  IL_00aa: bge IL_00c8
+  IL_00ab: ldc.i4 0x0
+  IL_00ac: stloc.23
+  IL_00ad: ldloc.23
+  IL_00ae: ldloc.12
+  IL_00af: ldloc.22
+  IL_00b0: ldelem.ref
+  IL_00b1: ldlen
+  IL_00b2: bge IL_00c3
+  IL_00b3: ldloc.17
+  IL_00b4: ldc.i8 0x1f
+  IL_00b5: mul
+  IL_00b6: ldloc.12
+  IL_00b7: ldloc.22
+  IL_00b8: ldelem.ref
+  IL_00b9: ldloc.23
+  IL_00ba: ldelem.i4
+  IL_00bb: conv.i8
+  IL_00bc: add
+  IL_00bd: stloc.17
+  IL_00be: ldloc.23
+  IL_00bf: ldc.i4 0x1
+  IL_00c0: add
+  IL_00c1: stloc.23
+  IL_00c2: br IL_00ad
+  IL_00c3: ldloc.22
+  IL_00c4: ldc.i4 0x1
+  IL_00c5: add
+  IL_00c6: stloc.22
+  IL_00c7: br IL_00a7
+  IL_00c8: ldc.i4 0x0
+  IL_00c9: stloc.24
+  IL_00ca: ldloc.24
+  IL_00cb: ldloc.14
+  IL_00cc: ldmlen dim=0
+  IL_00cd: bge IL_00e5
+  IL_00ce: ldc.i4 0x0
+  IL_00cf: stloc.25
+  IL_00d0: ldloc.25
+  IL_00d1: ldloc.14
+  IL_00d2: ldmlen dim=1
+  IL_00d3: bge IL_00e0
+  IL_00d4: ldloc.18
+  IL_00d5: ldloc.14
+  IL_00d6: ldloc.24
+  IL_00d7: ldloc.25
+  IL_00d8: ldmelem.r8 rank=2
+  IL_00d9: add
+  IL_00da: stloc.18
+  IL_00db: ldloc.25
+  IL_00dc: ldc.i4 0x1
+  IL_00dd: add
+  IL_00de: stloc.25
+  IL_00df: br IL_00d0
+  IL_00e0: ldloc.24
+  IL_00e1: ldc.i4 0x1
+  IL_00e2: add
+  IL_00e3: stloc.24
+  IL_00e4: br IL_00ca
+  IL_00e5: ldloc.17
+  IL_00e6: ldc.i8 0x1f
+  IL_00e7: mul
+  IL_00e8: ldloc.0
+  IL_00e9: conv.i8
+  IL_00ea: add
+  IL_00eb: stloc.17
+  IL_00ec: ldloc.17
+  IL_00ed: ldc.i8 0x1f
+  IL_00ee: mul
+  IL_00ef: ldloc.1
+  IL_00f0: conv.i8
+  IL_00f1: add
+  IL_00f2: stloc.17
+  IL_00f3: ldloc.17
+  IL_00f4: ldc.i8 0x1f
+  IL_00f5: mul
+  IL_00f6: ldloc.2
+  IL_00f7: conv.i8
+  IL_00f8: add
+  IL_00f9: stloc.17
+  IL_00fa: ldloc.17
+  IL_00fb: ldc.i8 0x1f
+  IL_00fc: mul
+  IL_00fd: ldloc.3
+  IL_00fe: add
+  IL_00ff: stloc.17
+  IL_0100: ldloc.17
+  IL_0101: ldc.i8 0x1f
+  IL_0102: mul
+  IL_0103: ldloc.4
+  IL_0104: add
+  IL_0105: stloc.17
+  IL_0106: ldloc.18
+  IL_0107: ldloc.5
+  IL_0108: add
+  IL_0109: stloc.18
+  IL_010a: ldloc.18
+  IL_010b: ldloc.6
+  IL_010c: add
+  IL_010d: stloc.18
+  IL_010e: ldloc.17
+  IL_010f: ldloc.7
+  IL_0110: brfalse IL_0113
+  IL_0111: ldc.i8 0x2
+  IL_0112: br IL_0114
+  IL_0113: ldc.i8 0x0
+  IL_0114: xor
+  IL_0115: stloc.17
+  IL_0116: ldloc.17
+  IL_0117: ldloc.8
+  IL_0118: brfalse IL_011b
+  IL_0119: ldc.i8 0x4
+  IL_011a: br IL_011c
+  IL_011b: ldc.i8 0x0
+  IL_011c: xor
+  IL_011d: stloc.17
+  IL_011e: ldloc.17
+  IL_011f: ldc.i8 0x1f
+  IL_0120: mul
+  IL_0121: ldsfld Gen::sI
+  IL_0122: conv.i8
+  IL_0123: add
+  IL_0124: stloc.17
+  IL_0125: ldloc.17
+  IL_0126: ldc.i8 0x1f
+  IL_0127: mul
+  IL_0128: ldsfld Gen::sL
+  IL_0129: add
+  IL_012a: stloc.17
+  IL_012b: ldloc.18
+  IL_012c: ldsfld Gen::sD
+  IL_012d: add
+  IL_012e: stloc.18
+  IL_012f: ldloc.18
+  IL_0130: call [runtime]Console.WriteLineR8
+  IL_0131: ldloc.17
+  IL_0132: ret
+  IL_0133: ldc.i8 0x0
+  IL_0134: ret
+*/

@@ -208,6 +208,17 @@ pub enum Stmt {
     },
     /// `for (int iN = 0; iN < n; iN++) { body }`
     ForCount { n: u8, body: Vec<Stmt> },
+    /// A derived-index loop — the access patterns symbolic range
+    /// analysis (`range_abce`) and guarded loop versioning
+    /// (`loop_versioning`) exist to prove. Each shape renders a
+    /// guaranteed derived access after `body`, in-bounds as written but
+    /// exposed to mid-loop array reassignment from `body` (the hazard a
+    /// version guard must catch).
+    ForDerived {
+        arr: Arr,
+        shape: DerivedShape,
+        body: Vec<Stmt>,
+    },
     TryCatch {
         body: Vec<Stmt>,
         catch: &'static str,
@@ -224,6 +235,25 @@ pub enum Stmt {
     Print(Ty, Expr),
     /// Expression statement discarding a helper result (compiles to `pop`).
     CallStmt(u8, Vec<Expr>),
+}
+
+/// Loop shapes whose array index is derived from the counter instead of
+/// masked, with a bound that compensates. These are the shapes the
+/// range/versioning ABCE tiers target; conform must prove the optimized
+/// engines agree with the oracle on every one of them (including the
+/// trap when `body` shrinks the array mid-loop).
+#[derive(Clone, Copy, Debug)]
+pub enum DerivedShape {
+    /// `for (i = 0; i < arr.Length - k; i++)` accessing `arr[i + k]`.
+    OffsetPlus(u8),
+    /// `for (i = k; i < arr.Length; i++)` accessing `arr[i - k]`.
+    OffsetMinus(u8),
+    /// `for (i = 0; i < arr.Length; i++) for (j = 0; j < i; j++)`
+    /// accessing `arr[j]` — the inner bound is loop-variant.
+    Triangular,
+    /// `int n = arr.Length; for (i = 0; i < n; i++)` accessing `arr[i]`
+    /// — the bound is the length hoisted through a local.
+    HoistedLen,
 }
 
 /// A complete generated program plus the inputs to drive it with.
@@ -726,7 +756,7 @@ impl<'r> GenCtx<'r> {
                 Vec::new()
             };
             Stmt::If(c, then_s, else_s)
-        } else if r < 77 && can_nest {
+        } else if r < 76 && can_nest {
             let arr = *self.rng.pick(&[Arr::Ai, Arr::Al, Arr::Ad]);
             self.loop_depth += 1;
             let body_n = 1 + self.rng.below(3) as usize;
@@ -738,7 +768,22 @@ impl<'r> GenCtx<'r> {
                 None
             };
             Stmt::ForLen { arr, body, mutate }
-        } else if r < 84 && can_nest {
+        } else if r < 82 && can_nest {
+            let arr = *self.rng.pick(&[Arr::Ai, Arr::Al, Arr::Ad]);
+            let k = 1 + self.rng.below(3) as u8;
+            let shape = match self.rng.below(4) {
+                0 => DerivedShape::OffsetPlus(k),
+                1 => DerivedShape::OffsetMinus(k),
+                2 => DerivedShape::Triangular,
+                _ => DerivedShape::HoistedLen,
+            };
+            let depth = if matches!(shape, DerivedShape::Triangular) { 2 } else { 1 };
+            self.loop_depth += depth;
+            let body_n = 1 + self.rng.below(2) as usize;
+            let body = self.block(body_n, nest + 1);
+            self.loop_depth -= depth;
+            Stmt::ForDerived { arr, shape, body }
+        } else if r < 88 && can_nest {
             let n = 1 + self.rng.below(12) as u8;
             self.loop_depth += 1;
             let body_n = 1 + self.rng.below(3) as usize;
@@ -753,7 +798,7 @@ impl<'r> GenCtx<'r> {
             }
             self.loop_depth -= 1;
             Stmt::ForCount { n, body }
-        } else if r < 92 && can_nest {
+        } else if r < 93 && can_nest {
             let was_try = self.in_try;
             self.in_try = true;
             let body_n = 1 + self.rng.below(3) as usize;
@@ -1017,6 +1062,74 @@ fn stmt_src(s: &Stmt, r: &mut Render) {
             r.loops.pop();
             r.indent -= 1;
             r.line("}");
+        }
+        Stmt::ForDerived { arr, shape, body } => {
+            let a = arr.name();
+            let iv = r.fresh_loop();
+            let close = |r: &mut Render| {
+                r.loops.pop();
+                r.indent -= 1;
+                r.line("}");
+            };
+            match shape {
+                DerivedShape::OffsetPlus(k) => {
+                    let line =
+                        format!("for (int {iv} = 0; {iv} < {a}.Length - {k}; {iv}++) {{");
+                    r.line(&line);
+                    r.indent += 1;
+                    r.loops.push(iv.clone());
+                    for s in body {
+                        stmt_src(s, r);
+                    }
+                    let line = format!("{a}[{iv} + {k}] = {a}[{iv} + {k}] + {a}[{iv}];");
+                    r.line(&line);
+                    close(r);
+                }
+                DerivedShape::OffsetMinus(k) => {
+                    let line = format!("for (int {iv} = {k}; {iv} < {a}.Length; {iv}++) {{");
+                    r.line(&line);
+                    r.indent += 1;
+                    r.loops.push(iv.clone());
+                    for s in body {
+                        stmt_src(s, r);
+                    }
+                    let line = format!("{a}[{iv} - {k}] = {a}[{iv} - {k}] + {a}[{iv}];");
+                    r.line(&line);
+                    close(r);
+                }
+                DerivedShape::Triangular => {
+                    let jv = r.fresh_loop();
+                    let line = format!("for (int {iv} = 0; {iv} < {a}.Length; {iv}++) {{");
+                    r.line(&line);
+                    r.indent += 1;
+                    r.loops.push(iv.clone());
+                    let line = format!("for (int {jv} = 0; {jv} < {iv}; {jv}++) {{");
+                    r.line(&line);
+                    r.indent += 1;
+                    r.loops.push(jv.clone());
+                    for s in body {
+                        stmt_src(s, r);
+                    }
+                    let line = format!("{a}[{jv}] = {a}[{jv}] + {a}[{iv}];");
+                    r.line(&line);
+                    close(r);
+                    close(r);
+                }
+                DerivedShape::HoistedLen => {
+                    let line = format!("int {iv}n = {a}.Length;");
+                    r.line(&line);
+                    let line = format!("for (int {iv} = 0; {iv} < {iv}n; {iv}++) {{");
+                    r.line(&line);
+                    r.indent += 1;
+                    r.loops.push(iv.clone());
+                    for s in body {
+                        stmt_src(s, r);
+                    }
+                    let line = format!("{a}[{iv}] = {a}[{iv}] + {a}[{iv}];");
+                    r.line(&line);
+                    close(r);
+                }
+            }
         }
         Stmt::TryCatch { body, catch, handler, fin } => {
             r.line("try {");

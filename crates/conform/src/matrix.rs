@@ -36,21 +36,36 @@ pub fn oracle_profile() -> VmProfile {
     p
 }
 
+/// Every profile × every `abce`/`licm` combination, oracle first, with the
+/// elision-cert audit enabled on every engine. See [`engine_matrix_with`].
+pub fn engine_matrix() -> Vec<Engine> {
+    engine_matrix_with(true)
+}
+
 /// Every profile × every `abce`/`licm` combination, oracle first.
 ///
 /// Interpreter-tier profiles have no optimization passes, so they appear
 /// once; each register-tier profile of the SciMark lineup is expanded into
-/// the four loop-pass combinations.
-pub fn engine_matrix() -> Vec<Engine> {
-    let mut out = vec![Engine { label: "oracle".into(), profile: oracle_profile() }];
+/// the four loop-pass combinations. The `abce` toggle also gates the
+/// range-analysis and loop-versioning elision mechanisms (where the base
+/// profile enables them), so the matrix stays pinned at 50 engines while
+/// still exercising every `BoundsMode` under audit.
+pub fn engine_matrix_with(audit: bool) -> Vec<Engine> {
+    let mut out =
+        vec![Engine { label: "oracle".into(), profile: oracle_profile().with_audit(audit) }];
     for base in VmProfile::scimark_lineup() {
         match base.tier {
-            Tier::Interpreter => out.push(Engine { label: base.name.to_string(), profile: base }),
+            Tier::Interpreter => out.push(Engine {
+                label: base.name.to_string(),
+                profile: base.with_audit(audit),
+            }),
             Tier::Rir | Tier::Compiled => {
                 for (abce, licm) in [(false, false), (true, false), (false, true), (true, true)] {
-                    let mut p = base;
+                    let mut p = base.with_audit(audit);
                     p.passes.abce = abce;
                     p.passes.licm = licm;
+                    p.passes.range_abce = abce && base.passes.range_abce;
+                    p.passes.loop_versioning = abce && base.passes.loop_versioning;
                     out.push(Engine {
                         label: format!("{} [abce={} licm={}]", base.name, abce as u8, licm as u8),
                         profile: p,
@@ -92,7 +107,11 @@ fn norm_value(v: &Value) -> String {
     }
 }
 
-fn norm_result(vm: &Arc<Vm>, r: Result<Option<Value>, VmError>) -> String {
+/// Normalize an invocation outcome to the matrix's comparison string
+/// (`i8:…`, `trap:ClassName`, …). Public so corpus replay can check a
+/// pinned `// oracle result:` header — including `trap:` pins — with
+/// the exact normalization the sweep used to write it.
+pub fn norm_result(vm: &Arc<Vm>, r: Result<Option<Value>, VmError>) -> String {
     match r {
         Ok(None) => "void".into(),
         Ok(Some(v)) => norm_value(&v),

@@ -27,7 +27,9 @@ fn count_stmts(stmts: &[Stmt]) -> usize {
 fn children(s: &Stmt) -> Vec<&Vec<Stmt>> {
     match s {
         Stmt::If(_, t, e) => vec![t, e],
-        Stmt::ForLen { body, .. } | Stmt::ForCount { body, .. } => vec![body],
+        Stmt::ForLen { body, .. } | Stmt::ForCount { body, .. } | Stmt::ForDerived { body, .. } => {
+            vec![body]
+        }
         Stmt::TryCatch { body, handler, fin, .. } => {
             let mut v = vec![body, handler];
             if let Some(f) = fin {
@@ -42,7 +44,9 @@ fn children(s: &Stmt) -> Vec<&Vec<Stmt>> {
 fn children_mut(s: &mut Stmt) -> Vec<&mut Vec<Stmt>> {
     match s {
         Stmt::If(_, t, e) => vec![t, e],
-        Stmt::ForLen { body, .. } | Stmt::ForCount { body, .. } => vec![body],
+        Stmt::ForLen { body, .. } | Stmt::ForCount { body, .. } | Stmt::ForDerived { body, .. } => {
+            vec![body]
+        }
         Stmt::TryCatch { body, handler, fin, .. } => {
             let mut v = vec![body, handler];
             if let Some(f) = fin {
@@ -127,6 +131,11 @@ fn simplify_one(stmts: &mut Vec<Stmt>, i: usize) -> bool {
                 stmts.splice(i..=i, body);
                 true
             }
+        }
+        Stmt::ForDerived { body, .. } => {
+            let body = std::mem::take(body);
+            stmts.splice(i..=i, body);
+            true
         }
         Stmt::TryCatch { body, fin, .. } => {
             if fin.is_some() {

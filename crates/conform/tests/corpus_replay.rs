@@ -9,7 +9,7 @@
 //! program + input that once split the engines must now produce one
 //! answer from all fifty, forever.
 
-use conform::matrix::{compile_verified, oracle_profile, run_matrix};
+use conform::matrix::{compile_verified, norm_result, oracle_profile, run_matrix};
 use hpcnet_runtime::Value;
 use hpcnet_vm::Vm;
 use std::path::PathBuf;
@@ -38,19 +38,6 @@ fn parse_pinned_oracle(src: &str) -> Option<String> {
     src.lines()
         .find_map(|l| l.trim().strip_prefix("// oracle result: "))
         .map(|s| s.trim().to_string())
-}
-
-/// Normalize a return value exactly like the matrix does.
-fn norm(v: Option<Value>) -> String {
-    match v {
-        Some(Value::I4(x)) => format!("i4:{x}"),
-        Some(Value::I8(x)) => format!("i8:{x}"),
-        Some(Value::R4(x)) => format!("r4:{:08x}", x.to_bits()),
-        Some(Value::R8(x)) => format!("r8:{:016x}", x.to_bits()),
-        Some(Value::Ref(_)) => "ref".into(),
-        Some(Value::Null) => "null".into(),
-        None => "void".into(),
-    }
 }
 
 fn corpus_files() -> Vec<PathBuf> {
@@ -89,10 +76,11 @@ fn every_corpus_reproducer_replays_clean_under_the_full_matrix() {
             if vm.module.find_method(hpcnet_minics::STARTUP_INIT).is_some() {
                 vm.invoke_by_name(hpcnet_minics::STARTUP_INIT, vec![]).unwrap();
             }
-            let got = norm(
-                vm.invoke_by_name("Gen.Run", vec![Value::I4(inputs[0].0), Value::I4(inputs[0].1)])
-                    .unwrap_or_else(|e| panic!("{name}: oracle trapped: {e:?}")),
-            );
+            // Traps are legitimate pinned outcomes (`trap:ClassName`) —
+            // normalize errors instead of unwrapping them.
+            let r =
+                vm.invoke_by_name("Gen.Run", vec![Value::I4(inputs[0].0), Value::I4(inputs[0].1)]);
+            let got = norm_result(&vm, r);
             assert_eq!(
                 got, pinned,
                 "{name}: oracle no longer matches the pinned `// oracle result:` header"

@@ -40,8 +40,8 @@ pub use hpcnet_cil::OP_KIND_NAMES;
 pub use hpcnet_vm::machine::run_on_big_stack;
 pub use hpcnet_vm::{
     print_rir, Counters, CountersSnapshot, EhDispatchKind, Event, JitOutcome, LoopRejectReason,
-    MethodProfile, ObserveLevel, ObserveReport, PassConfig, PhaseTiming, Tier, Vm, VmError,
-    VmPhase, VmProfile,
+    MethodProfile, ObserveLevel, ObserveReport, PassConfig, PhaseTiming, ResetStats, Tier, Vm,
+    VmError, VmPhase, VmProfile,
 };
 
 /// An empty optimization pipeline (for ablation studies).

@@ -1,9 +1,9 @@
-//! The loop-aware tier must be a pure optimization: turning ABCE and LICM
-//! off cannot change a single bit of any kernel's checksum. This is the
-//! differential guard for the unchecked element accesses the passes emit —
-//! the engine still traps an unchecked out-of-range access as an internal
-//! error, so an unsound elimination fails loudly here rather than reading
-//! stray memory.
+//! The loop-aware tier must be a pure optimization: turning ABCE, the
+//! range analysis, loop versioning and LICM off cannot change a single
+//! bit of any kernel's checksum. This is the differential guard for the
+//! unchecked element accesses the passes emit — the engine still traps
+//! an unchecked out-of-range access as an internal error, so an unsound
+//! elimination fails loudly here rather than reading stray memory.
 
 use hpcnet_grande::{registry, run_entry, vm_for};
 use hpcnet_vm::VmProfile;
@@ -48,6 +48,8 @@ fn loop_passes_do_not_change_any_kernel_bits() {
     let mut off = VmProfile::clr11();
     off.name = "CLR - loop passes";
     off.passes.abce = false;
+    off.passes.range_abce = false;
+    off.passes.loop_versioning = false;
     off.passes.licm = false;
     for group in registry() {
         let on_vm = vm_for(&group, VmProfile::clr11());
@@ -94,4 +96,32 @@ fn jagged_matrix_copy_loses_checks_on_clr_only() {
     let mono = vm_for(&group, VmProfile::mono023());
     run_entry(&mono, entry, 8).unwrap();
     assert_eq!(mono.counters.bounds_checks_eliminated.load(Relaxed), 0);
+}
+
+/// The headline claim for the range/versioning tiers: the derived-index
+/// kernels — SparseMatMul's row-pointer-bounded inner loop, LU's
+/// partial-pivot row sweeps — must lose checks that idiom matching alone
+/// cannot prove away on the reference CLR. CI asserts the same split on
+/// the emitted BENCH_grande.json counters.
+#[test]
+fn sparse_and_lu_eliminate_beyond_idiom_on_clr() {
+    let group = registry().into_iter().find(|g| g.id == "scimark").unwrap();
+    for id in ["scimark.sparse", "scimark.lu"] {
+        let entry = group.entries.iter().find(|e| e.id == id).unwrap();
+        let vm = vm_for(&group, VmProfile::clr11());
+        run_entry(&vm, entry, validation_n(id, entry.small_n)).unwrap();
+        let c = vm.counters.snapshot();
+        let beyond = c.bce_elided_range + c.bce_elided_versioned;
+        assert!(beyond > 0, "{id}: no range/versioned eliminations");
+        assert!(
+            c.bounds_checks_eliminated > c.bce_elided_idiom,
+            "{id}: nothing eliminated beyond idiom matching"
+        );
+        assert_eq!(
+            c.bounds_checks_eliminated,
+            c.bce_elided_idiom + beyond,
+            "{id}: per-mechanism split does not sum to the total"
+        );
+        vm.join_all_threads();
+    }
 }

@@ -19,13 +19,21 @@ use crate::measure::{
 };
 use crate::report::Table;
 use crate::stats::Classification;
-use hpcnet_core::{lookup_group, run_entry, vm_for, BenchGroup, Entry, ObserveLevel, Unit, VmProfile};
+use hpcnet_core::{
+    lookup_group, run_entry, vm_for, BenchGroup, Entry, ObserveLevel, ResetStats, Unit, Vm,
+    VmProfile,
+};
+use std::sync::Arc;
 
 /// Document format version (bump on breaking schema changes).
 /// 1.1: per-profile `counters` became invocation deltas (static init
 /// excluded) and every measurement carries an `attribution` object from
 /// a single observed run (docs/OBSERVABILITY.md).
-pub const SCHEMA_VERSION: f64 = 1.1;
+/// 1.2: `counters` splits eliminated bounds checks by mechanism
+/// (`bce_elided_idiom`/`bce_elided_range`/`bce_elided_versioned`, plus
+/// `loops_versioned`), and `attribution` carries the matching dynamic
+/// split of elided accesses actually executed.
+pub const SCHEMA_VERSION: f64 = 1.2;
 
 /// Benchmark groups covered by the default `bench` artifact: the loop
 /// suite (the cheapest micro group, exercises the loop-aware JIT tier)
@@ -73,6 +81,10 @@ fn counters_json(c: hpcnet_core::CountersSnapshot) -> Json {
             Json::num(c.bounds_checks_eliminated as f64),
         ),
         ("licm_hoisted", Json::num(c.licm_hoisted as f64)),
+        ("bce_elided_idiom", Json::num(c.bce_elided_idiom as f64)),
+        ("bce_elided_range", Json::num(c.bce_elided_range as f64)),
+        ("bce_elided_versioned", Json::num(c.bce_elided_versioned as f64)),
+        ("loops_versioned", Json::num(c.loops_versioned as f64)),
         ("calls", Json::num(c.calls as f64)),
         ("throws", Json::num(c.throws as f64)),
     ])
@@ -105,11 +117,73 @@ fn attribution_json(group: &BenchGroup, e: &Entry, p: VmProfile, n: i32) -> Json
             "bounds_checks_elided",
             Json::num(r.total_of(|m| m.bounds_checks_elided) as f64),
         ),
+        (
+            "bounds_checks_elided_idiom",
+            Json::num(r.total_of(|m| m.bounds_checks_elided_idiom) as f64),
+        ),
+        (
+            "bounds_checks_elided_range",
+            Json::num(r.total_of(|m| m.bounds_checks_elided_range) as f64),
+        ),
+        (
+            "bounds_checks_elided_versioned",
+            Json::num(r.total_of(|m| m.bounds_checks_elided_versioned) as f64),
+        ),
         ("hot_methods", Json::Arr(hot_methods)),
     ])
 }
 
-fn measurement_json(profile: &str, m: &Measurement, counters: Json, attribution: Json) -> Json {
+/// Warm replays per cell after the timed series: enough to prove the
+/// cell stays warm without extending the sweep measurably.
+const REUSE_RUNS: u32 = 3;
+
+/// Warm-cell reuse evidence: after the timed series the cell's VM holds
+/// fully compiled code. Snapshot it, replay the entry [`REUSE_RUNS`]
+/// times with a dirty-tracking [`Vm::reset_to`] between runs, and require
+/// that the replays perform **zero** further JIT compiles (the warm cell
+/// is reused, never recompiled) and — for deterministic entries — return
+/// the timed run's exact checksum. The aggregated reset stats go into the
+/// artifact so the reuse is auditable after the fact.
+fn reset_reuse_json(vm: &Arc<Vm>, e: &Entry, n: i32, timed_checksum: f64) -> Json {
+    let snap = vm.snapshot();
+    let jit_before = vm.counters.snapshot().jit_compiles;
+    let strict = !crate::measure::NONDETERMINISTIC_BY_DESIGN.contains(&e.id);
+    let mut stats = ResetStats::default();
+    for _ in 0..REUSE_RUNS {
+        let c = run_entry(vm, e, n).expect("warm replay of a cell that timed successfully");
+        if strict {
+            assert_eq!(
+                c.to_bits(),
+                timed_checksum.to_bits(),
+                "{}: warm replay diverged from the timed run ({c} vs {timed_checksum})",
+                e.id
+            );
+        }
+        let r = vm.reset_to(&snap).expect("snapshot and VM are paired by construction");
+        stats.merge(&r);
+    }
+    let jit_post = vm.counters.snapshot().jit_compiles - jit_before;
+    assert_eq!(
+        jit_post, 0,
+        "{}: cell was not warm — {jit_post} JIT compiles during post-warmup replays",
+        e.id
+    );
+    Json::obj(vec![
+        ("replays", Json::num(REUSE_RUNS as f64)),
+        ("jit_compiles_post_warmup", Json::num(jit_post as f64)),
+        ("objects_tracked", Json::num(stats.objects_tracked as f64)),
+        ("objects_restored", Json::num(stats.objects_restored as f64)),
+        ("statics_restored", Json::num(stats.statics_restored as f64)),
+    ])
+}
+
+fn measurement_json(
+    profile: &str,
+    m: &Measurement,
+    counters: Json,
+    attribution: Json,
+    reset_reuse: Json,
+) -> Json {
     let iter_secs: Vec<Json> = m.series.iter().map(|s| Json::num(s.secs)).collect();
     let iter_batch: Vec<Json> = m.series.iter().map(|s| Json::num(s.batch as f64)).collect();
     Json::obj(vec![
@@ -132,6 +206,7 @@ fn measurement_json(profile: &str, m: &Measurement, counters: Json, attribution:
         ("iter_batch", Json::Arr(iter_batch)),
         ("counters", counters),
         ("attribution", attribution),
+        ("reset_reuse", reset_reuse),
     ])
 }
 
@@ -178,9 +253,10 @@ pub fn run_bench_groups(cfg: &Config, group_ids: &[&str]) -> Result<BenchRun, Me
                 let m = time_entry(&vm, e, n, cfg.min_time)?;
                 let counters = counters_json(vm.counters.snapshot().delta(&before));
                 let attribution = attribution_json(&g, e, *p, n);
+                let reuse = reset_reuse_json(&vm, e, n, m.checksum);
                 cells.push(m.rate);
                 notes.push(cell_note(&m));
-                profile_docs.push(measurement_json(p.name, &m, counters, attribution));
+                profile_docs.push(measurement_json(p.name, &m, counters, attribution, reuse));
             }
             table.add_row_noted(e.id, cells, notes);
             entry_docs.push(Json::obj(vec![
@@ -389,17 +465,47 @@ fn validate_measurement(c: &mut Check, p: &Json, path: &str) {
             "loops_found",
             "bounds_checks_eliminated",
             "licm_hoisted",
+            "bce_elided_idiom",
+            "bce_elided_range",
+            "bce_elided_versioned",
+            "loops_versioned",
             "calls",
             "throws",
         ] {
             c.num(counters, &format!("{path}.counters"), key);
+        }
+        // The mechanism split is a partition of the total, not advisory.
+        let cpath = format!("{path}.counters");
+        let get = |c: &mut Check, key: &str| c.num(counters, &cpath, key);
+        if let (Some(total), Some(idiom), Some(range), Some(ver)) = (
+            get(c, "bounds_checks_eliminated"),
+            get(c, "bce_elided_idiom"),
+            get(c, "bce_elided_range"),
+            get(c, "bce_elided_versioned"),
+        ) {
+            if idiom + range + ver != total {
+                c.fail(
+                    &cpath,
+                    &format!(
+                        "mechanism split {idiom}+{range}+{ver} != bounds_checks_eliminated {total}"
+                    ),
+                );
+            }
         }
     } else {
         c.fail(path, "missing counters object");
     }
     if let Some(attr) = p.get("attribution") {
         let apath = format!("{path}.attribution");
-        for key in ["ops", "allocs", "bounds_checks_executed", "bounds_checks_elided"] {
+        for key in [
+            "ops",
+            "allocs",
+            "bounds_checks_executed",
+            "bounds_checks_elided",
+            "bounds_checks_elided_idiom",
+            "bounds_checks_elided_range",
+            "bounds_checks_elided_versioned",
+        ] {
             c.num(attr, &apath, key);
         }
         for (hi, h) in c.arr(attr, &apath, "hot_methods").to_vec().iter().enumerate() {
@@ -410,6 +516,28 @@ fn validate_measurement(c: &mut Check, p: &Json, path: &str) {
         }
     } else {
         c.fail(path, "missing attribution object");
+    }
+    if let Some(reuse) = p.get("reset_reuse") {
+        let rpath = format!("{path}.reset_reuse");
+        for key in [
+            "replays",
+            "jit_compiles_post_warmup",
+            "objects_tracked",
+            "objects_restored",
+            "statics_restored",
+        ] {
+            c.num(reuse, &rpath, key);
+        }
+        match reuse.get("jit_compiles_post_warmup").and_then(Json::as_f64) {
+            Some(0.0) | None => {}
+            Some(n) => c.fail(&rpath, &format!("cell recompiled after warmup ({n} JIT compiles)")),
+        }
+        match reuse.get("replays").and_then(Json::as_f64) {
+            Some(n) if n < 1.0 => c.fail(&rpath, "fewer than 1 warm replay recorded"),
+            _ => {}
+        }
+    } else {
+        c.fail(path, "missing reset_reuse object");
     }
 }
 

@@ -122,7 +122,7 @@ impl std::error::Error for MeasureError {}
 
 /// Entries whose result is random *by design*; everything else must
 /// return bitwise-identical checksums on every invocation.
-const NONDETERMINISTIC_BY_DESIGN: &[&str] = &["math.random"];
+pub(crate) const NONDETERMINISTIC_BY_DESIGN: &[&str] = &["math.random"];
 
 /// The shared measurement loop.
 ///

@@ -35,7 +35,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Document format version (bump on breaking schema changes).
-pub const PROFILE_SCHEMA_VERSION: f64 = 1.0;
+/// 1.1: totals, per-method rows and JIT events split elided bounds checks
+/// by mechanism (idiom guard / symbolic range / loop versioning), the
+/// passes object carries the `range_abce`/`loop_versioning` knobs, and
+/// attribution deltas include the per-mechanism dynamic split.
+pub const PROFILE_SCHEMA_VERSION: f64 = 1.1;
 
 /// Hot methods kept per profile (the rest are summarized by
 /// `methods_total` so the cap is never silent).
@@ -134,6 +138,18 @@ fn totals_json(cell: &ProfiledCell) -> Json {
             "bounds_checks_elided",
             Json::num(r.total_of(|m| m.bounds_checks_elided) as f64),
         ),
+        (
+            "bounds_checks_elided_idiom",
+            Json::num(r.total_of(|m| m.bounds_checks_elided_idiom) as f64),
+        ),
+        (
+            "bounds_checks_elided_range",
+            Json::num(r.total_of(|m| m.bounds_checks_elided_range) as f64),
+        ),
+        (
+            "bounds_checks_elided_versioned",
+            Json::num(r.total_of(|m| m.bounds_checks_elided_versioned) as f64),
+        ),
         ("eh_catch", Json::num(r.total_of(|m| m.eh_catch) as f64)),
         ("eh_finally", Json::num(r.total_of(|m| m.eh_finally) as f64)),
         ("eh_fault_path", Json::num(r.total_of(|m| m.eh_fault_path) as f64)),
@@ -144,6 +160,10 @@ fn totals_json(cell: &ProfiledCell) -> Json {
             "bounds_checks_eliminated_static",
             Json::num(d.bounds_checks_eliminated as f64),
         ),
+        ("bce_elided_idiom", Json::num(d.bce_elided_idiom as f64)),
+        ("bce_elided_range", Json::num(d.bce_elided_range as f64)),
+        ("bce_elided_versioned", Json::num(d.bce_elided_versioned as f64)),
+        ("loops_versioned", Json::num(d.loops_versioned as f64)),
         ("licm_hoisted", Json::num(d.licm_hoisted as f64)),
     ])
 }
@@ -152,6 +172,8 @@ fn passes_json(p: &VmProfile) -> Json {
     Json::obj(vec![
         ("bce", Json::Bool(p.passes.bce)),
         ("abce", Json::Bool(p.passes.abce)),
+        ("range_abce", Json::Bool(p.passes.range_abce)),
+        ("loop_versioning", Json::Bool(p.passes.loop_versioning)),
         ("licm", Json::Bool(p.passes.licm)),
         ("inline", Json::Bool(p.passes.inline)),
     ])
@@ -196,6 +218,18 @@ fn methods_json(cell: &ProfiledCell) -> (Json, usize) {
                     "bounds_checks_elided",
                     Json::num(m.bounds_checks_elided as f64),
                 ),
+                (
+                    "bounds_checks_elided_idiom",
+                    Json::num(m.bounds_checks_elided_idiom as f64),
+                ),
+                (
+                    "bounds_checks_elided_range",
+                    Json::num(m.bounds_checks_elided_range as f64),
+                ),
+                (
+                    "bounds_checks_elided_versioned",
+                    Json::num(m.bounds_checks_elided_versioned as f64),
+                ),
                 ("allocs", Json::num(m.allocs as f64)),
                 ("eh_catch", Json::num(m.eh_catch as f64)),
                 ("eh_finally", Json::num(m.eh_finally as f64)),
@@ -220,6 +254,9 @@ fn events_json(cell: &ProfiledCell) -> Json {
                 ("loops_found", Json::num(outcome.loops_found as f64)),
                 ("bce_removed", Json::num(outcome.bce_removed as f64)),
                 ("abce_removed", Json::num(outcome.abce_removed as f64)),
+                ("range_removed", Json::num(outcome.range_removed as f64)),
+                ("versioned_removed", Json::num(outcome.versioned_removed as f64)),
+                ("loops_versioned", Json::num(outcome.loops_versioned as f64)),
                 ("licm_hoisted", Json::num(outcome.licm_hoisted as f64)),
                 ("enreg_prim", Json::num(outcome.enreg_prim as f64)),
                 ("spill_prim", Json::num(outcome.spill_prim as f64)),
@@ -247,7 +284,17 @@ fn events_json(cell: &ProfiledCell) -> Json {
 }
 
 /// The docs/OPTIMIZATIONS.md mechanisms explaining a delta row.
-fn mechanisms_for(reference: &VmProfile, p: &VmProfile, bc_delta: i64, calls_delta: i64) -> Vec<String> {
+/// `elided` is the profile's dynamic elided-access split
+/// `(idiom, range, versioned)`, so a bounds-check delta is attributed to
+/// the specific elision mechanism(s) that produced it, not just to the
+/// aggregate pass family.
+fn mechanisms_for(
+    reference: &VmProfile,
+    p: &VmProfile,
+    bc_delta: i64,
+    calls_delta: i64,
+    elided: (u64, u64, u64),
+) -> Vec<String> {
     let mut out = Vec::new();
     if p.tier == Tier::Interpreter {
         out.push(
@@ -267,6 +314,16 @@ fn mechanisms_for(reference: &VmProfile, p: &VmProfile, bc_delta: i64, calls_del
             "bounds-check elimination (`{}`) — mechanism 4",
             knobs.join("`, `")
         ));
+        let (idiom, range, versioned) = elided;
+        if idiom > 0 {
+            out.push(format!("idiom guard elision (`bce`, `abce`) — {idiom} accesses"));
+        }
+        if range > 0 {
+            out.push(format!("symbolic range analysis (`range_abce`) — {range} accesses"));
+        }
+        if versioned > 0 {
+            out.push(format!("guarded loop versioning (`loop_versioning`) — {versioned} accesses"));
+        }
     }
     if calls_delta != 0 && (reference.passes.inline != p.passes.inline || p.tier == Tier::Interpreter)
     {
@@ -335,7 +392,12 @@ pub fn run_profile(entry_id: &str, cfg: &ProfileConfig) -> Result<ProfileRun, St
     for c in cells.iter().skip(1) {
         let bc = c.report.total_of(|m| m.bounds_checks_executed) as i64 - ref_bc;
         let calls = c.delta.calls as i64 - ref_calls;
-        let mechanisms = mechanisms_for(&cells[0].profile, &c.profile, bc, calls);
+        let elided = (
+            c.report.total_of(|m| m.bounds_checks_elided_idiom),
+            c.report.total_of(|m| m.bounds_checks_elided_range),
+            c.report.total_of(|m| m.bounds_checks_elided_versioned),
+        );
+        let mechanisms = mechanisms_for(&cells[0].profile, &c.profile, bc, calls, elided);
         attribution.add_row_noted(
             c.profile.name,
             vec![bc as f64, calls as f64],
@@ -344,6 +406,9 @@ pub fn run_profile(entry_id: &str, cfg: &ProfileConfig) -> Result<ProfileRun, St
         delta_docs.push(Json::obj(vec![
             ("profile", Json::Str(c.profile.name.to_string())),
             ("bounds_checks_executed_delta", Json::num(bc as f64)),
+            ("bounds_checks_elided_idiom", Json::num(elided.0 as f64)),
+            ("bounds_checks_elided_range", Json::num(elided.1 as f64)),
+            ("bounds_checks_elided_versioned", Json::num(elided.2 as f64)),
             ("calls_delta", Json::num(calls as f64)),
             (
                 "mechanisms",
@@ -451,7 +516,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
             _ => c.fail(&path, "tier must be interpreter|register"),
         }
         if let Some(passes) = p.get("passes") {
-            for key in ["bce", "abce", "licm", "inline"] {
+            for key in ["bce", "abce", "range_abce", "loop_versioning", "licm", "inline"] {
                 c.bool_field(passes, &format!("{path}.passes"), key);
             }
         } else {
@@ -465,6 +530,9 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
                 "allocs",
                 "bounds_checks_executed",
                 "bounds_checks_elided",
+                "bounds_checks_elided_idiom",
+                "bounds_checks_elided_range",
+                "bounds_checks_elided_versioned",
                 "eh_catch",
                 "eh_finally",
                 "eh_fault_path",
@@ -472,6 +540,10 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
                 "throws",
                 "jit_compiles",
                 "bounds_checks_eliminated_static",
+                "bce_elided_idiom",
+                "bce_elided_range",
+                "bce_elided_versioned",
+                "loops_versioned",
                 "licm_hoisted",
             ] {
                 c.num(totals, &tpath, key);
@@ -502,6 +574,9 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
             for key in [
                 "bounds_checks_executed",
                 "bounds_checks_elided",
+                "bounds_checks_elided_idiom",
+                "bounds_checks_elided_range",
+                "bounds_checks_elided_versioned",
                 "allocs",
                 "eh_catch",
                 "eh_finally",
@@ -551,6 +626,9 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
             let dpath = format!("$.attribution.deltas[{di}]");
             c.str_field(d, &dpath, "profile");
             c.num(d, &dpath, "bounds_checks_executed_delta");
+            c.num(d, &dpath, "bounds_checks_elided_idiom");
+            c.num(d, &dpath, "bounds_checks_elided_range");
+            c.num(d, &dpath, "bounds_checks_elided_versioned");
             c.num(d, &dpath, "calls_delta");
             c.arr(d, &dpath, "mechanisms");
         }

@@ -557,14 +557,14 @@ impl<'v> Exec<'v> {
                 };
                 self.fr.pset(*dst, n as u64);
             }
-            RInst::LdElem { kind, arr, idx, dst, checked } => {
+            RInst::LdElem { kind, arr, idx, dst, bounds } => {
                 let i = self.fr.pget(*idx) as u32 as i32;
                 let loaded = {
                     let o = self
                         .fr
                         .rref(*arr)
                         .ok_or_else(|| vm.raise_null_ref(self.depth))?;
-                    if *checked {
+                    if bounds.is_checked() {
                         let len = o.array_len().unwrap_or(0);
                         if i < 0 || i as usize >= len {
                             return Err(vm.raise_index_oob(self.depth));
@@ -574,14 +574,14 @@ impl<'v> Exec<'v> {
                 };
                 self.write_loaded(dst, loaded)?;
             }
-            RInst::StElem { kind, arr, idx, src, checked } => {
+            RInst::StElem { kind, arr, idx, src, bounds } => {
                 let i = self.fr.pget(*idx) as u32 as i32;
                 let val = self.read_src(src);
                 let o = self
                     .fr
                     .rref(*arr)
                     .ok_or_else(|| vm.raise_null_ref(self.depth))?;
-                if *checked {
+                if bounds.is_checked() {
                     let len = o.array_len().unwrap_or(0);
                     if i < 0 || i as usize >= len {
                         return Err(vm.raise_index_oob(self.depth));

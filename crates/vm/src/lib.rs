@@ -1126,7 +1126,9 @@ mod tests {
         let count = |abce: bool| {
             let mut p = VmProfile::clr11();
             p.passes.abce = abce;
-            p.passes.bce = false; // isolate the loop-aware pass
+            p.passes.bce = false; // isolate the idiom loop-aware pass
+            p.passes.range_abce = false; // (range analysis would elide
+            p.passes.loop_versioning = false; // these accesses on its own)
             let vm = Vm::new(m.clone(), p.with_observe(ObserveLevel::Counters)).unwrap();
             vm.invoke_by_name("P.Fill", vec![Value::I4(50)]).unwrap();
             let r = vm.observe_report().unwrap();
@@ -1328,6 +1330,10 @@ mod tests {
             jit_compiles: 3,
             loops_found: 2,
             bounds_checks_eliminated: 5,
+            bce_elided_idiom: 5,
+            bce_elided_range: 0,
+            bce_elided_versioned: 0,
+            loops_versioned: 0,
             licm_hoisted: 4,
         };
         let b = CountersSnapshot {
@@ -1336,6 +1342,10 @@ mod tests {
             jit_compiles: 3,
             loops_found: 7,
             bounds_checks_eliminated: 5,
+            bce_elided_idiom: 5,
+            bce_elided_range: 0,
+            bce_elided_versioned: 0,
+            loops_versioned: 0,
             licm_hoisted: 9,
         };
         let d = b.delta(&a);

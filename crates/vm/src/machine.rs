@@ -123,9 +123,19 @@ pub struct Counters {
     /// Natural loops discovered by the loop-aware optimizer (counted once
     /// per compiled method, only when a loop pass is enabled).
     pub loops_found: AtomicU64,
-    /// Array bounds checks removed at compile time (structural BCE plus
-    /// the loop-aware ABCE pass).
+    /// Array bounds checks removed at compile time — total across every
+    /// mechanism (the three `bce_elided_*` counters below sum to this).
     pub bounds_checks_eliminated: AtomicU64,
+    /// Checks removed by the structural/idiom matchers (block-guard BCE
+    /// plus the loop-aware ABCE `i < arr.Length` idiom).
+    pub bce_elided_idiom: AtomicU64,
+    /// Checks removed by symbolic range analysis (derived indices such as
+    /// `a[i+k]`, hoisted-length and triangular bounds).
+    pub bce_elided_range: AtomicU64,
+    /// Checks removed in guarded loop-version fast clones.
+    pub bce_elided_versioned: AtomicU64,
+    /// Loops given a guarded check-free version.
+    pub loops_versioned: AtomicU64,
     /// Instructions hoisted out of loops by LICM.
     pub licm_hoisted: AtomicU64,
 }
@@ -139,6 +149,10 @@ pub struct CountersSnapshot {
     pub jit_compiles: u64,
     pub loops_found: u64,
     pub bounds_checks_eliminated: u64,
+    pub bce_elided_idiom: u64,
+    pub bce_elided_range: u64,
+    pub bce_elided_versioned: u64,
+    pub loops_versioned: u64,
     pub licm_hoisted: u64,
 }
 
@@ -152,6 +166,10 @@ impl Counters {
             jit_compiles: self.jit_compiles.load(Ordering::Relaxed),
             loops_found: self.loops_found.load(Ordering::Relaxed),
             bounds_checks_eliminated: self.bounds_checks_eliminated.load(Ordering::Relaxed),
+            bce_elided_idiom: self.bce_elided_idiom.load(Ordering::Relaxed),
+            bce_elided_range: self.bce_elided_range.load(Ordering::Relaxed),
+            bce_elided_versioned: self.bce_elided_versioned.load(Ordering::Relaxed),
+            loops_versioned: self.loops_versioned.load(Ordering::Relaxed),
             licm_hoisted: self.licm_hoisted.load(Ordering::Relaxed),
         }
     }
@@ -171,6 +189,12 @@ impl CountersSnapshot {
             bounds_checks_eliminated: self
                 .bounds_checks_eliminated
                 .saturating_sub(earlier.bounds_checks_eliminated),
+            bce_elided_idiom: self.bce_elided_idiom.saturating_sub(earlier.bce_elided_idiom),
+            bce_elided_range: self.bce_elided_range.saturating_sub(earlier.bce_elided_range),
+            bce_elided_versioned: self
+                .bce_elided_versioned
+                .saturating_sub(earlier.bce_elided_versioned),
+            loops_versioned: self.loops_versioned.saturating_sub(earlier.loops_versioned),
             licm_hoisted: self.licm_hoisted.saturating_sub(earlier.licm_hoisted),
         }
     }

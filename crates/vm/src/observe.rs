@@ -39,7 +39,7 @@
 //!   caller frame; recursive methods therefore count their own subtree
 //!   once per live activation, the standard inclusive-profile caveat.
 
-use crate::rir::RInst;
+use crate::rir::{BoundsMode, RInst};
 use hpcnet_cil::{MethodId, Op, OP_KIND_NAMES};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -247,6 +247,12 @@ pub struct JitOutcome {
     pub loops_found: u32,
     /// Checks removed by the loop-aware ABCE pass.
     pub abce_removed: u32,
+    /// Checks removed by symbolic range analysis (derived indices).
+    pub range_removed: u32,
+    /// Checks removed in guarded loop-version fast clones.
+    pub versioned_removed: u32,
+    /// Loops given a guarded check-free version.
+    pub loops_versioned: u32,
     /// Instructions hoisted by LICM.
     pub licm_hoisted: u32,
     /// Primitive virtual registers that won a register-file slot.
@@ -286,6 +292,11 @@ struct MethodCell {
     kinds: Box<[AtomicU64]>,
     bc_executed: AtomicU64,
     bc_elided: AtomicU64,
+    /// `bc_elided` split by elision mechanism (idiom / range / versioned),
+    /// matching [`BoundsMode::mechanism`] order; the three sum to it.
+    bc_elided_idiom: AtomicU64,
+    bc_elided_range: AtomicU64,
+    bc_elided_versioned: AtomicU64,
     allocs: AtomicU64,
     eh_catch: AtomicU64,
     eh_finally: AtomicU64,
@@ -301,6 +312,9 @@ impl MethodCell {
             kinds: (0..Op::KIND_COUNT).map(|_| AtomicU64::new(0)).collect(),
             bc_executed: AtomicU64::new(0),
             bc_elided: AtomicU64::new(0),
+            bc_elided_idiom: AtomicU64::new(0),
+            bc_elided_range: AtomicU64::new(0),
+            bc_elided_versioned: AtomicU64::new(0),
             allocs: AtomicU64::new(0),
             eh_catch: AtomicU64::new(0),
             eh_finally: AtomicU64::new(0),
@@ -406,13 +420,23 @@ impl Observer {
         cell.ops_excl.fetch_add(1, Ordering::Relaxed);
         cell.kinds[rinst_kind_index(inst)].fetch_add(1, Ordering::Relaxed);
         match inst {
-            RInst::LdElem { checked, .. } | RInst::StElem { checked, .. } => {
-                if *checked {
+            RInst::LdElem { bounds, .. } | RInst::StElem { bounds, .. } => match bounds {
+                BoundsMode::Checked => {
                     cell.bc_executed.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    cell.bc_elided.fetch_add(1, Ordering::Relaxed);
                 }
-            }
+                BoundsMode::ElidedIdiom => {
+                    cell.bc_elided.fetch_add(1, Ordering::Relaxed);
+                    cell.bc_elided_idiom.fetch_add(1, Ordering::Relaxed);
+                }
+                BoundsMode::ElidedRange => {
+                    cell.bc_elided.fetch_add(1, Ordering::Relaxed);
+                    cell.bc_elided_range.fetch_add(1, Ordering::Relaxed);
+                }
+                BoundsMode::ElidedVersioned => {
+                    cell.bc_elided.fetch_add(1, Ordering::Relaxed);
+                    cell.bc_elided_versioned.fetch_add(1, Ordering::Relaxed);
+                }
+            },
             RInst::NewObj { .. }
             | RInst::NewArr { .. }
             | RInst::NewMulti { .. }
@@ -530,6 +554,11 @@ impl Observer {
                     op_kinds: c.kinds.iter().map(|k| k.load(Ordering::Relaxed)).collect(),
                     bounds_checks_executed: c.bc_executed.load(Ordering::Relaxed),
                     bounds_checks_elided: c.bc_elided.load(Ordering::Relaxed),
+                    bounds_checks_elided_idiom: c.bc_elided_idiom.load(Ordering::Relaxed),
+                    bounds_checks_elided_range: c.bc_elided_range.load(Ordering::Relaxed),
+                    bounds_checks_elided_versioned: c
+                        .bc_elided_versioned
+                        .load(Ordering::Relaxed),
                     allocs: c.allocs.load(Ordering::Relaxed),
                     eh_catch: c.eh_catch.load(Ordering::Relaxed),
                     eh_finally: c.eh_finally.load(Ordering::Relaxed),
@@ -562,7 +591,12 @@ pub struct MethodProfile {
     /// Executed-opcode histogram, indexed like [`OP_KIND_NAMES`].
     pub op_kinds: Vec<u64>,
     pub bounds_checks_executed: u64,
+    /// Dynamic count of elided checks crossed, total and per mechanism
+    /// (the three splits sum to the total).
     pub bounds_checks_elided: u64,
+    pub bounds_checks_elided_idiom: u64,
+    pub bounds_checks_elided_range: u64,
+    pub bounds_checks_elided_versioned: u64,
     pub allocs: u64,
     pub eh_catch: u64,
     pub eh_finally: u64,

@@ -89,6 +89,15 @@ pub struct PassConfig {
     /// Loop-invariant code motion: hoist invariant arithmetic and the
     /// guard's `ldlen` out of natural loops into the preheader.
     pub licm: bool,
+    /// Symbolic range analysis over natural loops: per-block intervals for
+    /// integer locals prove derived indices (`a[i+k]`, hoisted-length and
+    /// triangular bounds) in `[0, arr.Length)` and drop their checks
+    /// (see `rir::range`).
+    pub range_abce: bool,
+    /// Guarded loop versioning: clone almost-provable loops into a
+    /// check-free fast version selected by an up-front null/range guard,
+    /// with the original checked loop as the fallback.
+    pub loop_versioning: bool,
     /// Inline small static/final callees.
     pub inline: bool,
     /// Maximum callee size (in RIR instructions) considered for inlining.
@@ -108,6 +117,8 @@ impl PassConfig {
             bce: false,
             abce: false,
             licm: false,
+            range_abce: false,
+            loop_versioning: false,
             inline: false,
             inline_max_ops: 0,
         }
@@ -125,6 +136,8 @@ impl PassConfig {
             bce: true,
             abce: true,
             licm: true,
+            range_abce: true,
+            loop_versioning: true,
             inline: true,
             inline_max_ops: 24,
         }
@@ -163,6 +176,12 @@ pub struct VmProfile {
     /// it must never change execution results — the conform fuzzer runs
     /// the whole engine matrix with this raised to prove it.
     pub observe: ObserveLevel,
+    /// Run the independent elision-certificate checker (`rir::audit`) on
+    /// every compiled method and fail the compile hard if any elided
+    /// bounds check lacks a sound certificate. `false` in every stock
+    /// profile (it is a verification harness, not a modeled platform
+    /// knob); the conform matrix switches it on.
+    pub audit: bool,
 }
 
 impl VmProfile {
@@ -170,6 +189,13 @@ impl VmProfile {
     /// usable in consts).
     pub const fn with_observe(mut self, level: ObserveLevel) -> VmProfile {
         self.observe = level;
+        self
+    }
+
+    /// The same profile with the elision-certificate audit toggled
+    /// (builder-style, usable in consts).
+    pub const fn with_audit(mut self, audit: bool) -> VmProfile {
+        self.audit = audit;
         self
     }
 
@@ -213,6 +239,7 @@ impl VmProfile {
             // exists for ablation (what optimized accessors would do).
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 
@@ -235,6 +262,7 @@ impl VmProfile {
             math: MathKind::Fast,
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 
@@ -252,6 +280,7 @@ impl VmProfile {
             math: MathKind::Fast,
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 
@@ -269,6 +298,7 @@ impl VmProfile {
             math: MathKind::Fast,
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 
@@ -288,6 +318,7 @@ impl VmProfile {
             math: MathKind::Strict,
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 
@@ -298,6 +329,8 @@ impl VmProfile {
         p.imm_fusion = false;
         p.bce = false;
         p.abce = false;
+        p.range_abce = false;
+        p.loop_versioning = false;
         VmProfile {
             name: "Java BEA JRockit 8.1",
             tier: Tier::Rir,
@@ -310,6 +343,7 @@ impl VmProfile {
             math: MathKind::Strict,
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 
@@ -320,6 +354,8 @@ impl VmProfile {
         p.imm_fusion = false;
         p.bce = false;
         p.abce = false;
+        p.range_abce = false;
+        p.loop_versioning = false;
         p.inline = false;
         VmProfile {
             name: "Java Sun 1.4",
@@ -333,6 +369,7 @@ impl VmProfile {
             math: MathKind::Strict,
             multidim: MultiDimStyle::HelperCall,
             observe: ObserveLevel::Off,
+            audit: false,
         }
     }
 

@@ -790,8 +790,8 @@ fn build_op(vm: &Arc<Vm>, inst: &RInst) -> OpFn {
                 Ok(Flow::Next)
             })
         }
-        RInst::LdElem { kind, arr, idx, dst, checked } => {
-            let (arr, idx, checked) = (*arr, *idx, *checked);
+        RInst::LdElem { kind, arr, idx, dst, bounds } => {
+            let (arr, idx, checked) = (*arr, *idx, bounds.is_checked());
             match (kind.num_ty().is_some(), *dst) {
                 (true, DstSlot::P(d)) if checked => Box::new(move |fr, vm, depth| {
                     let i = fr.pget(idx) as u32 as i32;
@@ -840,8 +840,8 @@ fn build_op(vm: &Arc<Vm>, inst: &RInst) -> OpFn {
                 _ => Box::new(|_, _, _| Err(VmError::Internal("elem kind mismatch".into()))),
             }
         }
-        RInst::StElem { kind, arr, idx, src, checked } => {
-            let (arr, idx, checked) = (*arr, *idx, *checked);
+        RInst::StElem { kind, arr, idx, src, bounds } => {
+            let (arr, idx, checked) = (*arr, *idx, bounds.is_checked());
             let mask = *kind == ElemKind::U1;
             match *src {
                 ArgSlot::P(_, s) if checked => Box::new(move |fr, vm, depth| {

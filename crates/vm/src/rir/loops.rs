@@ -201,6 +201,7 @@ mod tests {
             arg_locs: Vec::new(),
             n_pvreg: 8,
             n_rvreg: 2,
+            certs: Vec::new(),
         }
     }
 

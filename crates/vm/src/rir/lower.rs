@@ -18,7 +18,8 @@
 use crate::error::{VmError, VmResult};
 use crate::machine::Vm;
 use crate::profile::MultiDimStyle;
-use crate::rir::{opt, ArgSlot, DstSlot, Operand, RInst, RirMethod};
+use crate::rir::audit::ElisionCert;
+use crate::rir::{opt, ArgSlot, BoundsMode, DstSlot, Operand, RInst, RirMethod};
 use hpcnet_cil::module::{EhKind, MethodId};
 use hpcnet_cil::verify::{verify_method, VerTy};
 use hpcnet_cil::{CilType, Intrinsic, NumTy, Op};
@@ -33,6 +34,9 @@ pub(crate) struct Lowered {
     pub arg_locs: Vec<ArgSlot>,
     pub n_pvreg: u16,
     pub n_rvreg: u16,
+    /// One certificate per elided bounds check, kept in sync with `code`
+    /// pcs by every pass that moves instructions (see [`crate::rir::audit`]).
+    pub certs: Vec<ElisionCert>,
 }
 
 /// Compile a method for the register tier under the VM's profile. The
@@ -508,7 +512,7 @@ pub(crate) fn lower(
                     arr: ctx.r(d - 2),
                     idx: ctx.p(d - 1),
                     dst,
-                    checked: true,
+                    bounds: BoundsMode::Checked,
                 });
             }
             Op::StElem(kind) => {
@@ -518,7 +522,7 @@ pub(crate) fn lower(
                     arr: ctx.r(d - 3),
                     idx: ctx.p(d - 2),
                     src,
-                    checked: true,
+                    bounds: BoundsMode::Checked,
                 });
             }
             Op::NewMultiArr { kind, rank } => {
@@ -608,6 +612,7 @@ pub(crate) fn lower(
         arg_locs: ctx.arg_locs,
         n_pvreg: ctx.n_pvreg,
         n_rvreg: ctx.n_rvreg,
+        certs: Vec::new(),
     })
 }
 

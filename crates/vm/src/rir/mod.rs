@@ -12,12 +12,16 @@
 //! 2. **Scalar passes** ([`crate::rir::opt`]): constant/copy propagation,
 //!    strength reduction, the structural bounds-check matcher, dead-code
 //!    elimination — each gated by a [`crate::profile::PassConfig`] flag.
-//! 3. **Loop-aware tier** (`rir::loops` + [`crate::rir::opt`]):
-//!    basic blocks, dominators and natural loops are recovered from the
-//!    compacted code; ABCE proves counted-loop indices in range and drops
-//!    their checks, LICM hoists invariant arithmetic and the guard's
-//!    `ldlen` into the preheader. Per-method results are tallied on
-//!    [`crate::machine::Counters`].
+//! 3. **Loop-aware tier** (`rir::loops` + [`crate::rir::opt`] +
+//!    [`crate::rir::range`]): basic blocks, dominators and natural loops
+//!    are recovered from the compacted code; idiom ABCE proves
+//!    counted-loop indices in range and drops their checks, symbolic
+//!    range analysis extends that to derived indices (`i±k`, triangular,
+//!    strided), LICM hoists invariant arithmetic and the guard's `ldlen`
+//!    into the preheader, and guarded loop versioning clones
+//!    almost-provable loops behind an up-front guard. Every elision
+//!    carries a certificate re-verified by [`crate::rir::audit`].
+//!    Per-method results are tallied on [`crate::machine::Counters`].
 //! 4. **Allocate** ([`crate::rir::opt`]): virtual registers are ranked by
 //!    static use count and the top `max_enreg` live in the register file
 //!    (plain array access at run time); the rest spill to a frame arena
@@ -34,10 +38,12 @@
 //! length-bounded loop. docs/OPTIMIZATIONS.md maps every optimization
 //! mechanism to its profile knob.
 
+pub mod audit;
 pub mod compile;
 pub mod lower;
 pub(crate) mod loops;
 pub mod opt;
+pub(crate) mod range;
 pub mod share;
 
 use hpcnet_cil::module::{EhRegion, MethodId};
@@ -80,6 +86,54 @@ pub enum ArgSlot {
 pub enum DstSlot {
     P(u16),
     R(u16),
+}
+
+/// How an element access's bounds check is handled. `Checked` tests the
+/// index against the array length at run time; the elided variants record
+/// *which* elimination mechanism proved (or guarded) the access in range,
+/// so the observer can attribute elisions per mechanism and the audit
+/// checker ([`crate::rir::audit`]) can match each one to a certificate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BoundsMode {
+    /// Run-time check; IndexOutOfRangeException on failure.
+    Checked,
+    /// Structural / counted-loop idiom matcher (`i < arr.Length` guards).
+    ElidedIdiom,
+    /// Symbolic range analysis (derived indices: `arr[i+k]`, triangular
+    /// bounds, strided loops) proved the index in `[0, len)` statically.
+    ElidedRange,
+    /// Check-free fast clone of a loop, selected by an up-front
+    /// loop-versioning guard; the checked original remains as fallback.
+    ElidedVersioned,
+}
+
+impl BoundsMode {
+    /// Does this access still test bounds at run time?
+    #[inline]
+    pub fn is_checked(self) -> bool {
+        matches!(self, BoundsMode::Checked)
+    }
+
+    /// Mechanism name used in counters and reports (`None` when checked).
+    pub fn mechanism(self) -> Option<&'static str> {
+        match self {
+            BoundsMode::Checked => None,
+            BoundsMode::ElidedIdiom => Some("idiom"),
+            BoundsMode::ElidedRange => Some("range"),
+            BoundsMode::ElidedVersioned => Some("versioned"),
+        }
+    }
+
+    /// Listing suffix; every elided variant starts with `.nobound` so
+    /// "was the check removed at all" greps stay mechanism-agnostic.
+    fn suffix(self) -> &'static str {
+        match self {
+            BoundsMode::Checked => "",
+            BoundsMode::ElidedIdiom => ".nobound",
+            BoundsMode::ElidedRange => ".nobound.rng",
+            BoundsMode::ElidedVersioned => ".nobound.ver",
+        }
+    }
 }
 
 /// A register-IR instruction. `u16` fields are slot ids (virtual registers
@@ -137,9 +191,10 @@ pub enum RInst {
     CastClass { class: ClassId, src: u16, dst: u16 },
     NewArr { kind: ElemKind, len: u16, dst: u16 },
     LdLen { arr: u16, dst: u16 },
-    /// `checked: false` after bounds-check elimination.
-    LdElem { kind: ElemKind, arr: u16, idx: u16, dst: DstSlot, checked: bool },
-    StElem { kind: ElemKind, arr: u16, idx: u16, src: ArgSlot, checked: bool },
+    /// `bounds` records whether the run-time check survives and, if not,
+    /// which elimination mechanism removed it.
+    LdElem { kind: ElemKind, arr: u16, idx: u16, dst: DstSlot, bounds: BoundsMode },
+    StElem { kind: ElemKind, arr: u16, idx: u16, src: ArgSlot, bounds: BoundsMode },
     NewMulti { kind: ElemKind, dims: Box<[u16]>, dst: u16 },
     /// `helper: true` models the helper-call lowering of runtimes without
     /// optimized multidimensional accessors (Graph 12's effect).
@@ -363,18 +418,18 @@ pub fn print_rir(r: &RirMethod) -> String {
             RInst::LdLen { arr, dst } => {
                 format!("ldlen {}, {}", fmt_slot('p', *dst), fmt_slot('o', *arr))
             }
-            RInst::LdElem { kind, arr, idx, dst, checked } => format!(
+            RInst::LdElem { kind, arr, idx, dst, bounds } => format!(
                 "ldelem.{}{} {}, {}[{}]",
                 kind.suffix(),
-                if *checked { "" } else { ".nobound" },
+                bounds.suffix(),
                 fmt_dst(dst),
                 fmt_slot('o', *arr),
                 fmt_slot('p', *idx)
             ),
-            RInst::StElem { kind, arr, idx, src, checked } => format!(
+            RInst::StElem { kind, arr, idx, src, bounds } => format!(
                 "stelem.{}{} {}[{}], {}",
                 kind.suffix(),
-                if *checked { "" } else { ".nobound" },
+                bounds.suffix(),
                 fmt_slot('o', *arr),
                 fmt_slot('p', *idx),
                 fmt_arg(src)

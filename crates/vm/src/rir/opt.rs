@@ -15,9 +15,10 @@
 use crate::machine::Vm;
 use crate::observe::{Event, JitOutcome, LoopRejectReason};
 use crate::profile::PassConfig;
+use crate::rir::audit::{CertKind, ElisionCert};
 use crate::rir::loops::{find_loops, Cfg, NaturalLoop};
 use crate::rir::lower::{rewrite_slots, Lowered};
-use crate::rir::{ArgSlot, DstSlot, Operand, RInst, RirMethod, SPILL_BIT};
+use crate::rir::{ArgSlot, BoundsMode, DstSlot, Operand, RInst, RirMethod, SPILL_BIT};
 use hpcnet_cil::module::MethodId;
 use hpcnet_cil::{BinOp, CmpOp, NumTy, UnOp};
 use std::collections::{HashMap, HashSet};
@@ -72,7 +73,9 @@ pub(crate) fn optimize(passes: &PassConfig, l: &mut Lowered) -> OptResult {
     // erased by copy-prop + DCE), where the guard compare reads the named
     // locals directly.
     let mut rejections: Vec<(u32, LoopRejectReason)> = Vec::new();
-    if (passes.abce || passes.licm) && !l.code.is_empty() {
+    let loop_tier =
+        passes.abce || passes.licm || passes.range_abce || passes.loop_versioning;
+    if loop_tier && !l.code.is_empty() {
         let cfg = Cfg::build(l);
         let loops = find_loops(l, &cfg);
         outcome.loops_found = loops.len() as u32;
@@ -81,9 +84,22 @@ pub(crate) fn optimize(passes: &PassConfig, l: &mut Lowered) -> OptResult {
             outcome.abce_removed = n as u32;
             rejections = rej;
         }
+        if passes.range_abce {
+            // Idiom ABCE only flips access flags, so the CFG and loop
+            // structure are still valid here.
+            outcome.range_removed = crate::rir::range::range_abce(l, &cfg, &loops) as u32;
+        }
         if passes.licm {
             let n = loop_invariant_code_motion(l);
             outcome.licm_hoisted = n as u32;
+        }
+        if passes.loop_versioning {
+            // LICM moved code; versioning needs fresh structure.
+            let cfg = Cfg::build(l);
+            let loops = find_loops(l, &cfg);
+            let (n, lv) = crate::rir::range::version_loops(l, &cfg, &loops);
+            outcome.versioned_removed = n as u32;
+            outcome.loops_versioned = lv as u32;
         }
     }
     let force_spill_p = if passes.div_const_temp_quirk {
@@ -98,9 +114,23 @@ pub(crate) fn optimize(passes: &PassConfig, l: &mut Lowered) -> OptResult {
 /// [`optimize`] so a memoized front half (cache hit) bumps the consuming
 /// VM's counters exactly as a fresh compile would.
 pub(crate) fn apply_outcome_counters(vm: &Vm, o: &JitOutcome) {
+    let idiom = o.bce_removed as u64 + o.abce_removed as u64;
+    vm.counters.bounds_checks_eliminated.fetch_add(
+        idiom + o.range_removed as u64 + o.versioned_removed as u64,
+        Ordering::Relaxed,
+    );
     vm.counters
-        .bounds_checks_eliminated
-        .fetch_add(o.bce_removed as u64 + o.abce_removed as u64, Ordering::Relaxed);
+        .bce_elided_idiom
+        .fetch_add(idiom, Ordering::Relaxed);
+    vm.counters
+        .bce_elided_range
+        .fetch_add(o.range_removed as u64, Ordering::Relaxed);
+    vm.counters
+        .bce_elided_versioned
+        .fetch_add(o.versioned_removed as u64, Ordering::Relaxed);
+    vm.counters
+        .loops_versioned
+        .fetch_add(o.loops_versioned as u64, Ordering::Relaxed);
     vm.counters
         .loops_found
         .fetch_add(o.loops_found as u64, Ordering::Relaxed);
@@ -165,7 +195,7 @@ pub(crate) fn leaders(l: &Lowered) -> HashSet<u32> {
 }
 
 /// The primitive slot an instruction defines, if any.
-fn def_p(inst: &RInst) -> Option<u16> {
+pub(crate) fn def_p(inst: &RInst) -> Option<u16> {
     match inst {
         RInst::MovP { dst, .. }
         | RInst::ConstP { dst, .. }
@@ -189,7 +219,7 @@ fn def_p(inst: &RInst) -> Option<u16> {
 }
 
 /// The reference slot an instruction defines, if any.
-fn def_r(inst: &RInst) -> Option<u16> {
+pub(crate) fn def_r(inst: &RInst) -> Option<u16> {
     match inst {
         RInst::MovR { dst, .. }
         | RInst::ConstNull { dst }
@@ -534,7 +564,9 @@ fn eliminate_bounds_checks(l: &mut Lowered) -> u64 {
         tainted: bool,
     }
     let mut ind: HashMap<u16, Ind> = HashMap::new();
-    let mut guards: HashSet<(u16, u16)> = HashSet::new();
+    // (index origin, array origin) -> pc of a witnessing guard compare,
+    // recorded for the elision certificate.
+    let mut guards: HashMap<(u16, u16), u32> = HashMap::new();
     let mut accesses: Vec<(usize, u16, u16)> = Vec::new();
     // Length facts that survive block boundaries: a local with a single
     // real definition that copies an `ldlen` result (the hand-hoisted
@@ -573,10 +605,10 @@ fn eliminate_bounds_checks(l: &mut Lowered) -> u64 {
         match &l.code[i] {
             RInst::BrCmp { ty: NumTy::I4, a, b: Operand::Slot(s), .. } => {
                 if let Some(&arr) = lenof.get(s).or_else(|| global_lenof.get(s)) {
-                    guards.insert((presolve(*a, &copies), arr));
+                    guards.entry((presolve(*a, &copies), arr)).or_insert(i as u32);
                 }
                 if let Some(&arr) = lenof.get(a).or_else(|| global_lenof.get(a)) {
-                    guards.insert((presolve(*s, &copies), arr));
+                    guards.entry((presolve(*s, &copies), arr)).or_insert(i as u32);
                 }
             }
             RInst::LdElem { arr, idx, .. } | RInst::StElem { arr, idx, .. } => {
@@ -599,7 +631,14 @@ fn eliminate_bounds_checks(l: &mut Lowered) -> u64 {
         }
         let mut fact = NewFact::None;
         match &l.code[i] {
-            RInst::ConstP { bits, .. } => fact = NewFact::Const(*bits),
+            RInst::ConstP { dst, bits } => {
+                // A nonzero reseed breaks the counter's monotone-from-zero
+                // shape (the zero-init itself is recorded below).
+                if *bits != 0 {
+                    ind.entry(*dst).or_default().tainted = true;
+                }
+                fact = NewFact::Const(*bits);
+            }
             RInst::MovP { dst, src } => {
                 if incof.get(src).copied() == Some(*dst) {
                     // `i = <i + k>` — the canonical increment completing.
@@ -691,19 +730,44 @@ fn eliminate_bounds_checks(l: &mut Lowered) -> u64 {
         .collect();
     let mut eliminated = 0u64;
     for (i, idx_o, arr_o) in accesses {
-        if induction.contains(&idx_o) && guards.contains(&(idx_o, arr_o)) {
-            match &mut l.code[i] {
-                RInst::LdElem { checked, .. } | RInst::StElem { checked, .. } => {
-                    if *checked {
-                        *checked = false;
-                        eliminated += 1;
-                    }
-                }
-                _ => unreachable!(),
-            }
+        let Some(&guard_pc) = guards.get(&(idx_o, arr_o)) else { continue };
+        if !induction.contains(&idx_o) {
+            continue;
+        }
+        let checked = match &l.code[i] {
+            RInst::LdElem { bounds, .. } | RInst::StElem { bounds, .. } => bounds.is_checked(),
+            _ => unreachable!(),
+        };
+        if !checked {
+            continue;
+        }
+        // Trial-commit: the block-local facts above are necessary but not
+        // sufficient (a compare against the length that never controls the
+        // access would match — conform seed 330). Apply the elision, let
+        // the independent checker verify the certificate's guard-edge
+        // dominance, and revert any it cannot prove.
+        set_bounds(l, i, BoundsMode::ElidedIdiom);
+        l.certs.push(ElisionCert {
+            pc: i as u32,
+            mechanism: BoundsMode::ElidedIdiom,
+            kind: CertKind::BlockGuard { guard_pc, ivar: idx_o, arr: arr_o },
+        });
+        if crate::rir::audit::check(l).is_ok() {
+            eliminated += 1;
+        } else {
+            l.certs.pop();
+            set_bounds(l, i, BoundsMode::Checked);
         }
     }
     eliminated
+}
+
+/// Set the bounds mode of the element access at `pc`.
+fn set_bounds(l: &mut Lowered, pc: usize, mode: BoundsMode) {
+    match &mut l.code[pc] {
+        RInst::LdElem { bounds, .. } | RInst::StElem { bounds, .. } => *bounds = mode,
+        _ => unreachable!("set_bounds on a non-access instruction"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -712,24 +776,24 @@ fn eliminate_bounds_checks(l: &mut Lowered) -> u64 {
 
 /// Guard operands of an I4 fused compare-branch, resolved through the
 /// block-local fact maps.
-struct GuardFacts {
-    op: CmpOp,
+pub(crate) struct GuardFacts {
+    pub op: CmpOp,
     /// Resolved origin of the left operand.
-    a: u16,
+    pub a: u16,
     /// Resolved origin of the right operand, when it is a slot.
-    b: Option<u16>,
+    pub b: Option<u16>,
     /// `(array origin, fact_is_global)` when the left operand holds that
     /// array's length. Block-local facts come from an `ldlen` in the same
     /// block (re-derived every iteration); global facts are the
     /// hand-hoisted `int len = arr.Length;` idiom (single-definition
     /// locals only).
-    a_len: Option<(u16, bool)>,
+    pub a_len: Option<(u16, bool)>,
     /// Same for the right operand.
-    b_len: Option<(u16, bool)>,
+    pub b_len: Option<(u16, bool)>,
 }
 
 /// Classification of a primitive definition site.
-enum DefKind {
+pub(crate) enum DefKind {
     /// `x = x + k` with constant `k > 0` — a counted-loop increment
     /// (directly, or through the stack-cell `mov x, <x+k>` shape).
     Increment,
@@ -738,22 +802,22 @@ enum DefKind {
 
 /// Per-instruction facts for the loop-aware passes, resolved with the same
 /// block-local machinery the structural BCE matcher uses.
-struct LoopFacts {
+pub(crate) struct LoopFacts {
     /// pc of an element access -> (index origin, array origin).
-    access: HashMap<usize, (u16, u16)>,
+    pub access: HashMap<usize, (u16, u16)>,
     /// pc of an I4 `BrCmp` -> resolved guard operands.
-    guard: HashMap<usize, GuardFacts>,
+    pub guard: HashMap<usize, GuardFacts>,
     /// pc with a primitive def -> classification.
-    defs: HashMap<usize, DefKind>,
+    pub defs: HashMap<usize, DefKind>,
     /// Block leader -> constants known at the end of that block (for the
     /// induction variable's entry value).
-    end_consts: HashMap<u32, HashMap<u16, u64>>,
+    pub end_consts: HashMap<u32, HashMap<u16, u64>>,
 }
 
 /// One forward scan computing [`LoopFacts`]. Facts reset at block leaders;
 /// the global `len` idiom is promoted exactly as in
 /// [`eliminate_bounds_checks`].
-fn collect_loop_facts(l: &Lowered) -> LoopFacts {
+pub(crate) fn collect_loop_facts(l: &Lowered) -> LoopFacts {
     let heads = leaders(l);
     let mut rdef_count: HashMap<u16, u32> = HashMap::new();
     let mut real_pdefs: HashMap<u16, u32> = HashMap::new();
@@ -956,22 +1020,36 @@ fn loop_aware_bce(
     loops: &[NaturalLoop],
 ) -> (u64, Vec<(u32, LoopRejectReason)>) {
     let facts = collect_loop_facts(l);
-    let mut flips: Vec<usize> = Vec::new();
+    let mut flips: Vec<(usize, u32, u16, u16)> = Vec::new();
     let mut rejected: Vec<(u32, LoopRejectReason)> = Vec::new();
     for lp in loops {
         match analyze_loop(l, cfg, &facts, lp) {
             // An accepted loop with no matching accesses is not a
             // rejection — the proof succeeded, there was nothing to drop.
-            Ok(mut f) => flips.append(&mut f),
+            Ok(e) => flips.extend(e.covered.iter().map(|&pc| (pc, e.guard_pc, e.ivar, e.arr))),
             Err(reason) => rejected.push((cfg.ranges[lp.header].0 as u32, reason)),
         }
     }
     let mut count = 0u64;
-    for pc in flips {
+    for (pc, guard_pc, ivar, arr) in flips {
         match &mut l.code[pc] {
-            RInst::LdElem { checked, .. } | RInst::StElem { checked, .. } if *checked => {
-                *checked = false;
+            RInst::LdElem { bounds, .. } | RInst::StElem { bounds, .. }
+                if bounds.is_checked() =>
+            {
+                *bounds = BoundsMode::ElidedIdiom;
                 count += 1;
+                l.certs.push(ElisionCert {
+                    pc: pc as u32,
+                    mechanism: BoundsMode::ElidedIdiom,
+                    kind: CertKind::Loop {
+                        guard_pc,
+                        ivar,
+                        offset: 0,
+                        entry_lo: 0,
+                        sup_arr: arr,
+                        sup_off: -1,
+                    },
+                });
             }
             _ => {}
         }
@@ -979,15 +1057,23 @@ fn loop_aware_bce(
     (count, rejected)
 }
 
+/// An accepted loop's elision set plus the facts its certificates cite.
+pub(crate) struct LoopElision {
+    pub covered: Vec<usize>,
+    pub guard_pc: u32,
+    pub ivar: u16,
+    pub arr: u16,
+}
+
 /// Prove one natural loop safe for check elimination: returns the pcs of
-/// the covered element accesses, or the first disqualifier found (the
-/// [`LoopRejectReason`] the event trace reports).
+/// the covered element accesses plus the proof facts, or the first
+/// disqualifier found (the [`LoopRejectReason`] the event trace reports).
 fn analyze_loop(
     l: &Lowered,
     cfg: &Cfg,
     facts: &LoopFacts,
     lp: &NaturalLoop,
-) -> Result<Vec<usize>, LoopRejectReason> {
+) -> Result<LoopElision, LoopRejectReason> {
     if !lp.clean {
         return Err(LoopRejectReason::OverlapsEh);
     }
@@ -1119,7 +1205,7 @@ fn analyze_loop(
             }
         }
     }
-    Ok(covered)
+    Ok(LoopElision { covered, guard_pc: term as u32, ivar, arr })
 }
 
 /// Loop-invariant code motion.
@@ -1395,6 +1481,11 @@ fn hoist(l: &mut Lowered, cfg: &Cfg, lp: &NaturalLoop, plans: Vec<(usize, RInst)
         if r.handler_end > h as u32 {
             r.handler_end += k32;
         }
+    }
+    // Certificates cite instruction pcs (the access, its guard); every
+    // pc at-or-after the insertion point slides down by `k`.
+    for c in &mut l.certs {
+        c.remap_pcs(&mut |p| if p >= h as u32 { p + k32 } else { p });
     }
 }
 
@@ -1689,6 +1780,9 @@ fn compact(l: &mut Lowered) {
         r.try_end = new_idx[r.try_end as usize];
         r.handler_start = new_idx[r.handler_start as usize];
         r.handler_end = new_idx[r.handler_end as usize];
+    }
+    for c in &mut l.certs {
+        c.remap_pcs(&mut |p| new_idx[p as usize]);
     }
 }
 

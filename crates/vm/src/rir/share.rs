@@ -11,7 +11,7 @@
 //! because the pass outcome (loops found, checks eliminated, hoists) is
 //! replayed onto each VM that consumes a cached entry.
 
-use crate::error::VmResult;
+use crate::error::{VmError, VmResult};
 use crate::machine::Vm;
 use crate::observe::VmPhase;
 use crate::profile::{MultiDimStyle, PassConfig};
@@ -54,16 +54,19 @@ impl OptShare {
 pub(crate) fn front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptResult)> {
     let Some(share) = vm.opt_share() else {
         let (l, res) = timed_front(vm, method)?;
+        audit_if_enabled(vm, method, &l)?;
         opt::apply_outcome_counters(vm, &res.outcome);
         return Ok((l, res));
     };
     let key = (method, vm.profile.passes, vm.profile.multidim);
     if let Some(e) = share.map.lock().unwrap().get(&key).cloned() {
         share.hits.fetch_add(1, Ordering::Relaxed);
+        audit_if_enabled(vm, method, &e.0)?;
         opt::apply_outcome_counters(vm, &e.1.outcome);
         return Ok((e.0.clone(), e.1.clone()));
     }
     let (l, res) = timed_front(vm, method)?;
+    audit_if_enabled(vm, method, &l)?;
     opt::apply_outcome_counters(vm, &res.outcome);
     share.misses.fetch_add(1, Ordering::Relaxed);
     let entry = Arc::new((l, res));
@@ -74,6 +77,27 @@ pub(crate) fn front(vm: &Arc<Vm>, method: MethodId) -> VmResult<(Lowered, OptRes
         .entry(key)
         .or_insert_with(|| entry.clone());
     Ok((entry.0.clone(), entry.1.clone()))
+}
+
+/// Run the independent elision-certificate checker over the optimized
+/// body when the profile asks for it. An unsound elision is a hard
+/// failure — the method must not run.
+fn audit_if_enabled(vm: &Vm, method: MethodId, l: &Lowered) -> VmResult<()> {
+    if vm.profile.audit {
+        crate::rir::audit::check(l).map_err(|msg| {
+            let name = &vm.module.method(method).name;
+            if std::env::var_os("HPCNET_AUDIT_DUMP").is_some() {
+                for (i, inst) in l.code.iter().enumerate() {
+                    eprintln!("P{i:<4} {inst:?}");
+                }
+                for c in &l.certs {
+                    eprintln!("CERT {c:?}");
+                }
+            }
+            VmError::Internal(format!("elision audit failed in {name}: {msg}"))
+        })?;
+    }
+    Ok(())
 }
 
 /// The actual front-half work, with per-phase observer timing (a no-op

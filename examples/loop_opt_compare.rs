@@ -45,6 +45,8 @@ fn main() {
     off.name = "CLR 1.1 (loop passes off)";
     off.passes.abce = false;
     off.passes.licm = false;
+    off.passes.range_abce = false;
+    off.passes.loop_versioning = false;
     let on = VmProfile::clr11();
 
     for profile in [off, on] {
@@ -55,13 +57,15 @@ fn main() {
             println!("===== {method} on {} =====", profile.name);
             println!("{}", print_rir(&code));
         }
+        let c = vm.counters.snapshot();
         println!(
-            "loops found: {}, bounds checks eliminated: {}, hoisted: {}\n",
-            vm.counters.loops_found.load(std::sync::atomic::Ordering::Relaxed),
-            vm.counters
-                .bounds_checks_eliminated
-                .load(std::sync::atomic::Ordering::Relaxed),
-            vm.counters.licm_hoisted.load(std::sync::atomic::Ordering::Relaxed),
+            "loops found: {}, bounds checks eliminated: {} (idiom {} / range {} / versioned {}), hoisted: {}\n",
+            c.loops_found,
+            c.bounds_checks_eliminated,
+            c.bce_elided_idiom,
+            c.bce_elided_range,
+            c.bce_elided_versioned,
+            c.licm_hoisted,
         );
     }
 }
